@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"seda"
+)
+
+func newTestRepl(t *testing.T) (*repl, *bytes.Buffer) {
+	t.Helper()
+	col := seda.WorldFactbook(0.02)
+	eng, err := seda.NewEngine(col, seda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	return &repl{eng: eng, k: 5, out: &buf}, &buf
+}
+
+func TestReplFullSession(t *testing.T) {
+	r, out := newTestRepl(t)
+	steps := []struct {
+		cmd     string
+		wantErr bool
+		wantOut string
+	}{
+		{cmd: "help", wantOut: "commands:"},
+		{cmd: "contexts", wantErr: true}, // no session yet
+		{cmd: `query (*, "United States") AND (trade_country, *)`, wantOut: "top-5 results"},
+		{cmd: "contexts", wantOut: "/country/name"},
+		{cmd: "refine 1 /country/economy/import_partners/item/trade_country", wantOut: "restricted"},
+		{cmd: "connections", wantOut: "candidate connection"},
+		{cmd: "choose 0", wantOut: "chose 1"},
+		{cmd: "dot", wantOut: "digraph"},
+		{cmd: "complete", wantOut: "nodeid1"},
+		{cmd: "stats", wantOut: "documents:"},
+		{cmd: "topk 3", wantOut: "top-3"},
+		{cmd: "bogus", wantErr: true},
+		{cmd: "refine x y", wantErr: true},
+		{cmd: "choose notanumber", wantErr: true},
+		{cmd: "analyze", wantErr: true},
+		{cmd: "deffact onlytwo args", wantErr: true},
+	}
+	for _, st := range steps {
+		out.Reset()
+		err := r.dispatch(st.cmd)
+		if st.wantErr {
+			if err == nil {
+				t.Errorf("dispatch(%q): want error, output %q", st.cmd, out.String())
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("dispatch(%q): %v", st.cmd, err)
+		}
+		if st.wantOut != "" && !strings.Contains(out.String(), st.wantOut) {
+			t.Errorf("dispatch(%q) output missing %q:\n%s", st.cmd, st.wantOut, out.String())
+		}
+	}
+}
+
+func TestReplDefineAndAnalyze(t *testing.T) {
+	r, out := newTestRepl(t)
+	cmds := []string{
+		`query (/country/economy/import_partners/item/percentage, *)`,
+		`deffact pct 0 (/country/name, /country/year, ../trade_country)`,
+		`cube`,
+		`analyze pct year SUM`,
+	}
+	for _, c := range cmds {
+		out.Reset()
+		if err := r.dispatch(c); err != nil {
+			t.Fatalf("dispatch(%q): %v", c, err)
+		}
+	}
+	if !strings.Contains(out.String(), "SUM(pct)") {
+		t.Errorf("analyze output:\n%s", out.String())
+	}
+}
+
+func TestReplNoSessionGuards(t *testing.T) {
+	r, _ := newTestRepl(t)
+	for _, c := range []string{"topk", "connections", "complete", "cube", "dot", "analyze pct year"} {
+		if err := r.dispatch(c); err == nil {
+			t.Errorf("dispatch(%q) without session: want error", c)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Command sedabench regenerates every table and figure of the paper's
+// evaluation at full scale and prints paper-vs-measured comparisons. It is
+// the one-shot companion to the root bench_test.go micro-benchmarks; its
+// output is the source for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	sedabench                  # all experiments at full scale
+//	sedabench -exp table1      # one experiment
+//	sedabench -scale 0.2       # scaled corpora (faster, shapes preserved)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"seda"
+	"seda/internal/dataguide"
+	"seda/internal/fulltext"
+	"seda/internal/index"
+	"seda/internal/keys"
+	"seda/internal/summary"
+	"seda/internal/topk"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|all")
+	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = paper size)")
+	flag.Parse()
+
+	run := func(name string, fn func(float64)) {
+		if *exp == "all" || *exp == name {
+			fmt.Printf("==== %s ====\n", name)
+			start := time.Now()
+			fn(*scale)
+			fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	run("table1", table1)
+	run("intext", inText)
+	run("sweep", sweep)
+	run("figure3", figure3)
+	run("controlflow", controlFlow)
+	run("ablations", ablations)
+
+	if *exp != "all" {
+		switch *exp {
+		case "table1", "intext", "sweep", "figure3", "controlflow", "ablations":
+		default:
+			fmt.Fprintf(os.Stderr, "sedabench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+	}
+}
+
+// table1 reproduces Table 1: dataguide statistics at threshold 40%.
+func table1(scale float64) {
+	type row struct {
+		name   string
+		gen    func(float64) *seda.Collection
+		docs   int
+		guides int
+	}
+	rows := []row{
+		{name: "Google Base snapshot", gen: seda.GoogleBase, docs: 10000, guides: 88},
+		{name: "Mondial", gen: seda.Mondial, docs: 5563, guides: 86},
+		{name: "RecipeML", gen: seda.RecipeML, docs: 10988, guides: 3},
+		{name: "World Factbook 2007", gen: seda.WorldFactbook, docs: 1600, guides: 500},
+	}
+	fmt.Printf("%-22s %12s %12s %14s %14s\n", "Data set", "# docs", "paper docs", "# data guides", "paper guides")
+	for _, r := range rows {
+		col := r.gen(scale)
+		dg, err := dataguide.Build(col, 0.40)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-22s %12d %12d %14d %14d\n", r.name, col.NumDocs(), r.docs, len(dg.Guides), r.guides)
+	}
+}
+
+// inText reproduces the §1/§2 corpus statistics on World Factbook.
+func inText(scale float64) {
+	col := seda.WorldFactbook(scale)
+	ix := index.Build(col)
+	dict := col.Dict()
+	fmt.Printf("%-52s %10s %10s\n", "Statistic", "measured", "paper")
+	fmt.Printf("%-52s %10d %10d\n", "documents", col.NumDocs(), 1600)
+	fmt.Printf("%-52s %10d %10d\n", "distinct root-to-leaf paths", col.Stats().NumPaths, 1984)
+	us := ix.PathsForExpr(fulltext.MustParseQuery(`"United States"`))
+	fmt.Printf("%-52s %10d %10d\n", `paths matching (*, "United States")`, len(us), 27)
+	fmt.Printf("%-52s %10d %10d\n", "docs containing /country",
+		col.PathDocFreq(dict.LookupPath("/country")), 1577)
+	refP := dict.LookupPath("/country/transnational_issues/refugees/country_of_origin")
+	fmt.Printf("%-52s %10d %10d\n", "docs containing .../refugees/country_of_origin",
+		col.PathDocFreq(refP), 186)
+}
+
+// sweep reproduces the §6.1 threshold observations: 1600 unmerged guides
+// and the reduction factors 3x–100x.
+func sweep(scale float64) {
+	fmt.Printf("%-22s", "threshold")
+	ths := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	for _, th := range ths {
+		fmt.Printf(" %8.1f", th)
+	}
+	fmt.Println()
+	for _, c := range []struct {
+		name string
+		gen  func(float64) *seda.Collection
+	}{
+		{"World Factbook", seda.WorldFactbook},
+		{"Mondial", seda.Mondial},
+		{"Google Base", seda.GoogleBase},
+		{"RecipeML", seda.RecipeML},
+	} {
+		col := c.gen(scale)
+		fmt.Printf("%-22s", c.name)
+		for _, th := range ths {
+			dg, err := dataguide.Build(col, th)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf(" %8d", len(dg.Guides))
+		}
+		fmt.Printf("   (%d docs)\n", col.NumDocs())
+	}
+	fmt.Println("paper: unmerged WFB = 1600 guides; reduction 3x (WFB) to 100x (Google Base) at 0.4")
+}
+
+// wfbEngineWithCatalog builds the full-scale engine + Figure 3(b) catalog.
+func wfbEngineWithCatalog(scale float64) *seda.Engine {
+	col := seda.WorldFactbook(scale)
+	eng, err := seda.NewEngine(col, seda.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	baseKey := keys.MustParse("(/country/name, /country/year)")
+	cat := eng.Catalog()
+	check(cat.AddDimension("country", seda.ContextEntry{Context: "/country/name", Key: baseKey}))
+	check(cat.AddDimension("year", seda.ContextEntry{Context: "/country/year", Key: baseKey}))
+	check(cat.AddDimension("import-country", seda.ContextEntry{
+		Context: "/country/economy/import_partners/item/trade_country",
+		Key:     keys.MustParse("(/country/name, /country/year, .)")}))
+	check(cat.AddFact("import-trade-percentage", seda.ContextEntry{
+		Context: "/country/economy/import_partners/item/percentage",
+		Key:     keys.MustParse("(/country/name, /country/year, ../trade_country)")}))
+	check(cat.AddFact("GDP",
+		seda.ContextEntry{Context: "/country/economy/GDP", Key: baseKey},
+		seda.ContextEntry{Context: "/country/economy/GDP_ppp", Key: baseKey}))
+	return eng
+}
+
+const query1 = `(*, "United States") AND (trade_country, *) AND (percentage, *)`
+
+// figure3 reproduces Figure 3: the Query 1 star schema.
+func figure3(scale float64) {
+	eng := wfbEngineWithCatalog(scale)
+	s := refinedQuery1Session(eng)
+	star, err := s.BuildCube(seda.CubeOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	ft := star.FactTable("import-trade-percentage")
+	fmt.Printf("fact table %s: %d rows, columns %v\n", ft.Name, ft.NumRows(), ft.Cols)
+	sorted, err := ft.Sort("year", "trade_country")
+	if err != nil {
+		fatal(err)
+	}
+	limit := 10
+	if sorted.NumRows() < limit {
+		limit = sorted.NumRows()
+	}
+	sample := *sorted
+	sample.Rows = sorted.Rows[:limit]
+	fmt.Println(sample.String())
+	for _, dt := range star.DimTables {
+		fmt.Printf("dimension %-16s %5d members\n", dt.Name, dt.NumRows())
+	}
+	fmt.Println("\ngenerated SQL/XML (first 3 statements):")
+	for i, stmt := range star.SQL {
+		if i >= 3 {
+			break
+		}
+		fmt.Println("  " + stmt)
+	}
+}
+
+func refinedQuery1Session(eng *seda.Engine) *seda.Session {
+	s, err := eng.NewSession(query1)
+	if err != nil {
+		fatal(err)
+	}
+	// The full Figure 6 loop: initial top-k and context summary precede
+	// the user's context selections.
+	if _, err := s.TopK(10); err != nil {
+		fatal(err)
+	}
+	s.ContextSummary()
+	check(s.RefineContexts(0, "/country/name"))
+	check(s.RefineContexts(1, "/country/economy/import_partners/item/trade_country"))
+	check(s.RefineContexts(2, "/country/economy/import_partners/item/percentage"))
+	if _, err := s.TopK(20); err != nil {
+		fatal(err)
+	}
+	conns, err := s.ConnectionSummary()
+	if err != nil {
+		fatal(err)
+	}
+	dict := eng.Collection().Dict()
+	var pick []int
+	for i, cn := range conns {
+		if cn.Kind != summary.Tree {
+			continue
+		}
+		jp := dict.Path(cn.JoinPath)
+		if (cn.TermA == 1 && cn.TermB == 2 && jp == "/country/economy/import_partners/item") ||
+			(cn.TermA == 0 && cn.TermB == 1 && jp == "/country") {
+			pick = append(pick, i)
+		}
+	}
+	check(s.ChooseConnections(pick...))
+	return s
+}
+
+// controlFlow reproduces the Figure 6 phase-latency profile on Query 1.
+func controlFlow(scale float64) {
+	eng := wfbEngineWithCatalog(scale)
+	s := refinedQuery1Session(eng)
+	if _, err := s.BuildCube(seda.CubeOptions{}); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("engine build: index=%v graph=%v dataguide=%v\n",
+		eng.BuildTimings["index"].Round(time.Millisecond),
+		eng.BuildTimings["graph"].Round(time.Millisecond),
+		eng.BuildTimings["dataguide"].Round(time.Millisecond))
+	for _, phase := range []string{"topk", "contexts", "connections", "complete", "cube"} {
+		fmt.Printf("%-12s %v\n", phase, s.Timings[phase].Round(time.Microsecond))
+	}
+}
+
+// ablations prints the A1-A4 design-choice comparisons.
+func ablations(scale float64) {
+	eng := wfbEngineWithCatalog(scale)
+
+	// A1: ranking.
+	q, err := seda.ParseQuery(`(trade_country, *) AND (percentage, *)`)
+	if err != nil {
+		fatal(err)
+	}
+	searcher := topk.New(eng.Index(), eng.Graph())
+	for _, contentOnly := range []bool{false, true} {
+		start := time.Now()
+		rs, err := searcher.Search(q, topk.Options{K: 10, ContentOnly: contentOnly})
+		if err != nil {
+			fatal(err)
+		}
+		sib := 0
+		for _, r := range rs {
+			a, b := r.Nodes[0], r.Nodes[1]
+			if a.Doc == b.Doc && len(a.Dewey) == len(b.Dewey) &&
+				a.Dewey.Prefix(len(a.Dewey)-1).String() == b.Dewey.Prefix(len(b.Dewey)-1).String() {
+				sib++
+			}
+		}
+		mode := "content x compactness"
+		if contentOnly {
+			mode = "content only        "
+		}
+		fmt.Printf("A1 ranking  %s  sibling-paired in top-10: %2d/%2d   (%v)\n",
+			mode, sib, len(rs), time.Since(start).Round(time.Microsecond))
+	}
+
+	// A3: connection cache.
+	s := refinedQuery1Session(eng)
+	rs, err := s.TopK(10)
+	if err != nil {
+		fatal(err)
+	}
+	for _, noCache := range []bool{false, true} {
+		sz := summary.NewSummarizer(eng.Dataguides(), eng.Graph())
+		sz.NoCache = noCache
+		start := time.Now()
+		for i := 0; i < 50; i++ {
+			sz.Connections(rs)
+		}
+		mode := "cache on "
+		if noCache {
+			mode = "cache off"
+		}
+		fmt.Printf("A3 conn-summary x50  %s  %v  (hits=%d misses=%d)\n",
+			mode, time.Since(start).Round(time.Microsecond), sz.CacheHits, sz.CacheMisses)
+	}
+
+	fmt.Println("A2 join and A4 probe ablations: go test -bench 'BenchmarkAblationJoin|BenchmarkAblationContextProbe'")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sedabench: %v\n", err)
+	os.Exit(1)
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package seda_test
+
+import (
+	"fmt"
+	"log"
+
+	"seda"
+)
+
+// Example walks the paper's core loop on a tiny corpus: search, inspect
+// contexts, and read the best answer.
+func Example() {
+	col := seda.NewCollection()
+	docs := []string{
+		`<country><name>Mexico</name><year>2003</year><economy><import_partners>
+			<item><trade_country>United States</trade_country><percentage>70.6%</percentage></item>
+		 </import_partners></economy></country>`,
+		`<country><name>United States</name><year>2002</year><economy><GDP>10.082T</GDP></economy></country>`,
+	}
+	for i, d := range docs {
+		if _, err := col.AddXML(fmt.Sprintf("doc%d", i), []byte(d)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng, err := seda.NewEngine(col, seda.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := eng.NewSession(`(trade_country, "United States") AND (percentage, *)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := s.TopK(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := results[0]
+	fmt.Printf("%s imports %s from %s\n",
+		"Mexico",
+		col.Content(best.Nodes[1]),
+		col.Content(best.Nodes[0]))
+	// Output: Mexico imports 70.6% from United States
+}
+
+// ExampleParseQuery shows the textual query syntax of Definition 3.
+func ExampleParseQuery() {
+	q, err := seda.ParseQuery(`(*, "United States") AND (trade_country, *) AND (percentage, *)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(q.Terms), "terms:", q.Terms[1])
+	// Output: 3 terms: (trade_country, *)
+}
+
+// ExampleParseKey shows the paper's relative XML key for the percentage
+// fact (§7).
+func ExampleParseKey() {
+	k, err := seda.ParseKey("(/country, /country/year, ../trade_country)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(k)
+	// Output: (/country, /country/year, ../trade_country)
+}
+
+// ExampleBuildDataguides summarizes a heterogeneous collection with the
+// paper's 40% overlap threshold.
+func ExampleBuildDataguides() {
+	col := seda.RecipeML(0.01) // 110 recipe/menu/grocery documents
+	dg, err := seda.BuildDataguides(col, 0.40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d documents -> %d dataguides\n", col.NumDocs(), len(dg.Guides))
+	// Output: 110 documents -> 3 dataguides
+}
+
+// ExampleDiscoverKey runs GORDIAN-style key discovery on the generated
+// World Factbook corpus.
+func ExampleDiscoverKey() {
+	col := seda.WorldFactbook(0.02)
+	k, ok := seda.DiscoverKey(col, "/country/economy/import_partners/item/percentage")
+	fmt.Println(ok, k)
+	// Output: true (/country, ../trade_country)
+}

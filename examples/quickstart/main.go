@@ -1,0 +1,69 @@
+// Quickstart: load a handful of XML documents, search them with query
+// terms, inspect the context summary, and read the top result — the
+// smallest useful slice of the SEDA workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seda"
+)
+
+var docs = []string{
+	`<country><name>United States</name><year>2002</year>
+	   <economy><GDP>10.082T</GDP></economy></country>`,
+	`<country><name>Mexico</name><year>2003</year><economy><GDP>924.4B</GDP>
+	   <import_partners>
+	     <item><trade_country>United States</trade_country><percentage>70.6%</percentage></item>
+	     <item><trade_country>Germany</trade_country><percentage>3.5%</percentage></item>
+	   </import_partners></economy></country>`,
+	`<country><name>Mexico</name><year>2005</year><economy><GDP_ppp>1.006T</GDP_ppp>
+	   <export_partners>
+	     <item><trade_country>United States</trade_country><percentage>15.3%</percentage></item>
+	   </export_partners></economy></country>`,
+}
+
+func main() {
+	// 1. Build a collection. In real use, seda.LoadXMLDir("./corpus") loads
+	// files from disk.
+	col := seda.NewCollection()
+	for i, d := range docs {
+		if _, err := col.AddXML(fmt.Sprintf("doc%d", i), []byte(d)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 2. Index it.
+	eng, err := seda.NewEngine(col, seda.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Ask a keyword-style question: where does "United States" appear
+	// next to a percentage?
+	s, err := eng.NewSession(`(*, "United States") AND (percentage, *)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := s.TopK(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dict := col.Dict()
+	fmt.Printf("top results (%d):\n", len(results))
+	for _, r := range results {
+		fmt.Printf("  score %.3f:", r.Score)
+		for i, n := range r.Nodes {
+			fmt.Printf("  [%s = %q]", dict.Path(r.Paths[i]), col.Content(n))
+		}
+		fmt.Println()
+	}
+
+	// 4. The context summary explains the ambiguity: "United States" is a
+	// country name, an import partner, and an export partner.
+	fmt.Println("\ncontexts of \"United States\":")
+	for _, e := range s.ContextSummary()[0].Entries {
+		fmt.Printf("  %-55s in %d of %d docs\n", e.PathString, e.DocFreq, col.NumDocs())
+	}
+}

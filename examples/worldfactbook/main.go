@@ -1,0 +1,113 @@
+// World Factbook: the paper's full running example (§1, Figure 3). Starting
+// from Query 1 — (*, "United States") ∧ (trade_country, *) ∧ (percentage, *)
+// — the program disambiguates contexts, chooses connections, materializes
+// the complete result set, derives the star schema with the Figure 3(b)
+// catalog, and runs OLAP aggregations including a year-by-partner pivot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seda"
+)
+
+const (
+	nameP = "/country/name"
+	tcP   = "/country/economy/import_partners/item/trade_country"
+	pcP   = "/country/economy/import_partners/item/percentage"
+)
+
+func main() {
+	// The six annual releases at 10% scale (160 documents).
+	col := seda.WorldFactbook(0.1)
+	eng, err := seda.NewEngine(col, seda.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := col.Stats()
+	fmt.Printf("corpus: %d docs, %d distinct paths, %d dataguides at 0.40\n\n",
+		st.NumDocs, st.NumPaths, len(eng.Dataguides().Guides))
+
+	// Figure 3(b): the known facts and dimensions.
+	baseKey, _ := seda.ParseKey("(/country/name, /country/year)")
+	tcKey, _ := seda.ParseKey("(/country/name, /country/year, .)")
+	pcKey, _ := seda.ParseKey("(/country/name, /country/year, ../trade_country)")
+	cat := eng.Catalog()
+	check(cat.AddDimension("country", seda.ContextEntry{Context: nameP, Key: baseKey}))
+	check(cat.AddDimension("year", seda.ContextEntry{Context: "/country/year", Key: baseKey}))
+	check(cat.AddDimension("import-country", seda.ContextEntry{Context: tcP, Key: tcKey}))
+	check(cat.AddFact("import-trade-percentage", seda.ContextEntry{Context: pcP, Key: pcKey}))
+	check(cat.AddFact("GDP",
+		seda.ContextEntry{Context: "/country/economy/GDP", Key: baseKey},
+		seda.ContextEntry{Context: "/country/economy/GDP_ppp", Key: baseKey}))
+
+	// Query 1.
+	s, err := eng.NewSession(`(*, "United States") AND (trade_country, *) AND (percentage, *)`)
+	check(err)
+	_, err = s.TopK(10)
+	check(err)
+
+	// Context summary (§5): count the ways the terms combine.
+	ctxs := s.ContextSummary()
+	combos := 1
+	for ti, b := range ctxs {
+		fmt.Printf("term %d %s has %d context(s)\n", ti, b.Term, len(b.Entries))
+		combos *= len(b.Entries)
+	}
+	fmt.Printf("=> %d ways of combining these nodes before refinement\n\n", combos)
+
+	// The user picks the import interpretation.
+	check(s.RefineContexts(0, nameP))
+	check(s.RefineContexts(1, tcP))
+	check(s.RefineContexts(2, pcP))
+	_, err = s.TopK(20)
+	check(err)
+
+	// Connection summary (§6): same-item vs cross-item.
+	conns, err := s.ConnectionSummary()
+	check(err)
+	dict := col.Dict()
+	fmt.Println("proposed connections:")
+	var pick []int
+	for i, cn := range conns {
+		fmt.Printf("  %d. t%d~t%d %s (support %d, false-positive %v)\n",
+			i, cn.TermA, cn.TermB, cn.Describe(dict), cn.Support, cn.FalsePositive)
+		jp := dict.Path(cn.JoinPath)
+		if (cn.TermA == 1 && cn.TermB == 2 && jp == "/country/economy/import_partners/item") ||
+			(cn.TermA == 0 && cn.TermB == 1 && jp == "/country") {
+			pick = append(pick, i)
+		}
+	}
+	check(s.ChooseConnections(pick...))
+
+	// Complete results and the star schema (§7, Figure 3c).
+	tuples, err := s.CompleteResults()
+	check(err)
+	fmt.Printf("\ncomplete result set R(q): %d tuples\n", len(tuples))
+	star, err := s.BuildCube(seda.CubeOptions{})
+	check(err)
+	ft := star.FactTable("import-trade-percentage")
+	fmt.Printf("fact table: %d rows, columns %v\n", ft.NumRows(), ft.Cols)
+	for _, dt := range star.DimTables {
+		fmt.Printf("dimension %-15s %3d members\n", dt.Name, dt.NumRows())
+	}
+
+	// OLAP (§7's final hand-off): SUM of import percentages by partner,
+	// then the year x partner pivot.
+	cube, err := eng.Analyze(star, "import-trade-percentage", []string{"name", "year", "trade_country"})
+	check(err)
+	byPartner, err := cube.Aggregate([]string{"trade_country"}, seda.Sum)
+	check(err)
+	fmt.Println()
+	fmt.Println(byPartner.String())
+	pivot, err := cube.Pivot("trade_country", "year", seda.Sum)
+	check(err)
+	fmt.Println(pivot)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,334 @@
+// Package core assembles SEDA's execution engine (paper §4, Figures 4 and
+// 6): the top-k search unit, context and connection summary generators,
+// complete result set generator, and data cube processor, wired over the
+// storage and indexing component.
+//
+// An Engine owns the per-collection state (indexes, data graph, dataguide
+// summary, fact/dimension catalog). A Session owns one exploration: the
+// Figure 6 loop of query → top-k → summaries → refinement → complete
+// results → cube.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"seda/internal/cube"
+	"seda/internal/dataguide"
+	"seda/internal/graph"
+	"seda/internal/index"
+	"seda/internal/olap"
+	"seda/internal/query"
+	"seda/internal/rel"
+	"seda/internal/store"
+	"seda/internal/summary"
+	"seda/internal/topk"
+	"seda/internal/twig"
+)
+
+// ValueLink declares a value-based (PK/FK) relationship to materialize in
+// the data graph — the paper assumes these "are provided as input into the
+// system".
+type ValueLink struct {
+	FromPath, ToPath, Label string
+}
+
+// Config tunes engine construction. The zero value gives the paper's
+// defaults.
+type Config struct {
+	// DataguideThreshold is the overlap merge threshold (default 0.40, the
+	// paper's Table 1 setting).
+	DataguideThreshold float64
+	// Discover configures ID/IDREF/XLink attribute names.
+	Discover graph.DiscoverOptions
+	// ValueLinks are value-based edges to add before summarization.
+	ValueLinks []ValueLink
+	// SkipDataguides skips summary construction (for benchmarks that only
+	// need search).
+	SkipDataguides bool
+}
+
+// Engine is the per-collection SEDA runtime.
+type Engine struct {
+	col      *store.Collection
+	ix       *index.Index
+	g        *graph.Graph
+	dg       *dataguide.Set
+	searcher *topk.Searcher
+	summz    *summary.Summarizer
+	eval     *twig.Evaluator
+	catalog  *cube.Catalog
+	builder  *cube.Builder
+	entities *summary.EntityRegistry
+
+	// BuildTimings records how long each construction phase took.
+	BuildTimings map[string]time.Duration
+}
+
+// NewEngine indexes the collection and precomputes the dataguide summary
+// (§6.1: "The dataguide summary is precomputed on the entire data graph").
+func NewEngine(col *store.Collection, cfg Config) (*Engine, error) {
+	if col == nil || col.NumDocs() == 0 {
+		return nil, fmt.Errorf("core: empty collection")
+	}
+	if cfg.DataguideThreshold == 0 {
+		cfg.DataguideThreshold = 0.40
+	}
+	e := &Engine{col: col, BuildTimings: make(map[string]time.Duration)}
+
+	t0 := time.Now()
+	e.ix = index.Build(col)
+	e.BuildTimings["index"] = time.Since(t0)
+
+	t0 = time.Now()
+	e.g = graph.New(col)
+	e.g.DiscoverLinks(cfg.Discover)
+	for _, vl := range cfg.ValueLinks {
+		e.g.AddValueLinks(vl.FromPath, vl.ToPath, vl.Label)
+	}
+	e.BuildTimings["graph"] = time.Since(t0)
+
+	if !cfg.SkipDataguides {
+		t0 = time.Now()
+		dg, err := dataguide.BuildWithGraph(col, e.g, cfg.DataguideThreshold)
+		if err != nil {
+			return nil, err
+		}
+		e.dg = dg
+		e.BuildTimings["dataguide"] = time.Since(t0)
+		e.summz = summary.NewSummarizer(dg, e.g)
+	}
+
+	e.searcher = topk.New(e.ix, e.g)
+	e.eval = twig.New(e.ix, e.g)
+	e.catalog = cube.NewCatalog()
+	e.builder = cube.NewBuilder(col, e.catalog)
+	e.entities = summary.NewEntityRegistry()
+	return e, nil
+}
+
+// Collection returns the engine's collection.
+func (e *Engine) Collection() *store.Collection { return e.col }
+
+// Index returns the full-text indexes.
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// Graph returns the data graph overlay.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Dataguides returns the dataguide summary (nil when skipped).
+func (e *Engine) Dataguides() *dataguide.Set { return e.dg }
+
+// Catalog returns the fact/dimension catalog.
+func (e *Engine) Catalog() *cube.Catalog { return e.catalog }
+
+// Summarizer returns the connection summarizer (nil when dataguides were
+// skipped).
+func (e *Engine) Summarizer() *summary.Summarizer { return e.summz }
+
+// Entities returns the registry of real-world entity labels shown in
+// context summaries (§5's context abstraction).
+func (e *Engine) Entities() *summary.EntityRegistry { return e.entities }
+
+// Analyze wraps a star schema's fact table as an OLAP cube (§7's final
+// hand-off: "we feed these tables into an OLAP-tool").
+func (e *Engine) Analyze(star *cube.Star, measure string, dims []string) (*olap.Cube, error) {
+	ft := star.FactTable(measure)
+	if ft == nil {
+		return nil, fmt.Errorf("core: star schema has no measure %q", measure)
+	}
+	return olap.New(ft, dims, measure)
+}
+
+// Aggregate is a convenience running one aggregation over a star's measure.
+func (e *Engine) Aggregate(star *cube.Star, measure string, groupBy []string, fn rel.AggFn) (*rel.Table, error) {
+	ft := star.FactTable(measure)
+	if ft == nil {
+		return nil, fmt.Errorf("core: star schema has no measure %q", measure)
+	}
+	return ft.GroupBy(groupBy, []rel.AggSpec{{Fn: fn, Col: measure}})
+}
+
+// Session is one Figure 6 exploration loop.
+type Session struct {
+	eng   *Engine
+	query query.Query
+
+	topK        []topk.Result
+	contexts    []summary.ContextBucket
+	connections []summary.Connection
+	chosen      []summary.Connection
+	complete    []twig.Tuple
+
+	// Timings records the latency of each control-flow phase for the E3
+	// experiment.
+	Timings map[string]time.Duration
+}
+
+// NewSession parses the query and starts an exploration.
+func (e *Engine) NewSession(q string) (*Session, error) {
+	parsed, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{eng: e, query: parsed, Timings: make(map[string]time.Duration)}, nil
+}
+
+// NewSessionFromQuery starts an exploration from an already-built query.
+func (e *Engine) NewSessionFromQuery(q query.Query) *Session {
+	return &Session{eng: e, query: q, Timings: make(map[string]time.Duration)}
+}
+
+// Query returns the session's current (possibly refined) query.
+func (s *Session) Query() query.Query { return s.query }
+
+// TopK runs the top-k search unit and caches the results.
+func (s *Session) TopK(k int) ([]topk.Result, error) {
+	t0 := time.Now()
+	rs, err := s.eng.searcher.Search(s.query, topk.Options{K: k})
+	if err != nil {
+		return nil, err
+	}
+	s.Timings["topk"] += time.Since(t0)
+	s.topK = rs
+	// Top-k changed: downstream summaries are stale.
+	s.connections = nil
+	s.complete = nil
+	return rs, nil
+}
+
+// ContextSummary computes the per-term context buckets (§5), annotated
+// with entity labels from the engine's registry.
+func (s *Session) ContextSummary() []summary.ContextBucket {
+	t0 := time.Now()
+	s.contexts = summary.Contexts(s.eng.ix, s.query)
+	s.eng.entities.Annotate(s.contexts)
+	s.Timings["contexts"] += time.Since(t0)
+	return s.contexts
+}
+
+// RefineContexts restricts a term to the chosen context paths and clears
+// stale downstream state; the caller re-runs TopK (the Figure 6 feedback
+// loop).
+func (s *Session) RefineContexts(term int, paths ...string) error {
+	if term < 0 || term >= len(s.query.Terms) {
+		return fmt.Errorf("core: term %d out of range", term)
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("core: select at least one context path")
+	}
+	s.query.Terms[term] = s.query.Terms[term].RestrictTo(paths...)
+	s.topK = nil
+	s.connections = nil
+	s.chosen = nil
+	s.complete = nil
+	return nil
+}
+
+// ConnectionSummary derives the candidate connections from the current
+// top-k results (§6). TopK must have run.
+func (s *Session) ConnectionSummary() ([]summary.Connection, error) {
+	if s.eng.summz == nil {
+		return nil, fmt.Errorf("core: engine built without dataguides")
+	}
+	if s.topK == nil {
+		return nil, fmt.Errorf("core: run TopK before the connection summary")
+	}
+	t0 := time.Now()
+	s.connections = s.eng.summz.Connections(s.topK)
+	s.Timings["connections"] += time.Since(t0)
+	return s.connections, nil
+}
+
+// ChooseConnections fixes the user's connection selections (indexes into
+// the last ConnectionSummary).
+func (s *Session) ChooseConnections(idx ...int) error {
+	if s.connections == nil {
+		return fmt.Errorf("core: no connection summary computed")
+	}
+	var chosen []summary.Connection
+	for _, i := range idx {
+		if i < 0 || i >= len(s.connections) {
+			return fmt.Errorf("core: connection %d out of range", i)
+		}
+		chosen = append(chosen, s.connections[i])
+	}
+	s.chosen = chosen
+	s.complete = nil
+	return nil
+}
+
+// ChooseConnectionValues fixes explicit connections (for programmatic
+// callers that construct them directly).
+func (s *Session) ChooseConnectionValues(conns ...summary.Connection) {
+	s.chosen = conns
+	s.complete = nil
+}
+
+// ConnectionsDOT renders the last connection summary as a Graphviz
+// digraph (the §6 "visual graph representation").
+func (s *Session) ConnectionsDOT() (string, error) {
+	if s.connections == nil {
+		return "", fmt.Errorf("core: no connection summary computed")
+	}
+	return summary.ExportDOT(s.eng.col.Dict(), s.connections), nil
+}
+
+// ResultTable renders the complete result set in the shape of the paper's
+// Figure 3(a): per query term a node-id column and a path column.
+func (s *Session) ResultTable() (*rel.Table, error) {
+	tuples, err := s.CompleteResults()
+	if err != nil {
+		return nil, err
+	}
+	m := len(s.query.Terms)
+	cols := make([]string, 0, 2*m)
+	for i := 0; i < m; i++ {
+		cols = append(cols, fmt.Sprintf("nodeid%d", i+1), fmt.Sprintf("path%d", i+1))
+	}
+	t := rel.NewTable("R(q)", cols...)
+	dict := s.eng.col.Dict()
+	for _, tp := range tuples {
+		row := make([]rel.Value, 0, 2*m)
+		for i := 0; i < m; i++ {
+			row = append(row, rel.S(tp.Nodes[i].String()), rel.S(dict.Path(tp.Paths[i])))
+		}
+		t.Insert(row...)
+	}
+	return t, nil
+}
+
+// CompleteResults materializes the full result set R(q) under the chosen
+// contexts and connections (§7).
+func (s *Session) CompleteResults() ([]twig.Tuple, error) {
+	if s.complete != nil {
+		return s.complete, nil
+	}
+	if len(s.query.Terms) > 1 && len(s.chosen) == 0 {
+		return nil, fmt.Errorf("core: choose connections before computing complete results")
+	}
+	t0 := time.Now()
+	tuples, err := s.eng.eval.ComputeAll(twig.Plan{Terms: s.query.Terms, Connections: s.chosen})
+	if err != nil {
+		return nil, err
+	}
+	s.Timings["complete"] += time.Since(t0)
+	s.complete = tuples
+	return tuples, nil
+}
+
+// BuildCube runs the §7 matching/augmentation/extraction pipeline over the
+// complete results.
+func (s *Session) BuildCube(opts cube.Options) (*cube.Star, error) {
+	tuples, err := s.CompleteResults()
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	star, err := s.eng.builder.Build(tuples, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.Timings["cube"] += time.Since(t0)
+	return star, nil
+}

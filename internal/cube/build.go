@@ -1,0 +1,573 @@
+package cube
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seda/internal/keys"
+	"seda/internal/rel"
+	"seda/internal/store"
+	"seda/internal/twig"
+	"seda/internal/xmldoc"
+)
+
+// MatchKind classifies how a result column relates to a definition (§7
+// Step 1).
+type MatchKind uint8
+
+// Match kinds.
+const (
+	// FullMatch: every path of the column is covered by the definition's
+	// ContextList.
+	FullMatch MatchKind = iota
+	// PartialMatch: some but not all paths intersect — SEDA "issues a
+	// warning message to the user".
+	PartialMatch
+)
+
+// ColumnMatch reports one (column, definition) association.
+type ColumnMatch struct {
+	Column int
+	Def    *Def
+	Kind   MatchKind
+}
+
+// Builder runs the three-step cube construction against one collection and
+// catalog.
+type Builder struct {
+	col *store.Collection
+	cat *Catalog
+}
+
+// NewBuilder returns a Builder.
+func NewBuilder(col *store.Collection, cat *Catalog) *Builder {
+	return &Builder{col: col, cat: cat}
+}
+
+// NewDef describes a user-defined fact or dimension created from an
+// unmatched result column (§7 Step 1: "the user has the option of defining
+// a new dimension or a fact from that column ... The system automatically
+// verifies the keys").
+type NewDef struct {
+	Name   string
+	Column int
+	IsFact bool
+	// Key is the relative key spec for every path of the column, e.g.
+	// "(/country, /country/year, ../trade_country)".
+	Key string
+}
+
+// Options steers Step 2's manual augmentation.
+type Options struct {
+	// AddFacts/AddDimensions name catalog definitions to include even if
+	// unmatched (f ∈ Ffinal ∧ f ∉ Fq).
+	AddFacts      []string
+	AddDimensions []string
+	// RemoveFacts/RemoveDimensions drop matched definitions.
+	RemoveFacts      []string
+	RemoveDimensions []string
+	// Define creates new definitions from columns before matching.
+	Define []NewDef
+}
+
+// Star is the generated star schema: fact tables (merged when they share
+// key columns) plus one dimension table per dimension, and the SQL/XML
+// statements that would materialize them in the paper's DB2 setting.
+type Star struct {
+	Matches    []ColumnMatch
+	FactTables []*rel.Table
+	DimTables  []*rel.Table
+	SQL        []string
+	Warnings   []string
+}
+
+// FactTable returns the fact table containing the named measure column.
+func (s *Star) FactTable(measure string) *rel.Table {
+	for _, t := range s.FactTables {
+		if t.ColIndex(measure) >= 0 {
+			return t
+		}
+	}
+	return nil
+}
+
+// DimTable returns the dimension table by name.
+func (s *Star) DimTable(name string) *rel.Table {
+	for _, t := range s.DimTables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Build runs matching, augmentation and extraction over the complete
+// result set (Figure 3's pipeline).
+func (b *Builder) Build(tuples []twig.Tuple, opts Options) (*Star, error) {
+	if len(tuples) == 0 {
+		return nil, fmt.Errorf("cube: empty result set")
+	}
+	star := &Star{}
+	m := len(tuples[0].Nodes)
+	dict := b.col.Dict()
+
+	// Column path sets.
+	colPaths := make([]map[string]struct{}, m)
+	for i := 0; i < m; i++ {
+		colPaths[i] = make(map[string]struct{})
+	}
+	for _, t := range tuples {
+		for i, p := range t.Paths {
+			colPaths[i][dict.Path(p)] = struct{}{}
+		}
+	}
+
+	// User-defined facts/dimensions first (they participate in matching).
+	for _, nd := range opts.Define {
+		if err := b.defineNew(nd, colPaths, tuples); err != nil {
+			return nil, err
+		}
+	}
+
+	// Step 1: matching. π_cp(R) ⊆ π_context(def.ContextList) is a full
+	// match; a non-empty intersection short of that is partial.
+	facts := make(map[string]int) // def name -> matched column
+	dims := make(map[string]int)
+	matchedCols := make(map[int]bool)
+	for i := 0; i < m; i++ {
+		for _, def := range append(b.cat.Facts(), b.cat.Dimensions()...) {
+			covered, intersects := 0, 0
+			for p := range colPaths[i] {
+				if def.HasContext(p) {
+					covered++
+					intersects++
+				}
+			}
+			if intersects == 0 {
+				continue
+			}
+			kind := FullMatch
+			if covered < len(colPaths[i]) {
+				kind = PartialMatch
+				star.Warnings = append(star.Warnings, fmt.Sprintf(
+					"cube: column %d only partially matches %s %q; verify the chosen context list",
+					i, defKindName(def), def.Name))
+			}
+			star.Matches = append(star.Matches, ColumnMatch{Column: i, Def: def, Kind: kind})
+			if kind == FullMatch {
+				if def.IsFact {
+					facts[def.Name] = i
+				} else {
+					dims[def.Name] = i
+				}
+				matchedCols[i] = true
+			}
+		}
+		if !matchedCols[i] {
+			star.Warnings = append(star.Warnings, fmt.Sprintf(
+				"cube: column %d (%s) matches no known fact or dimension; it is ignored unless defined",
+				i, strings.Join(sortedKeys(colPaths[i]), "|")))
+		}
+	}
+
+	// Step 2: manual augmentation.
+	for _, name := range opts.RemoveFacts {
+		delete(facts, name)
+	}
+	for _, name := range opts.RemoveDimensions {
+		delete(dims, name)
+	}
+	for _, name := range opts.AddFacts {
+		def := b.cat.Lookup(name)
+		if def == nil || !def.IsFact {
+			return nil, fmt.Errorf("cube: AddFacts: unknown fact %q", name)
+		}
+		if _, ok := facts[name]; !ok {
+			facts[name] = -1 // not bound to a column; located via context
+		}
+	}
+	for _, name := range opts.AddDimensions {
+		def := b.cat.Lookup(name)
+		if def == nil || def.IsFact {
+			return nil, fmt.Errorf("cube: AddDimensions: unknown dimension %q", name)
+		}
+		if _, ok := dims[name]; !ok {
+			dims[name] = -1
+		}
+	}
+	if len(facts) == 0 {
+		return nil, fmt.Errorf("cube: no fact matched or selected; a star schema needs at least one measure")
+	}
+
+	// Step 3: extraction.
+	if err := b.extract(star, tuples, facts, dims); err != nil {
+		return nil, err
+	}
+	return star, nil
+}
+
+func (b *Builder) defineNew(nd NewDef, colPaths []map[string]struct{}, tuples []twig.Tuple) error {
+	if nd.Column < 0 || nd.Column >= len(colPaths) {
+		return fmt.Errorf("cube: define %q: column %d out of range", nd.Name, nd.Column)
+	}
+	k, err := keys.Parse(nd.Key)
+	if err != nil {
+		return fmt.Errorf("cube: define %q: %w", nd.Name, err)
+	}
+	// Verify key uniqueness over the column's nodes (§7 Step 1).
+	var refs []xmldoc.NodeRef
+	for _, t := range tuples {
+		refs = append(refs, t.Nodes[nd.Column])
+	}
+	refs = dedupRefs(refs)
+	if vs := keys.Verify(b.col, k, refs); len(vs) > 0 {
+		return fmt.Errorf("cube: define %q: key %s not unique: %s", nd.Name, k, vs[0])
+	}
+	var entries []ContextEntry
+	for p := range colPaths[nd.Column] {
+		entries = append(entries, ContextEntry{Context: p, Key: k})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Context < entries[j].Context })
+	if nd.IsFact {
+		return b.cat.AddFact(nd.Name, entries...)
+	}
+	return b.cat.AddDimension(nd.Name, entries...)
+}
+
+// extract builds fact and dimension tables. Each fact table carries the
+// fact's key components as columns plus the measure; fact tables with
+// identical key column sets merge ("As an optimization, we merge fact
+// tables if they have the same keys"). Every key component whose absolute
+// path matches a catalog dimension pulls that dimension in (the paper's
+// automatic year augmentation), and each dimension yields a table of its
+// distinct members.
+func (b *Builder) extract(star *Star, tuples []twig.Tuple, facts, dims map[string]int) error {
+	dict := b.col.Dict()
+
+	type factCols struct {
+		def      *Def
+		col      int
+		keyNames []string
+		rows     [][]rel.Value // key values + measure
+	}
+	var built []*factCols
+	dimMembers := make(map[string]map[string]struct{}) // dim name -> member set
+
+	noteDim := func(name, member string) {
+		set, ok := dimMembers[name]
+		if !ok {
+			set = make(map[string]struct{})
+			dimMembers[name] = set
+		}
+		set[member] = struct{}{}
+	}
+
+	factNames := sortedKeysInt(facts)
+	for _, fname := range factNames {
+		def := b.cat.Lookup(fname)
+		colIdx := facts[fname]
+		fc := &factCols{def: def, col: colIdx}
+		seenRow := make(map[string]struct{})
+		for _, t := range tuples {
+			node, entry, err := b.locateFactNode(def, t, colIdx)
+			if err != nil {
+				star.Warnings = append(star.Warnings, err.Error())
+				continue
+			}
+			kv, err := keys.Evaluate(b.col, entry.Key, node)
+			if err != nil {
+				star.Warnings = append(star.Warnings, fmt.Sprintf("cube: fact %q: %v", fname, err))
+				continue
+			}
+			if fc.keyNames == nil {
+				fc.keyNames = componentNames(entry, dict.Path(b.col.PathOf(node)))
+			}
+			row := make([]rel.Value, 0, len(kv)+1)
+			for _, v := range kv {
+				row = append(row, rel.S(v))
+			}
+			measure := strings.TrimSpace(b.col.Content(node))
+			row = append(row, rel.ParseNumeric(measure))
+			rk := rowSig(row)
+			if _, dup := seenRow[rk]; dup {
+				continue
+			}
+			seenRow[rk] = struct{}{}
+			fc.rows = append(fc.rows, row)
+			// Auto-augment dimensions for key components with dimension
+			// definitions (the year example), and collect members.
+			for ci, comp := range entry.Key.Components {
+				if !comp.Absolute {
+					continue
+				}
+				for _, dd := range b.cat.DefsForContext(comp.String()) {
+					if !dd.IsFact {
+						if _, present := dims[dd.Name]; !present {
+							dims[dd.Name] = -1
+							star.Warnings = append(star.Warnings, fmt.Sprintf(
+								"cube: added dimension %q for key column %s of fact %q", dd.Name, comp, fname))
+						}
+						noteDim(dd.Name, kv[ci])
+					}
+				}
+			}
+		}
+		if len(fc.rows) == 0 {
+			return fmt.Errorf("cube: fact %q produced no rows", fname)
+		}
+		// Primary-key check (§7: without the year column "the fact table
+		// would not have a primary key, preventing users from computing
+		// meaningful aggregates"). Duplicate key tuples are tolerated when
+		// the whole row is identical (deduplicated above); distinct
+		// measures under one key are a modeling problem worth a warning.
+		seenKeys := make(map[string]rel.Value, len(fc.rows))
+		for _, r := range fc.rows {
+			nk := len(r) - 1
+			sig := rowSig(r[:nk])
+			if prev, dup := seenKeys[sig]; dup && prev.Key() != r[nk].Key() {
+				star.Warnings = append(star.Warnings, fmt.Sprintf(
+					"cube: fact %q has no primary key: key %v maps to measures %s and %s",
+					fname, r[:nk], prev, r[nk]))
+			}
+			seenKeys[sig] = r[nk]
+		}
+		built = append(built, fc)
+	}
+
+	// Dimension members from matched columns.
+	for dname, colIdx := range dims {
+		if colIdx >= 0 {
+			for _, t := range tuples {
+				noteDim(dname, strings.TrimSpace(b.col.Content(t.Nodes[colIdx])))
+			}
+		}
+	}
+	// Extra dimensions added by the user without a column: locate members
+	// via context paths across the documents of the result.
+	for dname, colIdx := range dims {
+		if colIdx >= 0 {
+			continue
+		}
+		if _, have := dimMembers[dname]; have {
+			continue // filled during fact extraction (year case)
+		}
+		def := b.cat.Lookup(dname)
+		docs := docsOf(tuples)
+		for _, docID := range docs {
+			doc := b.col.Doc(docID)
+			for _, entry := range def.Contexts {
+				p := dict.LookupPath(entry.Context)
+				if p == 0 {
+					continue
+				}
+				doc.Walk(func(n *xmldoc.Node) bool {
+					if n.Path == p {
+						noteDim(dname, strings.TrimSpace(n.Content()))
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Merge fact tables sharing identical key column sets.
+	merged := make(map[string]*rel.Table)
+	var order []string
+	for _, fc := range built {
+		sig := strings.Join(fc.keyNames, "\x1f")
+		t, ok := merged[sig]
+		if !ok {
+			cols := append(append([]string{}, fc.keyNames...), fc.def.Name)
+			t = rel.NewTable("fact_"+fc.def.Name, cols...)
+			merged[sig] = t
+			order = append(order, sig)
+			for _, r := range fc.rows {
+				t.Insert(r...)
+			}
+			continue
+		}
+		// Same keys: extend the table with a new measure column, matching
+		// rows on the key columns; unmatched rows on either side keep NULL
+		// for the missing measure.
+		nk := len(fc.keyNames)
+		byKey := make(map[string]rel.Value, len(fc.rows))
+		for _, r := range fc.rows {
+			byKey[rowSig(r[:nk])] = r[nk]
+		}
+		ext := rel.NewTable(t.Name+"_"+fc.def.Name, append(append([]string{}, t.Cols...), fc.def.Name)...)
+		matched := make(map[string]bool, len(fc.rows))
+		for _, r := range t.Rows {
+			k := rowSig(r[:nk])
+			v, ok := byKey[k]
+			if !ok {
+				v = rel.Null()
+			} else {
+				matched[k] = true
+			}
+			ext.Insert(append(append([]rel.Value{}, r...), v)...)
+		}
+		for _, r := range fc.rows {
+			k := rowSig(r[:nk])
+			if matched[k] {
+				continue
+			}
+			row := append([]rel.Value{}, r[:nk]...)
+			for i := nk; i < len(t.Cols); i++ {
+				row = append(row, rel.Null())
+			}
+			row = append(row, r[nk])
+			ext.Insert(row...)
+		}
+		merged[sig] = ext
+	}
+	for _, sig := range order {
+		star.FactTables = append(star.FactTables, merged[sig])
+	}
+
+	// Dimension tables: distinct sorted members.
+	var dimNames []string
+	for d := range dimMembers {
+		dimNames = append(dimNames, d)
+	}
+	sort.Strings(dimNames)
+	for _, d := range dimNames {
+		t := rel.NewTable(d, d)
+		for _, mem := range sortedKeys(dimMembers[d]) {
+			t.Insert(rel.S(mem))
+		}
+		star.DimTables = append(star.DimTables, t)
+	}
+
+	var factDefs []*Def
+	for _, fc := range built {
+		factDefs = append(factDefs, fc.def)
+	}
+	star.SQL = b.generateSQL(star, factDefs, dims)
+	return nil
+}
+
+// locateFactNode resolves the node carrying the fact value for one tuple:
+// the matched column's node, or — for user-added facts with no column — the
+// context-path node within the tuple's document ("we also need to access
+// the XML document to first locate the correct node").
+func (b *Builder) locateFactNode(def *Def, t twig.Tuple, colIdx int) (xmldoc.NodeRef, ContextEntry, error) {
+	dict := b.col.Dict()
+	if colIdx >= 0 {
+		node := t.Nodes[colIdx]
+		entry, ok := def.EntryFor(dict.Path(t.Paths[colIdx]))
+		if !ok {
+			return xmldoc.NodeRef{}, ContextEntry{}, fmt.Errorf(
+				"cube: fact %q has no context for path %s", def.Name, dict.Path(t.Paths[colIdx]))
+		}
+		return node, entry, nil
+	}
+	docID := t.Nodes[0].Doc
+	doc := b.col.Doc(docID)
+	for _, entry := range def.Contexts {
+		p := dict.LookupPath(entry.Context)
+		if p == 0 {
+			continue
+		}
+		var found *xmldoc.Node
+		doc.Walk(func(n *xmldoc.Node) bool {
+			if found == nil && n.Path == p {
+				found = n
+			}
+			return found == nil
+		})
+		if found != nil {
+			return store.RefOf(doc, found), entry, nil
+		}
+	}
+	return xmldoc.NodeRef{}, ContextEntry{}, fmt.Errorf(
+		"cube: fact %q: no node found in document %d for any context", def.Name, docID)
+}
+
+func sortedKeys(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysInt(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func dedupRefs(refs []xmldoc.NodeRef) []xmldoc.NodeRef {
+	seen := make(map[string]struct{}, len(refs))
+	out := refs[:0]
+	for _, r := range refs {
+		k := r.String()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+func docsOf(tuples []twig.Tuple) []xmldoc.DocID {
+	seen := make(map[xmldoc.DocID]struct{})
+	var out []xmldoc.DocID
+	for _, t := range tuples {
+		for _, n := range t.Nodes {
+			if _, dup := seen[n.Doc]; !dup {
+				seen[n.Doc] = struct{}{}
+				out = append(out, n.Doc)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func rowSig(row []rel.Value) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.Key()
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+func defKindName(d *Def) string {
+	if d.IsFact {
+		return "fact"
+	}
+	return "dimension"
+}
+
+// componentNames derives fact-table column names from key components:
+// "/country/year" → "year", "../trade_country" → "trade_country",
+// "." → the context's leaf name. Duplicates get positional suffixes.
+func componentNames(entry ContextEntry, contextPath string) []string {
+	names := make([]string, 0, len(entry.Key.Components))
+	used := make(map[string]int)
+	for _, comp := range entry.Key.Components {
+		var n string
+		switch {
+		case comp.IsSelf():
+			parts := strings.Split(contextPath, "/")
+			n = parts[len(parts)-1]
+		case len(comp.Steps) > 0:
+			n = comp.Steps[len(comp.Steps)-1]
+		default:
+			n = "key"
+		}
+		used[n]++
+		if used[n] > 1 {
+			n = fmt.Sprintf("%s_%d", n, used[n])
+		}
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,149 @@
+// Package cube implements SEDA's data cube construction (paper §7): the
+// catalog of known facts F and dimensions D, the three-step pipeline that
+// turns a complete query result R(q) into a star schema — (1) matching
+// result columns to facts/dimensions, (2) augmenting the result with key
+// columns, (3) extracting values into fact and dimension tables — and the
+// SQL/XML statements the paper's Step 3 would run against DB2.
+//
+// "The set of facts F is defined as a nested relation with the schema
+// <name, ContextList>, where ContextList has the schema <context, key>...
+// The reason why ContextList is a relation is because the underlying data
+// collection may be heterogeneous" — e.g. the GDP fact is defined by both
+// /country/economy/GDP and /country/economy/GDP_ppp after the 2005 schema
+// evolution.
+package cube
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seda/internal/keys"
+)
+
+// ContextEntry is one row of a definition's ContextList: a context path and
+// the relative key for nodes in that context.
+type ContextEntry struct {
+	Context string // root-to-leaf path string, e.g. "/country/economy/GDP"
+	Key     keys.Key
+}
+
+// Def is a fact or dimension definition.
+type Def struct {
+	Name     string
+	IsFact   bool
+	Contexts []ContextEntry
+}
+
+// HasContext reports whether the definition covers the given path.
+func (d *Def) HasContext(path string) bool {
+	for _, c := range d.Contexts {
+		if c.Context == path {
+			return true
+		}
+	}
+	return false
+}
+
+// EntryFor returns the ContextEntry covering path, if any.
+func (d *Def) EntryFor(path string) (ContextEntry, bool) {
+	for _, c := range d.Contexts {
+		if c.Context == path {
+			return c, true
+		}
+	}
+	return ContextEntry{}, false
+}
+
+// String renders the definition in the shape of the paper's Figure 3(b).
+func (d *Def) String() string {
+	kind := "dimension"
+	if d.IsFact {
+		kind = "fact"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s:", kind, d.Name)
+	for _, c := range d.Contexts {
+		fmt.Fprintf(&b, " [%s key=%s]", c.Context, c.Key)
+	}
+	return b.String()
+}
+
+// Catalog holds the known facts and dimensions. It is "initially provided
+// by a system administrator and expanded by users during query
+// processing".
+type Catalog struct {
+	defs map[string]*Def
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{defs: make(map[string]*Def)} }
+
+// AddFact registers a fact definition.
+func (c *Catalog) AddFact(name string, entries ...ContextEntry) error {
+	return c.add(name, true, entries)
+}
+
+// AddDimension registers a dimension definition.
+func (c *Catalog) AddDimension(name string, entries ...ContextEntry) error {
+	return c.add(name, false, entries)
+}
+
+func (c *Catalog) add(name string, isFact bool, entries []ContextEntry) error {
+	if name == "" {
+		return fmt.Errorf("cube: empty definition name")
+	}
+	if _, dup := c.defs[name]; dup {
+		return fmt.Errorf("cube: definition %q already exists", name)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("cube: definition %q needs at least one context", name)
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Context, "/") {
+			return fmt.Errorf("cube: definition %q context %q must be a root-to-leaf path", name, e.Context)
+		}
+		if e.Key.IsZero() {
+			return fmt.Errorf("cube: definition %q context %q needs a key (SEDA requires keys for meaningful aggregates)", name, e.Context)
+		}
+	}
+	c.defs[name] = &Def{Name: name, IsFact: isFact, Contexts: entries}
+	return nil
+}
+
+// Lookup returns the named definition, or nil.
+func (c *Catalog) Lookup(name string) *Def { return c.defs[name] }
+
+// Remove deletes a definition by name.
+func (c *Catalog) Remove(name string) { delete(c.defs, name) }
+
+// Facts returns all fact definitions sorted by name.
+func (c *Catalog) Facts() []*Def { return c.list(true) }
+
+// Dimensions returns all dimension definitions sorted by name.
+func (c *Catalog) Dimensions() []*Def { return c.list(false) }
+
+func (c *Catalog) list(isFact bool) []*Def {
+	var out []*Def
+	for _, d := range c.defs {
+		if d.IsFact == isFact {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DefsForContext returns the definitions whose ContextList covers the path,
+// used when augmenting key columns with known dimensions (the paper's year
+// example).
+func (c *Catalog) DefsForContext(path string) []*Def {
+	var out []*Def
+	for _, d := range c.defs {
+		if d.HasContext(path) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

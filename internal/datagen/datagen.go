@@ -1,0 +1,101 @@
+// Package datagen synthesizes the four corpora of the paper's evaluation
+// (Table 1 and the §1/§5/§6 examples): World Factbook (six annual
+// releases, 1600 documents), Mondial (5563 entity documents with IDREF
+// links), a Google Base snapshot (10000 flat items in 88 types), and
+// RecipeML (10988 recipes in 3 structural families).
+//
+// The real corpora are not redistributable (CIA Factbook snapshots, Google
+// Base is defunct), so the generators reproduce the *structural statistics*
+// the paper reports — document counts, distinct-path counts, dataguide
+// counts at the 40% overlap threshold, per-path document frequencies, and
+// the keyword-in-context counts of the running example — rather than the
+// content. Every generator is deterministic: the same scale always yields
+// byte-identical collections.
+package datagen
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// hashN returns a deterministic pseudo-random uint64 from the parts. The
+// FNV digest is passed through a splitmix64 finalizer: raw FNV of short
+// strings differing in one trailing digit is far from equidistributed
+// modulo small composite moduli, which would skew every pick below.
+func hashN(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pick returns value in [0, n) derived from the hash of parts.
+func pick(n int, parts ...string) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(hashN(parts...) % uint64(n))
+}
+
+// chance returns true with probability pct/100, deterministically.
+func chance(pct int, parts ...string) bool {
+	return pick(100, parts...) < pct
+}
+
+// countryNames lists the synthetic country universe. The running example's
+// real names come first so the paper's queries work verbatim; the rest are
+// synthetic. Only the United States name contains the tokens "united" and
+// "states", keeping the §1 path-count experiment controllable.
+var countryNames = func() []string {
+	names := []string{
+		"United States", "China", "Canada", "Mexico", "Germany",
+		"Philippines", "Japan", "Brazil", "India", "France",
+		"Italy", "Spain", "Norland", "Sudland", "Estovia",
+	}
+	for i := len(names); i < 270; i++ {
+		names = append(names, fmt.Sprintf("Veltania%03d", i))
+	}
+	return names
+}()
+
+// tradePartner deterministically picks a partner for (country, year, slot),
+// overweighting the United States and China so the running example's
+// queries have rich answers.
+func tradePartner(country string, year, slot int) string {
+	r := pick(100, "partner", country, fmt.Sprint(year), fmt.Sprint(slot))
+	switch {
+	case r < 30:
+		return "United States"
+	case r < 45:
+		return "China"
+	case r < 55:
+		return "Canada"
+	case r < 65:
+		return "Mexico"
+	case r < 72:
+		return "Germany"
+	default:
+		idx := pick(len(countryNames)-15, "pidx", country, fmt.Sprint(year), fmt.Sprint(slot)) + 15
+		return countryNames[idx]
+	}
+}
+
+// scaleCount scales a paper-size count, keeping at least min.
+func scaleCount(base int, scale float64, min int) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(float64(base)*scale + 0.5)
+	if n < min {
+		n = min
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+package datagen
+
+import (
+	"fmt"
+
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+)
+
+// RecipeML generator: 10988 documents in three structural families
+// (recipes, menus, grocery lists) whose intra-family variation stays within
+// subset/high-overlap merging range, reproducing Table 1's extreme
+// collapse: 10988 → 3 dataguides at threshold 40%.
+
+// RecipeMLTotalDocs is the corpus size at scale 1.
+const RecipeMLTotalDocs = 10988
+
+// RecipeMLGuides is the paper's dataguide count for this corpus.
+const RecipeMLGuides = 3
+
+// RecipeML generates the corpus at the given scale.
+func RecipeML(scale float64) *store.Collection {
+	col := store.NewCollection()
+	n := scaleCount(RecipeMLTotalDocs, scale, 3)
+	for i := 0; i < n; i++ {
+		var doc *xmldoc.Node
+		switch {
+		case i%10 < 7:
+			doc = rmlRecipe(i)
+		case i%10 < 9:
+			doc = rmlMenu(i)
+		default:
+			doc = rmlGrocery(i)
+		}
+		col.AddDocument(xmldoc.Build(fmt.Sprintf("rml-%05d", i), doc, col.Dict()))
+	}
+	return col
+}
+
+var rmlIngredients = []string{"flour", "sugar", "butter", "eggs", "milk", "salt", "yeast", "cocoa", "vanilla", "rice"}
+var rmlUnits = []string{"cup", "tbsp", "tsp", "g", "ml"}
+
+func rmlRecipe(i int) *xmldoc.Node {
+	root := xmldoc.Elem("recipe",
+		xmldoc.Elem("head",
+			xmldoc.Text("title", fmt.Sprintf("Dish %05d", i)),
+			xmldoc.Elem("categories", xmldoc.Text("cat", []string{"dessert", "main", "side", "soup"}[pick(4, "cat", fmt.Sprint(i))])),
+			xmldoc.Text("yield", fmt.Sprint(1+pick(12, "yield", fmt.Sprint(i)))),
+		),
+	)
+	ing := xmldoc.Elem("ingredients")
+	for k := 0; k < 3+pick(5, "ning", fmt.Sprint(i)); k++ {
+		ing.Add(xmldoc.Elem("ing",
+			xmldoc.Text("amt", fmt.Sprint(1+pick(500, "amt", fmt.Sprint(i), fmt.Sprint(k)))),
+			xmldoc.Text("unit", rmlUnits[pick(len(rmlUnits), "unit", fmt.Sprint(i), fmt.Sprint(k))]),
+			xmldoc.Text("fooditem", rmlIngredients[pick(len(rmlIngredients), "fi", fmt.Sprint(i), fmt.Sprint(k))]),
+		))
+	}
+	dir := xmldoc.Elem("directions")
+	for k := 0; k < 2+pick(4, "nst", fmt.Sprint(i)); k++ {
+		dir.Add(xmldoc.Text("step", fmt.Sprintf("perform preparation step %d", k+1)))
+	}
+	root.Add(ing, dir)
+	// Optional nutrition block (intra-family variation; overlap with the
+	// family guide stays far above the threshold).
+	if chance(40, "nut", fmt.Sprint(i)) {
+		root.Add(xmldoc.Elem("nutrition",
+			xmldoc.Text("calories", fmt.Sprint(100+pick(900, "cal", fmt.Sprint(i)))),
+			xmldoc.Text("fat", fmt.Sprint(pick(80, "fat", fmt.Sprint(i)))),
+			xmldoc.Text("protein", fmt.Sprint(pick(60, "pro", fmt.Sprint(i)))),
+		))
+	}
+	return root
+}
+
+func rmlMenu(i int) *xmldoc.Node {
+	root := xmldoc.Elem("menu",
+		xmldoc.Text("menutitle", fmt.Sprintf("Menu %05d", i)),
+		xmldoc.Text("occasion", []string{"weekday", "holiday", "party"}[pick(3, "occ", fmt.Sprint(i))]),
+	)
+	courses := xmldoc.Elem("courses")
+	for k := 0; k < 2+pick(3, "nc", fmt.Sprint(i)); k++ {
+		courses.Add(xmldoc.Elem("course",
+			xmldoc.Text("coursename", []string{"starter", "main", "dessert"}[k%3]),
+			xmldoc.Text("dish", fmt.Sprintf("Dish %05d", pick(10000, "dish", fmt.Sprint(i), fmt.Sprint(k)))),
+		))
+	}
+	root.Add(courses)
+	return root
+}
+
+func rmlGrocery(i int) *xmldoc.Node {
+	root := xmldoc.Elem("grocerylist",
+		xmldoc.Text("listname", fmt.Sprintf("List %05d", i)),
+	)
+	for k := 0; k < 3+pick(6, "ng", fmt.Sprint(i)); k++ {
+		root.Add(xmldoc.Elem("entry",
+			xmldoc.Text("product", rmlIngredients[pick(len(rmlIngredients), "gp", fmt.Sprint(i), fmt.Sprint(k))]),
+			xmldoc.Text("quantity", fmt.Sprint(1+pick(9, "gq", fmt.Sprint(i), fmt.Sprint(k)))),
+		))
+	}
+	return root
+}

@@ -1,0 +1,238 @@
+package datagen
+
+import (
+	"fmt"
+	"sort"
+
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+)
+
+// World Factbook generator. Targets the paper's corpus statistics:
+//
+//   - 1600 documents, of which 1577 contain /country (§1);
+//   - 1984 distinct root-to-leaf paths (§2);
+//   - (*, "United States") matching 27 distinct paths (§1);
+//   - /transnational_issues/refugees/country_of_origin in 186 documents (§1);
+//   - ≈500 dataguides at overlap threshold 40% (Table 1), with the schema
+//     evolving across the six annual releases 2002-2007 (GDP before 2005,
+//     GDP_ppp from 2005 on);
+//   - a long tail of rare optional paths that makes one-schema warehousing
+//     impractical — the paper's core motivation.
+
+// wfbYears are the six annual releases of the running example.
+var wfbYears = []int{2002, 2003, 2004, 2005, 2006, 2007}
+
+// wfbCountriesPerYear distributes the 1577 country documents over the six
+// releases (country coverage grew over time).
+var wfbCountriesPerYear = []int{260, 261, 262, 263, 264, 267}
+
+// wfbAppendixCount fills the corpus to 1600 documents with non-country
+// appendix documents (1600 - 1577 = 23).
+const wfbAppendixCount = 23
+
+// Optional statistic groups: each group is a small subtree under one of the
+// category containers. Group ids < wfbUSGroups designate groups whose lead
+// leaf holds a country name (so "United States" reaches exactly the §1
+// path count: 24 designated groups + name + import/export trade_country).
+const (
+	wfbGroups = 240
+	// 23 designated groups + /country/name + import and export
+	// trade_country + refugees country_of_origin = the §1 count of 27.
+	wfbUSGroups = 23
+	// wfbCohorts controls structural diversity: each (country, year) is
+	// assigned a cohort that fixes its optional-group set; distinct cohorts
+	// rarely overlap above 40%, yielding Table 1's ≈500 guides.
+	wfbCohorts = 1000
+	// wfbGroupsPerDoc optional groups per document, fixed by cohort.
+	wfbGroupsPerDoc = 8
+	// wfbJitterGroups extra groups drawn per document (not per cohort):
+	// they make nearly every document's path profile unique — the paper's
+	// "1600 dataguides for 1600 XML documents" before merging — while
+	// keeping intra-cohort overlap far above the threshold so merged guide
+	// counts still track cohorts.
+	wfbJitterGroups = 2
+	// wfbRefugeeDocs is the §1 document frequency of the refugees path.
+	wfbRefugeeDocs = 186
+)
+
+var wfbCategories = []string{
+	"geography", "people", "economy", "government",
+	"communications", "transportation", "military", "transnational_issues",
+	"environment", "energy", "health", "education",
+}
+
+// WorldFactbook generates the corpus at the given scale (1.0 = paper
+// size: 1600 documents).
+func WorldFactbook(scale float64) *store.Collection {
+	col := store.NewCollection()
+	type docKey struct {
+		country string
+		year    int
+	}
+	var docs []docKey
+	for yi, year := range wfbYears {
+		n := scaleCount(wfbCountriesPerYear[yi], scale, 3)
+		if n > len(countryNames) {
+			n = len(countryNames)
+		}
+		for ci := 0; ci < n; ci++ {
+			docs = append(docs, docKey{country: countryNames[ci], year: year})
+		}
+	}
+	// Choose the refugee documents deterministically: the N smallest by
+	// hash.
+	refTarget := scaleCount(wfbRefugeeDocs, scale, 1)
+	type ranked struct {
+		i int
+		h uint64
+	}
+	rank := make([]ranked, len(docs))
+	for i, d := range docs {
+		rank[i] = ranked{i: i, h: hashN("refugee", d.country, fmt.Sprint(d.year))}
+	}
+	sort.Slice(rank, func(a, b int) bool { return rank[a].h < rank[b].h })
+	refugee := make(map[int]bool, refTarget)
+	for i := 0; i < refTarget && i < len(rank); i++ {
+		refugee[rank[i].i] = true
+	}
+
+	for i, d := range docs {
+		doc := wfbCountryDoc(d.country, d.year, refugee[i])
+		col.AddDocument(xmldoc.Build(fmt.Sprintf("factbook-%d-%s", d.year, d.country), doc, col.Dict()))
+	}
+	for a := 0; a < scaleCount(wfbAppendixCount, scale, 1); a++ {
+		col.AddDocument(xmldoc.Build(fmt.Sprintf("appendix-%d", a), wfbAppendixDoc(a), col.Dict()))
+	}
+	return col
+}
+
+// wfbCountryDoc builds one country document.
+func wfbCountryDoc(country string, year int, withRefugees bool) *xmldoc.Node {
+	ys := fmt.Sprint(year)
+	root := xmldoc.Elem("country",
+		xmldoc.Text("name", country),
+		xmldoc.Text("year", ys),
+	)
+	geo := xmldoc.Elem("geography",
+		xmldoc.Text("location", fmt.Sprintf("region%d", pick(8, "loc", country))),
+		xmldoc.Elem("area",
+			xmldoc.Text("total", fmt.Sprint(10000+pick(900000, "area", country))),
+			xmldoc.Text("land", fmt.Sprint(9000+pick(800000, "land", country))),
+			xmldoc.Text("water", fmt.Sprint(pick(90000, "water", country))),
+		),
+	)
+	people := xmldoc.Elem("people",
+		xmldoc.Text("population", fmt.Sprint(100000+pick(1000000000, "pop", country, ys))),
+	)
+	econ := xmldoc.Elem("economy")
+	// Schema evolution (§7): GDP before 2005, GDP_ppp from 2005 on.
+	gdp := fmt.Sprintf("%d.%03dT", 1+pick(14, "gdp", country, ys), pick(1000, "gdpf", country, ys))
+	if year < 2005 {
+		econ.Add(xmldoc.Text("GDP", gdp))
+	} else {
+		econ.Add(xmldoc.Text("GDP_ppp", gdp))
+	}
+	econ.Add(
+		wfbPartners("import_partners", country, year),
+		wfbPartners("export_partners", country, year),
+	)
+	gov := xmldoc.Elem("government",
+		xmldoc.Text("capital", fmt.Sprintf("Capital-%s", country)),
+	)
+	root.Add(geo, people, econ, gov)
+
+	// Optional statistic groups by cohort.
+	cohort := pick(wfbCohorts, "cohort", country, ys)
+	cats := map[string]*xmldoc.Node{
+		"geography": geo, "people": people, "economy": econ, "government": gov,
+	}
+	addGroup := func(g int) {
+		cat := wfbCategories[g%len(wfbCategories)]
+		parent, ok := cats[cat]
+		if !ok {
+			parent = xmldoc.Elem(cat)
+			cats[cat] = parent
+			root.Add(parent)
+		}
+		parent.Add(wfbStatGroup(g, country, year))
+	}
+	for slot := 0; slot < wfbGroupsPerDoc; slot++ {
+		addGroup(pick(wfbGroups, "grp", fmt.Sprint(cohort), fmt.Sprint(slot)))
+	}
+	for j := 0; j < wfbJitterGroups; j++ {
+		addGroup(pick(wfbGroups, "jitter", country, ys, fmt.Sprint(j)))
+	}
+
+	if withRefugees {
+		ti, ok := cats["transnational_issues"]
+		if !ok {
+			ti = xmldoc.Elem("transnational_issues")
+			cats["transnational_issues"] = ti
+			root.Add(ti)
+		}
+		origin := tradePartner(country, year, 99)
+		ti.Add(xmldoc.Elem("refugees",
+			xmldoc.Text("country_of_origin", origin),
+			xmldoc.Text("refugee_count", fmt.Sprint(1000+pick(500000, "refn", country, ys))),
+		))
+	}
+	return root
+}
+
+// wfbPartners builds an import_partners/export_partners list.
+func wfbPartners(tag, country string, year int) *xmldoc.Node {
+	n := xmldoc.Elem(tag)
+	items := 2 + pick(3, tag, country, fmt.Sprint(year))
+	seen := map[string]bool{country: true}
+	for s := 0; s < items; s++ {
+		p := tradePartner(country, year, s)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		pct := fmt.Sprintf("%d.%d%%", 3+pick(25, tag, country, fmt.Sprint(year), fmt.Sprint(s)),
+			pick(10, tag+"f", country, fmt.Sprint(year), fmt.Sprint(s)))
+		n.Add(xmldoc.Elem("item",
+			xmldoc.Text("trade_country", p),
+			xmldoc.Text("percentage", pct),
+		))
+	}
+	return n
+}
+
+// wfbStatGroup materializes optional group g. Designated groups (g <
+// wfbUSGroups) lead with a country-valued leaf; all groups carry a variable
+// number of numeric sub-statistics, giving the corpus its long tail of
+// paths.
+func wfbStatGroup(g int, country string, year int) *xmldoc.Node {
+	name := fmt.Sprintf("stat_%03d", g)
+	n := xmldoc.Elem(name)
+	if g < wfbUSGroups {
+		n.Add(xmldoc.Text("partner_country", tradePartner(country, year, 100+g)))
+	}
+	sub := 4 + g%7 // 4..10 sub-statistics per group
+	for s := 0; s < sub; s++ {
+		n.Add(xmldoc.Text(fmt.Sprintf("metric_%d", s),
+			fmt.Sprintf("%d.%d", pick(1000, name, country, fmt.Sprint(year), fmt.Sprint(s)),
+				pick(10, name+"f", country, fmt.Sprint(s)))))
+	}
+	return n
+}
+
+// wfbAppendixDoc builds one of the non-country documents.
+func wfbAppendixDoc(i int) *xmldoc.Node {
+	root := xmldoc.Elem("appendix",
+		xmldoc.Text("title", fmt.Sprintf("Reference %d", i)),
+		xmldoc.Text("edition", fmt.Sprint(wfbYears[i%len(wfbYears)])),
+	)
+	switch i % 3 {
+	case 0:
+		root.Add(xmldoc.Elem("abbreviations", xmldoc.Text("entry", "GDP gross domestic product")))
+	case 1:
+		root.Add(xmldoc.Elem("conversions", xmldoc.Text("factor", "1 sq mi = 2.59 sq km")))
+	default:
+		root.Add(xmldoc.Elem("sources", xmldoc.Text("agency", "statistical bureau")))
+	}
+	return root
+}

@@ -1,0 +1,344 @@
+// Package dataguide implements SEDA's dataguide summaries (paper §6.1),
+// following Goldman & Widom's dataguides and Nestorov et al.'s
+// representative objects.
+//
+// A dataguide is represented, as in the paper, by its set of paths: "We
+// represent a dataguide dg as a list of full root-to-leaf paths such that
+// every full root-to-leaf path in G maps onto a full root-to-leaf path in
+// one dg ∈ DG." Path sets here are prefix-closed (every node's
+// root-to-node path), which carries the same information and lets the
+// connection machinery reason about interior join nodes directly.
+//
+// Building the summary processes documents one at a time and merges each
+// document's guide into the accumulated collection using the paper's
+// overlap metric:
+//
+//	overlap(dg1,dg2) = min(|common|/|paths(dg1)|, |common|/|paths(dg2)|)
+//
+// A document guide that is a subset of (or equal to) an existing guide is
+// absorbed without changes; otherwise it merges with the best guide whose
+// overlap meets the threshold, or starts a new guide. Table 1 of the paper
+// reports the resulting guide counts at threshold 40% for four corpora.
+package dataguide
+
+import (
+	"fmt"
+	"sort"
+
+	"seda/internal/graph"
+	"seda/internal/pathdict"
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+)
+
+// Guide is one merged dataguide: a path set plus the documents it
+// summarizes and per-path occurrence facts needed by connection discovery.
+type Guide struct {
+	ID    int
+	Docs  []xmldoc.DocID
+	paths map[pathdict.PathID]struct{}
+	// repeatable marks paths that can occur more than once under a single
+	// parent instance (e.g. item under import_partners). Connection
+	// discovery uses it to find alternative join points (§6).
+	repeatable map[pathdict.PathID]bool
+}
+
+// Paths returns the guide's path set as a sorted slice.
+func (g *Guide) Paths() []pathdict.PathID {
+	out := make([]pathdict.PathID, 0, len(g.paths))
+	for p := range g.paths {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns the number of distinct paths in the guide.
+func (g *Guide) Size() int { return len(g.paths) }
+
+// Contains reports whether the guide has the path.
+func (g *Guide) Contains(p pathdict.PathID) bool {
+	_, ok := g.paths[p]
+	return ok
+}
+
+// Repeatable reports whether nodes at path p may repeat under one parent
+// instance somewhere in the guide's documents.
+func (g *Guide) Repeatable(p pathdict.PathID) bool { return g.repeatable[p] }
+
+// TreeConnections enumerates the possible join paths connecting instances
+// of paths a and b within documents of this guide, deepest first. The
+// deepest candidate is the common prefix of a and b (the "same instance"
+// join); every proper prefix q whose child step toward the common prefix
+// is repeatable is an additional candidate (instances can diverge at q).
+// This reproduces the paper's §6 example: trade_country and percentage
+// connect either through one item or across items via import_partners.
+func (g *Guide) TreeConnections(dict *pathdict.Dict, a, b pathdict.PathID) []pathdict.PathID {
+	if !g.Contains(a) || !g.Contains(b) {
+		return nil
+	}
+	cp := dict.CommonPrefix(a, b)
+	if cp == pathdict.InvalidPath {
+		return nil // different document roots cannot connect in a tree
+	}
+	out := []pathdict.PathID{cp}
+	child := cp
+	for q := dict.Parent(cp); ; q = dict.Parent(q) {
+		if g.repeatable[child] {
+			out = append(out, q) // q == InvalidPath means "distinct documents" and is excluded below
+		}
+		if q == pathdict.InvalidPath {
+			break
+		}
+		child = q
+	}
+	// Drop a trailing InvalidPath candidate (divergence above the root
+	// means two separate documents, which tree edges cannot join).
+	res := out[:0]
+	for _, p := range out {
+		if p != pathdict.InvalidPath {
+			res = append(res, p)
+		}
+	}
+	return res
+}
+
+// Link is a cross-guide (or cross-document) connection induced by a data
+// graph link edge, aggregated by (guide, path) endpoints.
+type Link struct {
+	FromGuide, ToGuide int
+	FromPath, ToPath   pathdict.PathID
+	Kind               graph.EdgeKind
+	Label              string
+	Count              int
+}
+
+// Set is the dataguide summary of one collection.
+type Set struct {
+	col       *store.Collection
+	Threshold float64
+	Guides    []*Guide
+	docGuide  map[xmldoc.DocID]int
+	Links     []Link
+}
+
+// Stats summarizes a built Set in the shape of the paper's Table 1.
+type Stats struct {
+	Documents int
+	Guides    int
+	// Reduction is Documents/Guides, the paper's "reduction factor"
+	// (§6.1: "ranging from a factor of 3 to a factor of 100").
+	Reduction float64
+}
+
+// Stats returns Table 1-style statistics.
+func (s *Set) Stats() Stats {
+	st := Stats{Documents: s.col.NumDocs(), Guides: len(s.Guides)}
+	if st.Guides > 0 {
+		st.Reduction = float64(st.Documents) / float64(st.Guides)
+	}
+	return st
+}
+
+// GuideOf returns the guide summarizing doc, or nil.
+func (s *Set) GuideOf(doc xmldoc.DocID) *Guide {
+	i, ok := s.docGuide[doc]
+	if !ok {
+		return nil
+	}
+	return s.Guides[i]
+}
+
+// GuidesContaining returns the guides whose path set includes p.
+func (s *Set) GuidesContaining(p pathdict.PathID) []*Guide {
+	var out []*Guide
+	for _, g := range s.Guides {
+		if g.Contains(p) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Build computes the dataguide summary of col at the given overlap
+// threshold (the paper evaluates 0.40).
+func Build(col *store.Collection, threshold float64) (*Set, error) {
+	return BuildWithGraph(col, nil, threshold)
+}
+
+// BuildWithGraph additionally folds the data graph's link edges into
+// cross-guide Links, so the connection summary can propose IDREF/XLink/
+// value relationships (§6.1: "a set of links between the dataguides
+// corresponding to the external edges between documents").
+func BuildWithGraph(col *store.Collection, g *graph.Graph, threshold float64) (*Set, error) {
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("dataguide: threshold %v outside [0,1]", threshold)
+	}
+	s := &Set{col: col, Threshold: threshold, docGuide: make(map[xmldoc.DocID]int)}
+	for _, doc := range col.Docs() {
+		paths, rep := docProfile(doc)
+		s.absorb(doc.ID, paths, rep)
+	}
+	if g != nil {
+		s.buildLinks(g)
+	}
+	return s, nil
+}
+
+// docProfile extracts a document's path set and repeatability marks.
+func docProfile(doc *xmldoc.Document) (map[pathdict.PathID]struct{}, map[pathdict.PathID]bool) {
+	paths := make(map[pathdict.PathID]struct{})
+	rep := make(map[pathdict.PathID]bool)
+	doc.Walk(func(n *xmldoc.Node) bool {
+		paths[n.Path] = struct{}{}
+		seen := make(map[pathdict.PathID]int, len(n.Children))
+		for _, c := range n.Children {
+			seen[c.Path]++
+			if seen[c.Path] == 2 {
+				rep[c.Path] = true
+			}
+		}
+		return true
+	})
+	return paths, rep
+}
+
+// absorb merges one document profile into the guide set following §6.1:
+// subset/equal guides absorb directly; otherwise the best guide at or above
+// the overlap threshold merges; otherwise a new guide is created.
+func (s *Set) absorb(doc xmldoc.DocID, paths map[pathdict.PathID]struct{}, rep map[pathdict.PathID]bool) {
+	bestIdx, bestOverlap := -1, 0.0
+	for i, g := range s.Guides {
+		common := 0
+		for p := range paths {
+			if _, ok := g.paths[p]; ok {
+				common++
+			}
+		}
+		if common == len(paths) {
+			// Subset or equal: no further processing needed.
+			g.Docs = append(g.Docs, doc)
+			for p, v := range rep {
+				if v {
+					g.repeatable[p] = true
+				}
+			}
+			s.docGuide[doc] = i
+			return
+		}
+		ov := overlap(common, len(paths), g.Size())
+		if ov > bestOverlap {
+			bestIdx, bestOverlap = i, ov
+		}
+	}
+	if bestIdx >= 0 && bestOverlap >= s.Threshold && s.Threshold > 0 {
+		g := s.Guides[bestIdx]
+		for p := range paths {
+			g.paths[p] = struct{}{}
+		}
+		for p, v := range rep {
+			if v {
+				g.repeatable[p] = true
+			}
+		}
+		g.Docs = append(g.Docs, doc)
+		s.docGuide[doc] = bestIdx
+		return
+	}
+	g := &Guide{ID: len(s.Guides), Docs: []xmldoc.DocID{doc}, paths: paths, repeatable: rep}
+	s.Guides = append(s.Guides, g)
+	s.docGuide[doc] = g.ID
+}
+
+// overlap implements the paper's metric.
+func overlap(common, n1, n2 int) float64 {
+	if n1 == 0 || n2 == 0 {
+		return 0
+	}
+	o1 := float64(common) / float64(n1)
+	o2 := float64(common) / float64(n2)
+	if o1 < o2 {
+		return o1
+	}
+	return o2
+}
+
+// Overlap exposes the §6.1 similarity metric over two path sets, for tests
+// and tooling.
+func Overlap(a, b []pathdict.PathID) float64 {
+	sa := make(map[pathdict.PathID]struct{}, len(a))
+	for _, p := range a {
+		sa[p] = struct{}{}
+	}
+	common := 0
+	seen := make(map[pathdict.PathID]struct{}, len(b))
+	for _, p := range b {
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		if _, ok := sa[p]; ok {
+			common++
+		}
+	}
+	return overlap(common, len(sa), len(seen))
+}
+
+func (s *Set) buildLinks(g *graph.Graph) {
+	agg := make(map[string]*Link)
+	for _, e := range g.Edges() {
+		fg, okF := s.docGuide[e.From.Doc]
+		tg, okT := s.docGuide[e.To.Doc]
+		if !okF || !okT {
+			continue
+		}
+		fp := s.col.PathOf(e.From)
+		tp := s.col.PathOf(e.To)
+		k := fmt.Sprintf("%d|%d|%d|%d|%d|%s", fg, tg, fp, tp, e.Kind, e.Label)
+		if l, ok := agg[k]; ok {
+			l.Count++
+			continue
+		}
+		agg[k] = &Link{FromGuide: fg, ToGuide: tg, FromPath: fp, ToPath: tp, Kind: e.Kind, Label: e.Label, Count: 1}
+	}
+	for _, l := range agg {
+		s.Links = append(s.Links, *l)
+	}
+	sort.Slice(s.Links, func(i, j int) bool {
+		if s.Links[i].Count != s.Links[j].Count {
+			return s.Links[i].Count > s.Links[j].Count
+		}
+		return s.Links[i].Label < s.Links[j].Label
+	})
+}
+
+// LinksBetween returns the aggregated link edges connecting two paths (in
+// either direction), used by the connection summary.
+func (s *Set) LinksBetween(a, b pathdict.PathID) []Link {
+	var out []Link
+	for _, l := range s.Links {
+		if (l.FromPath == a && l.ToPath == b) || (l.FromPath == b && l.ToPath == a) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// CoverageInvariant verifies that every document's every path is contained
+// in its assigned guide — the correctness property of the merge algorithm.
+// Used by tests.
+func (s *Set) CoverageInvariant() error {
+	for _, doc := range s.col.Docs() {
+		g := s.GuideOf(doc.ID)
+		if g == nil {
+			return fmt.Errorf("dataguide: document %d has no guide", doc.ID)
+		}
+		for _, p := range doc.DistinctPaths() {
+			if !g.Contains(p) {
+				return fmt.Errorf("dataguide: doc %d path %q missing from guide %d",
+					doc.ID, s.col.Dict().Path(p), g.ID)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package dewey
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Binary codec for Dewey IDs. The encoding is a sequence of unsigned
+// varints, one per component, preceded by a varint length. The codec is used
+// by the store's persistence layer; it is not order-preserving at the byte
+// level (use OrderKey for that).
+
+// AppendBinary appends the binary encoding of d to dst and returns the
+// extended slice.
+func AppendBinary(dst []byte, d ID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(d)))
+	for _, c := range d {
+		dst = binary.AppendUvarint(dst, uint64(c))
+	}
+	return dst
+}
+
+// DecodeBinary decodes an ID from the front of buf, returning the ID and the
+// number of bytes consumed.
+func DecodeBinary(buf []byte) (ID, int, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("%w: truncated length", ErrBadDewey)
+	}
+	off := sz
+	id := make(ID, n)
+	for i := range id {
+		c, s := binary.Uvarint(buf[off:])
+		if s <= 0 || c == 0 || c > 0xFFFFFFFF {
+			return nil, 0, fmt.Errorf("%w: truncated component", ErrBadDewey)
+		}
+		id[i] = uint32(c)
+		off += s
+	}
+	return id, off, nil
+}
+
+// OrderKey returns a byte string whose bytewise lexicographic order equals
+// document order of the IDs. Each component is emitted big-endian as 4 bytes
+// with a 0x01 continuation marker so that prefixes sort before extensions.
+func OrderKey(d ID) []byte {
+	k := make([]byte, 0, len(d)*5)
+	for _, c := range d {
+		k = append(k, 0x01)
+		k = binary.BigEndian.AppendUint32(k, c)
+	}
+	return k
+}
+
+// Sort sorts ids in place into document order.
+func Sort(ids []ID) {
+	sort.Slice(ids, func(i, j int) bool { return Compare(ids[i], ids[j]) < 0 })
+}
+
+// SearchGE returns the index of the first element of the document-ordered
+// slice ids that is >= target, or len(ids) if none.
+func SearchGE(ids []ID, target ID) int {
+	return sort.Search(len(ids), func(i int) bool { return Compare(ids[i], target) >= 0 })
+}

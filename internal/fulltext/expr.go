@@ -1,0 +1,236 @@
+package fulltext
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a full-text search expression tree. Expressions are evaluated
+// against a node's content (paper Definition 3: "Content(n) satisfies
+// search_query").
+type Expr interface {
+	// Matches evaluates the expression against tokenized content.
+	Matches(c *Content) bool
+	// String renders the canonical query syntax.
+	String() string
+	// collectTerms appends the positive terms the expression needs, used to
+	// probe inverted indexes. Terms under NOT are excluded.
+	collectTerms(out *[]TermQuery)
+}
+
+// TermQuery is a positive index probe: a term or a term prefix.
+type TermQuery struct {
+	Term   string
+	Prefix bool // true for wildcard probes ("unit*")
+}
+
+// Terms returns the positive terms of e in syntax order. Every match of e
+// must contain at least one of the returned terms somewhere in its subtree
+// content, except for pure-NOT expressions (which return none and require a
+// scan).
+func Terms(e Expr) []TermQuery {
+	var out []TermQuery
+	e.collectTerms(&out)
+	return out
+}
+
+// Word matches a single keyword, optionally as a prefix wildcard.
+type Word struct {
+	Term   string
+	Prefix bool
+}
+
+// Matches implements Expr.
+func (w Word) Matches(c *Content) bool {
+	if w.Prefix {
+		return c.MatchPrefix(w.Term)
+	}
+	return c.Has(w.Term)
+}
+
+func (w Word) String() string {
+	if w.Prefix {
+		return w.Term + "*"
+	}
+	return w.Term
+}
+
+func (w Word) collectTerms(out *[]TermQuery) {
+	*out = append(*out, TermQuery{Term: w.Term, Prefix: w.Prefix})
+}
+
+// Phrase matches a contiguous sequence of terms, e.g. "united states".
+type Phrase struct {
+	TermsSeq []string
+}
+
+// Matches implements Expr.
+func (p Phrase) Matches(c *Content) bool { return c.HasPhrase(p.TermsSeq) }
+
+func (p Phrase) String() string { return `"` + strings.Join(p.TermsSeq, " ") + `"` }
+
+func (p Phrase) collectTerms(out *[]TermQuery) {
+	for _, t := range p.TermsSeq {
+		*out = append(*out, TermQuery{Term: t})
+	}
+}
+
+// And matches when every child matches.
+type And struct {
+	Children []Expr
+}
+
+// Matches implements Expr.
+func (a And) Matches(c *Content) bool {
+	for _, ch := range a.Children {
+		if !ch.Matches(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a And) String() string { return joinExprs(a.Children, " AND ") }
+
+func (a And) collectTerms(out *[]TermQuery) {
+	for _, ch := range a.Children {
+		ch.collectTerms(out)
+	}
+}
+
+// Or matches when any child matches.
+type Or struct {
+	Children []Expr
+}
+
+// Matches implements Expr.
+func (o Or) Matches(c *Content) bool {
+	for _, ch := range o.Children {
+		if ch.Matches(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o Or) String() string { return "(" + joinExprs(o.Children, " OR ") + ")" }
+
+func (o Or) collectTerms(out *[]TermQuery) {
+	for _, ch := range o.Children {
+		ch.collectTerms(out)
+	}
+}
+
+// Not matches when its child does not.
+type Not struct {
+	Child Expr
+}
+
+// Matches implements Expr.
+func (n Not) Matches(c *Content) bool { return !n.Child.Matches(c) }
+
+func (n Not) String() string { return "NOT " + n.Child.String() }
+
+func (n Not) collectTerms(*[]TermQuery) {} // negative terms never probe the index
+
+// MatchAll matches any content, including empty; it is the expression of a
+// query term whose search component is "*" or empty (the paper's
+// (trade_country, *) terms).
+type MatchAll struct{}
+
+// Matches implements Expr.
+func (MatchAll) Matches(*Content) bool { return true }
+
+func (MatchAll) String() string { return "*" }
+
+func (MatchAll) collectTerms(*[]TermQuery) {}
+
+// IsMatchAll reports whether e is the universal expression.
+func IsMatchAll(e Expr) bool {
+	_, ok := e.(MatchAll)
+	return ok
+}
+
+// OpenMatch reports whether e can be satisfied by content containing none
+// of the expression's positive terms — true for MatchAll, negations, and
+// disjunctions with such a branch. Open expressions cannot be anchored by
+// index probes: evaluating them requires a context to enumerate candidates
+// (query.NewTerm enforces this).
+func OpenMatch(e Expr) bool {
+	switch t := e.(type) {
+	case Word, Phrase:
+		return false
+	case Not, MatchAll:
+		return true
+	case And:
+		for _, c := range t.Children {
+			if !OpenMatch(c) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, c := range t.Children {
+			if OpenMatch(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+func joinExprs(es []Expr, sep string) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+// Validate rejects expressions that could never match anything meaningful
+// (empty phrases, empty AND/OR) so errors surface at parse/plan time.
+func Validate(e Expr) error {
+	switch t := e.(type) {
+	case Word:
+		if t.Term == "" {
+			return fmt.Errorf("fulltext: empty word")
+		}
+	case Phrase:
+		if len(t.TermsSeq) == 0 {
+			return fmt.Errorf("fulltext: empty phrase")
+		}
+		for _, w := range t.TermsSeq {
+			if w == "" {
+				return fmt.Errorf("fulltext: empty phrase term")
+			}
+		}
+	case And:
+		if len(t.Children) == 0 {
+			return fmt.Errorf("fulltext: empty conjunction")
+		}
+		for _, c := range t.Children {
+			if err := Validate(c); err != nil {
+				return err
+			}
+		}
+	case Or:
+		if len(t.Children) == 0 {
+			return fmt.Errorf("fulltext: empty disjunction")
+		}
+		for _, c := range t.Children {
+			if err := Validate(c); err != nil {
+				return err
+			}
+		}
+	case Not:
+		if t.Child == nil {
+			return fmt.Errorf("fulltext: empty negation")
+		}
+		return Validate(t.Child)
+	case MatchAll:
+	case nil:
+		return fmt.Errorf("fulltext: nil expression")
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package fulltext
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"United States", []string{"united", "states"}},
+		{"GDP: 10.082T", []string{"gdp", "10.082t"}},
+		{"15%", []string{"15%"}},
+		{"import_partners", []string{"import_partners"}},
+		{"trade-country", []string{"trade-country"}},
+		{"a,b;c", []string{"a", "b", "c"}},
+		{"", nil},
+		{"   ", nil},
+		{"...", nil},
+		{"end.", []string{"end"}},
+	}
+	for _, c := range cases {
+		got := TokenizeTerms(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenPositions(t *testing.T) {
+	toks := Tokenize("one two one")
+	if len(toks) != 3 || toks[0].Pos != 0 || toks[2].Pos != 2 {
+		t.Fatalf("positions: %+v", toks)
+	}
+	c := NewContent("one two one")
+	if c.Len() != 3 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if c.TermFreq("one") != 2 {
+		t.Errorf("TermFreq(one) = %d", c.TermFreq("one"))
+	}
+	if !reflect.DeepEqual(c.Positions("one"), []int{0, 2}) {
+		t.Errorf("Positions = %v", c.Positions("one"))
+	}
+}
+
+func TestWordAndPrefix(t *testing.T) {
+	c := NewContent("United States of America")
+	if !(Word{Term: "united"}).Matches(c) {
+		t.Error("word match failed")
+	}
+	if (Word{Term: "unite"}).Matches(c) {
+		t.Error("partial word must not match without wildcard")
+	}
+	if !(Word{Term: "unit", Prefix: true}).Matches(c) {
+		t.Error("prefix wildcard failed")
+	}
+	if (Word{Term: "xyz", Prefix: true}).Matches(c) {
+		t.Error("non-matching prefix matched")
+	}
+}
+
+func TestPhrase(t *testing.T) {
+	c := NewContent("the united states of america")
+	if !(Phrase{TermsSeq: []string{"united", "states"}}).Matches(c) {
+		t.Error("phrase failed")
+	}
+	if (Phrase{TermsSeq: []string{"states", "united"}}).Matches(c) {
+		t.Error("reversed phrase matched")
+	}
+	if (Phrase{TermsSeq: []string{"united", "america"}}).Matches(c) {
+		t.Error("gapped phrase matched")
+	}
+	if (Phrase{}).Matches(c) {
+		t.Error("empty phrase matched")
+	}
+	// Phrase across repeated first term.
+	c2 := NewContent("united kingdom united states")
+	if !(Phrase{TermsSeq: []string{"united", "states"}}).Matches(c2) {
+		t.Error("phrase after repeated first term failed")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	c := NewContent("china trade percentage 15%")
+	and := And{Children: []Expr{Word{Term: "china"}, Word{Term: "15%"}}}
+	if !and.Matches(c) {
+		t.Error("AND failed")
+	}
+	or := Or{Children: []Expr{Word{Term: "nope"}, Word{Term: "trade"}}}
+	if !or.Matches(c) {
+		t.Error("OR failed")
+	}
+	not := Not{Child: Word{Term: "canada"}}
+	if !not.Matches(c) {
+		t.Error("NOT failed")
+	}
+	if (Not{Child: Word{Term: "china"}}).Matches(c) {
+		t.Error("NOT of present term matched")
+	}
+	if !(MatchAll{}).Matches(NewContent("")) {
+		t.Error("MatchAll must match empty content")
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{`"United States"`, `"united states"`},
+		{`china canada`, `china AND canada`},
+		{`china AND canada`, `china AND canada`},
+		{`china OR canada`, `(china OR canada)`},
+		{`NOT china`, `NOT china`},
+		{`(a OR b) AND c`, `(a OR b) AND c`},
+		{`unit*`, `unit*`},
+		{`*`, `*`},
+		{``, `*`},
+		{`"single"`, `single`},
+		{`a b OR c`, `(a AND b OR c)`},
+	}
+	for _, c := range cases {
+		e, err := ParseQuery(c.in)
+		if err != nil {
+			t.Errorf("ParseQuery(%q): %v", c.in, err)
+			continue
+		}
+		if e.String() != c.want {
+			t.Errorf("ParseQuery(%q).String() = %q, want %q", c.in, e.String(), c.want)
+		}
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, bad := range []string{`"unterminated`, `(a OR b`, `a )`, `NOT`, `AND`, `()`} {
+		if e, err := ParseQuery(bad); err == nil {
+			t.Errorf("ParseQuery(%q): want error, got %v", bad, e)
+		}
+	}
+}
+
+func TestParseQueryEvaluation(t *testing.T) {
+	content := NewContent("United States import partners percentage 15% China")
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{`"United States"`, true},
+		{`"states united"`, false},
+		{`import china`, true},
+		{`import AND canada`, false},
+		{`import OR canada`, true},
+		{`NOT canada`, true},
+		{`NOT china`, false},
+		{`chi*`, true},
+		{`import AND (canada OR china)`, true},
+		{`import AND NOT (canada OR china)`, false},
+		{`*`, true},
+	}
+	for _, c := range cases {
+		e := MustParseQuery(c.q)
+		if got := e.Matches(content); got != c.want {
+			t.Errorf("query %q = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestTermsCollection(t *testing.T) {
+	e := MustParseQuery(`"united states" AND import* OR NOT canada`)
+	terms := Terms(e)
+	var got []string
+	for _, tq := range terms {
+		s := tq.Term
+		if tq.Prefix {
+			s += "*"
+		}
+		got = append(got, s)
+	}
+	want := []string{"united", "states", "import*"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v (NOT terms must be excluded)", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Expr{
+		Word{},
+		Phrase{},
+		Phrase{TermsSeq: []string{"a", ""}},
+		And{},
+		Or{},
+		Not{},
+		And{Children: []Expr{Word{}}},
+		nil,
+	}
+	for i, e := range bad {
+		if err := Validate(e); err == nil {
+			t.Errorf("Validate(#%d %v): want error", i, e)
+		}
+	}
+	if err := Validate(MustParseQuery(`a AND (b OR "c d")`)); err != nil {
+		t.Errorf("Validate of good expr: %v", err)
+	}
+}
+
+// Property: parser output re-parses to an identical string (idempotent
+// canonical form).
+func TestPropParseCanonicalIdempotent(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", `"two words"`, "pre*", "NOT delta"}
+	ops := []string{" AND ", " OR ", " "}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		n := 1 + r.Intn(4)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteString(ops[r.Intn(len(ops))])
+			}
+			sb.WriteString(words[r.Intn(len(words))])
+		}
+		e1, err := ParseQuery(sb.String())
+		if err != nil {
+			return false
+		}
+		e2, err := ParseQuery(e1.String())
+		if err != nil {
+			return false
+		}
+		return e1.String() == e2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: evaluation agrees with a naive substring-based oracle for single
+// keywords.
+func TestPropWordOracle(t *testing.T) {
+	vocab := []string{"red", "green", "blue", "cyan", "magenta"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var doc []string
+		for i := 0; i < r.Intn(10); i++ {
+			doc = append(doc, vocab[r.Intn(len(vocab))])
+		}
+		text := strings.Join(doc, " ")
+		c := NewContent(text)
+		probe := vocab[r.Intn(len(vocab))]
+		want := false
+		for _, w := range doc {
+			if w == probe {
+				want = true
+			}
+		}
+		return (Word{Term: probe}).Matches(c) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package fulltext implements the full-text search core of SEDA's query
+// language (paper §3, Definition 3): the search_query component of a query
+// term may be "a simple bag of keywords, a phrase query or a boolean
+// combination of those", with wildcards allowed.
+//
+// The package provides the tokenizer shared by indexing and querying, the
+// expression AST with evaluation against tokenized content, and a parser
+// for the textual query syntax.
+package fulltext
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single indexed term occurrence.
+type Token struct {
+	Term string // normalized (lower-cased) term
+	Pos  int    // 0-based position in the token stream
+}
+
+// isTokenRune reports whether r can appear inside a token. Digits, letters,
+// and the characters ., %, -, _ are kept so that values like "10.082T",
+// "15%", "2006-07" and tag-like terms survive tokenization.
+func isTokenRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '.' || r == '%' || r == '-' || r == '_'
+}
+
+// Tokenize splits s into normalized tokens with positions. Tokens are
+// lower-cased; leading/trailing punctuation (./-) is trimmed. Iteration is
+// rune-wise so multi-byte UTF-8 content (accented names, CJK text)
+// tokenizes correctly.
+func Tokenize(s string) []Token {
+	var out []Token
+	pos := 0
+	start := -1
+	emit := func(end int) {
+		if start < 0 {
+			return
+		}
+		if term := normalizeTerm(s[start:end]); term != "" {
+			out = append(out, Token{Term: term, Pos: pos})
+			pos++
+		}
+		start = -1
+	}
+	for i, r := range s {
+		if isTokenRune(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		emit(i)
+	}
+	emit(len(s))
+	return out
+}
+
+// TokenizeTerms returns just the normalized terms of s (nil if none).
+func TokenizeTerms(s string) []string {
+	toks := Tokenize(s)
+	if len(toks) == 0 {
+		return nil
+	}
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Term
+	}
+	return out
+}
+
+func normalizeTerm(s string) string {
+	s = strings.ToLower(s)
+	s = strings.Trim(s, ".-_")
+	return s
+}
+
+// NormalizeTerm exposes term normalization for query-side code so that
+// user-supplied keywords match indexed tokens.
+func NormalizeTerm(s string) string { return normalizeTerm(s) }
+
+// Content is tokenized text prepared for expression evaluation. Building a
+// Content once and evaluating several expressions against it amortizes
+// tokenization.
+type Content struct {
+	positions map[string][]int
+	terms     []string // sorted lazily for wildcard scans
+	sorted    bool
+	n         int
+}
+
+// NewContent tokenizes s into an evaluable form.
+func NewContent(s string) *Content {
+	toks := Tokenize(s)
+	c := &Content{positions: make(map[string][]int, len(toks)), n: len(toks)}
+	for _, t := range toks {
+		c.positions[t.Term] = append(c.positions[t.Term], t.Pos)
+	}
+	return c
+}
+
+// Len returns the number of tokens.
+func (c *Content) Len() int { return c.n }
+
+// Has reports whether term occurs.
+func (c *Content) Has(term string) bool {
+	_, ok := c.positions[term]
+	return ok
+}
+
+// Positions returns the occurrence positions of term (nil if absent).
+func (c *Content) Positions(term string) []int { return c.positions[term] }
+
+// TermFreq returns the occurrence count of term.
+func (c *Content) TermFreq(term string) int { return len(c.positions[term]) }
+
+// MatchPrefix reports whether any token starts with prefix; used by
+// wildcard words ("unit*").
+func (c *Content) MatchPrefix(prefix string) bool {
+	for term := range c.positions {
+		if strings.HasPrefix(term, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasPhrase reports whether the exact term sequence occurs contiguously.
+func (c *Content) HasPhrase(terms []string) bool {
+	if len(terms) == 0 {
+		return false
+	}
+	first := c.positions[terms[0]]
+	if first == nil {
+		return false
+	}
+	for _, start := range first {
+		ok := true
+		for k := 1; k < len(terms); k++ {
+			if !containsInt(c.positions[terms[k]], start+k) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func containsInt(xs []int, v int) bool {
+	// Position lists are ascending; binary search is overkill for the short
+	// lists typical of node content.
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+		if x > v {
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"strings"
+
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+)
+
+// Link discovery (paper §3): "discovering and adding appropriate edges into
+// the data graph may require preprocessing of the XML data". DiscoverLinks
+// performs that preprocessing for ID/IDREF and XLink/XPointer-style
+// references; AddValueLinks materializes value-based (PK/FK) relationships,
+// which the paper assumes "are provided as input into the system".
+
+// DiscoverOptions tunes link discovery. Zero value means defaults.
+type DiscoverOptions struct {
+	// IDAttrs are attribute names treated as node identifiers. Default:
+	// "id".
+	IDAttrs []string
+	// IDRefAttrs are attribute names treated as intra-collection
+	// references. Default: "idref", "idrefs", "ref", "refs".
+	IDRefAttrs []string
+	// XLinkAttrs are attribute names treated as XLink/XPointer references
+	// of the form "#id". Default: "href", "xlink_href".
+	XLinkAttrs []string
+}
+
+func (o *DiscoverOptions) defaults() {
+	if len(o.IDAttrs) == 0 {
+		o.IDAttrs = []string{"id"}
+	}
+	if len(o.IDRefAttrs) == 0 {
+		o.IDRefAttrs = []string{"idref", "idrefs", "ref", "refs"}
+	}
+	if len(o.XLinkAttrs) == 0 {
+		o.XLinkAttrs = []string{"href", "xlink_href"}
+	}
+}
+
+// DiscoverStats reports what DiscoverLinks found.
+type DiscoverStats struct {
+	IDs       int // nodes carrying an ID attribute
+	IDRefs    int // IDREF edges added
+	XLinks    int // XLink edges added
+	Dangling  int // references whose target id is unknown
+	Duplicate int // ids seen more than once (first occurrence wins)
+}
+
+// DiscoverLinks scans the collection for ID/IDREF and XLink attributes and
+// adds the corresponding edges. IDs are collection-global (the paper's
+// collections interlink documents). The edge label is the tag of the
+// referencing element.
+func (g *Graph) DiscoverLinks(opts DiscoverOptions) DiscoverStats {
+	opts.defaults()
+	var stats DiscoverStats
+
+	isOneOf := func(name string, set []string) bool {
+		l := strings.ToLower(name)
+		for _, s := range set {
+			if l == s {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 1: collect ids.
+	ids := make(map[string]xmldoc.NodeRef)
+	g.col.EachNode(func(d *xmldoc.Document, n *xmldoc.Node) {
+		if n.Kind != xmldoc.Attribute || !isOneOf(n.Tag, opts.IDAttrs) {
+			return
+		}
+		v := strings.TrimSpace(n.Text)
+		if v == "" {
+			return
+		}
+		stats.IDs++
+		// The edge target is the element owning the attribute.
+		owner := store.RefOf(d, n.Parent)
+		if _, dup := ids[v]; dup {
+			stats.Duplicate++
+			return
+		}
+		ids[v] = owner
+	})
+
+	// Pass 2: resolve references.
+	g.col.EachNode(func(d *xmldoc.Document, n *xmldoc.Node) {
+		if n.Kind != xmldoc.Attribute {
+			return
+		}
+		switch {
+		case isOneOf(n.Tag, opts.IDRefAttrs):
+			for _, v := range strings.Fields(n.Text) {
+				target, ok := ids[v]
+				if !ok {
+					stats.Dangling++
+					continue
+				}
+				src := store.RefOf(d, n.Parent)
+				if err := g.AddEdge(src, target, IDRef, n.Parent.Tag); err == nil {
+					stats.IDRefs++
+				}
+			}
+		case isOneOf(n.Tag, opts.XLinkAttrs):
+			v := strings.TrimSpace(n.Text)
+			if !strings.HasPrefix(v, "#") {
+				return // external URI; not resolvable inside the collection
+			}
+			target, ok := ids[v[1:]]
+			if !ok {
+				stats.Dangling++
+				return
+			}
+			src := store.RefOf(d, n.Parent)
+			if err := g.AddEdge(src, target, XLink, n.Parent.Tag); err == nil {
+				stats.XLinks++
+			}
+		}
+	})
+	return stats
+}
+
+// AddValueLinks joins nodes at fromPath to nodes at toPath on equal content
+// (a primary key/foreign key relationship) and adds a Value edge per pair,
+// labeled label. It returns the number of edges added. Nodes with empty
+// content never join.
+func (g *Graph) AddValueLinks(fromPath, toPath, label string) int {
+	dict := g.col.Dict()
+	fp := dict.LookupPath(fromPath)
+	tp := dict.LookupPath(toPath)
+	if fp == 0 || tp == 0 {
+		return 0
+	}
+	// Index target values.
+	targets := make(map[string][]xmldoc.NodeRef)
+	g.col.EachNode(func(d *xmldoc.Document, n *xmldoc.Node) {
+		if n.Path != tp {
+			return
+		}
+		v := strings.TrimSpace(n.Content())
+		if v == "" {
+			return
+		}
+		targets[v] = append(targets[v], store.RefOf(d, n))
+	})
+	added := 0
+	g.col.EachNode(func(d *xmldoc.Document, n *xmldoc.Node) {
+		if n.Path != fp {
+			return
+		}
+		v := strings.TrimSpace(n.Content())
+		if v == "" {
+			return
+		}
+		src := store.RefOf(d, n)
+		for _, t := range targets[v] {
+			if src.Equal(t) {
+				continue
+			}
+			if err := g.AddEdge(src, t, Value, label); err == nil {
+				added++
+			}
+		}
+	})
+	return added
+}

@@ -1,0 +1,301 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seda/internal/dewey"
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+)
+
+// fixture builds a Mondial-like linked corpus: countries and seas with
+// IDREF "bordering" relations and an XLink trade reference, mirroring the
+// paper's Figure 1.
+func fixture(t testing.TB) (*store.Collection, *Graph) {
+	t.Helper()
+	c := store.NewCollection()
+	docs := []string{
+		`<country id="us"><name>United States</name>
+			<economy><import_partners><item><trade_country href="#cn">China</trade_country><percentage>15%</percentage></item></import_partners></economy>
+		 </country>`,
+		`<country id="cn"><name>China</name></country>`,
+		`<sea id="pacific" bordering="us cn"><name>Pacific Ocean</name></sea>`,
+		`<country id="ph" bordering="pacific"><name>Philippines</name></country>`,
+	}
+	for i, d := range docs {
+		if _, err := c.AddXML(fmt.Sprintf("doc%d", i), []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, New(c)
+}
+
+func TestDiscoverLinks(t *testing.T) {
+	_, g := fixture(t)
+	stats := g.DiscoverLinks(DiscoverOptions{
+		IDRefAttrs: []string{"bordering"},
+	})
+	if stats.IDs != 4 {
+		t.Errorf("IDs = %d, want 4", stats.IDs)
+	}
+	// sea->us, sea->cn, ph->pacific = 3 IDREF edges.
+	if stats.IDRefs != 3 {
+		t.Errorf("IDRefs = %d, want 3", stats.IDRefs)
+	}
+	// trade_country href="#cn" = 1 XLink edge.
+	if stats.XLinks != 1 {
+		t.Errorf("XLinks = %d, want 1", stats.XLinks)
+	}
+	if stats.Dangling != 0 {
+		t.Errorf("Dangling = %d", stats.Dangling)
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	// Edge labels carry the referencing element tag.
+	sea := xmldoc.NodeRef{Doc: 2, Dewey: dewey.Root()}
+	from := g.EdgesFrom(sea)
+	if len(from) != 2 {
+		t.Fatalf("EdgesFrom(sea) = %d", len(from))
+	}
+	for _, e := range from {
+		if e.Label != "sea" || e.Kind != IDRef {
+			t.Errorf("edge = %+v", e)
+		}
+	}
+	us := xmldoc.NodeRef{Doc: 0, Dewey: dewey.Root()}
+	if got := g.EdgesTo(us); len(got) != 1 {
+		t.Errorf("EdgesTo(us) = %d", len(got))
+	}
+}
+
+func TestDiscoverDanglingAndDuplicates(t *testing.T) {
+	c := store.NewCollection()
+	for i, d := range []string{
+		`<a id="x" ref="nope"/>`,
+		`<b id="x"/>`, // duplicate id
+	} {
+		if _, err := c.AddXML(fmt.Sprintf("d%d", i), []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := New(c)
+	stats := g.DiscoverLinks(DiscoverOptions{})
+	if stats.Dangling != 1 {
+		t.Errorf("Dangling = %d, want 1", stats.Dangling)
+	}
+	if stats.Duplicate != 1 {
+		t.Errorf("Duplicate = %d, want 1", stats.Duplicate)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	_, g := fixture(t)
+	good := xmldoc.NodeRef{Doc: 0, Dewey: dewey.Root()}
+	bad := xmldoc.NodeRef{Doc: 9, Dewey: dewey.Root()}
+	if err := g.AddEdge(good, bad, IDRef, "x"); err == nil {
+		t.Error("dangling target accepted")
+	}
+	if err := g.AddEdge(bad, good, IDRef, "x"); err == nil {
+		t.Error("dangling source accepted")
+	}
+	if err := g.AddEdge(good, good, Value, "self"); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+}
+
+func TestAddValueLinks(t *testing.T) {
+	c := store.NewCollection()
+	docs := []string{
+		`<country><name>China</name></country>`,
+		`<country><name>United States</name>
+			<economy><import_partners><item><trade_country>China</trade_country></item></import_partners></economy></country>`,
+	}
+	for i, d := range docs {
+		if _, err := c.AddXML(fmt.Sprintf("d%d", i), []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := New(c)
+	n := g.AddValueLinks("/country/economy/import_partners/item/trade_country", "/country/name", "trade partner")
+	if n != 1 {
+		t.Fatalf("AddValueLinks = %d, want 1", n)
+	}
+	e := g.Edges()[0]
+	if e.Kind != Value || e.Label != "trade partner" {
+		t.Errorf("edge = %+v", e)
+	}
+	if e.To.Doc != 0 {
+		t.Errorf("edge target doc = %d", e.To.Doc)
+	}
+	// Unknown paths are a no-op.
+	if g.AddValueLinks("/nope", "/country/name", "x") != 0 {
+		t.Error("unknown from-path should add nothing")
+	}
+}
+
+func TestTreeDistanceAndPairDistance(t *testing.T) {
+	_, g := fixture(t)
+	// Within doc0: trade_country (1.2.1.1.1) and percentage (1.2.1.1.2) are
+	// siblings -> distance 2.
+	tc := xmldoc.NodeRef{Doc: 0, Dewey: dewey.ID{1, 2, 1, 1, 1}}
+	pc := xmldoc.NodeRef{Doc: 0, Dewey: dewey.ID{1, 2, 1, 1, 2}}
+	if d := TreeDistance(tc, pc); d != 2 {
+		t.Errorf("sibling tree distance = %d", d)
+	}
+	if d := g.PairDistance(tc, pc, 2); d != 2 {
+		t.Errorf("PairDistance same doc = %d", d)
+	}
+	if TreeDistance(tc, xmldoc.NodeRef{Doc: 1, Dewey: dewey.Root()}) != Unreachable {
+		t.Error("cross-doc tree distance must be unreachable")
+	}
+}
+
+func TestCrossDocDistanceViaLinks(t *testing.T) {
+	_, g := fixture(t)
+	g.DiscoverLinks(DiscoverOptions{IDRefAttrs: []string{"bordering"}})
+	us := xmldoc.NodeRef{Doc: 0, Dewey: dewey.Root()}
+	cnName := xmldoc.NodeRef{Doc: 1, Dewey: dewey.ID{1, 2}}
+	// Two routes exist: via the trade_country XLink (us root to
+	// trade_country = 4 tree edges, +2 link, +1 to name = 7) or through the
+	// Pacific sea's bordering IDREFs (0 +2 +0 +2 +1 = 5). Dijkstra must
+	// find the shorter two-hop route.
+	if d := g.PairDistance(us, cnName, 2); d != 5 {
+		t.Errorf("PairDistance(us, cn/name, 2 hops) = %d, want 5", d)
+	}
+	// Capped to one hop, only the direct XLink route remains.
+	if d := g.PairDistance(us, cnName, 1); d != 7 {
+		t.Errorf("PairDistance(us, cn/name, 1 hop) = %d, want 7", d)
+	}
+	// With zero link hops allowed: unreachable.
+	if g.PairDistance(us, cnName, 0) != Unreachable {
+		t.Error("0 hops should be unreachable")
+	}
+	// Philippines -> Pacific -> China needs 2 hops.
+	ph := xmldoc.NodeRef{Doc: 3, Dewey: dewey.Root()}
+	cn := xmldoc.NodeRef{Doc: 1, Dewey: dewey.Root()}
+	if d := g.PairDistance(ph, cn, 2); d == Unreachable {
+		t.Error("2-hop path should exist")
+	}
+	if d := g.PairDistance(ph, cn, 1); d != Unreachable {
+		t.Errorf("1 hop should not reach, got %d", d)
+	}
+}
+
+func TestDocsConnected(t *testing.T) {
+	_, g := fixture(t)
+	g.DiscoverLinks(DiscoverOptions{IDRefAttrs: []string{"bordering"}})
+	if !g.DocsConnected(3, 1, 2) {
+		t.Error("ph and cn should connect within 2 hops")
+	}
+	if g.DocsConnected(3, 1, 1) {
+		t.Error("ph and cn should not connect within 1 hop")
+	}
+	if !g.DocsConnected(2, 2, 0) {
+		t.Error("same doc always connected")
+	}
+}
+
+func TestSteinerWeightAndCompactness(t *testing.T) {
+	_, g := fixture(t)
+	g.DiscoverLinks(DiscoverOptions{IDRefAttrs: []string{"bordering"}})
+	// Same-doc triple: trade_country, percentage, country root.
+	refs := []xmldoc.NodeRef{
+		{Doc: 0, Dewey: dewey.Root()},
+		{Doc: 0, Dewey: dewey.ID{1, 2, 1, 1, 1}},
+		{Doc: 0, Dewey: dewey.ID{1, 2, 1, 1, 2}},
+	}
+	w, ok := g.SteinerWeight(refs, 2)
+	if !ok {
+		t.Fatal("same-doc tuple must be connected")
+	}
+	// MST: root-tc (4) + tc-pc (2) = 6.
+	if w != 6 {
+		t.Errorf("steiner weight = %d, want 6", w)
+	}
+	if Compactness(w) <= 0 || Compactness(w) > 1 {
+		t.Errorf("compactness out of range: %v", Compactness(w))
+	}
+	if Compactness(0) != 1 {
+		t.Error("single node compactness must be 1")
+	}
+	if Compactness(Unreachable) != 0 {
+		t.Error("unreachable compactness must be 0")
+	}
+	// Disconnected tuple: doc3 has no link to doc1 within 1 hop.
+	_, ok = g.SteinerWeight([]xmldoc.NodeRef{
+		{Doc: 3, Dewey: dewey.Root()},
+		{Doc: 1, Dewey: dewey.Root()},
+	}, 1)
+	if ok {
+		t.Error("tuple should be disconnected at 1 hop")
+	}
+	// Singleton and empty tuples.
+	if w, ok := g.SteinerWeight(refs[:1], 1); !ok || w != 0 {
+		t.Errorf("singleton = %d,%v", w, ok)
+	}
+	if w, ok := g.SteinerWeight(nil, 1); !ok || w != 0 {
+		t.Errorf("empty = %d,%v", w, ok)
+	}
+}
+
+// Property: PairDistance is symmetric and satisfies the triangle inequality
+// on same-doc random nodes (where it reduces to tree distance plus possible
+// link shortcuts).
+func TestPropPairDistanceMetric(t *testing.T) {
+	c := store.NewCollection()
+	// One deep document.
+	var build func(r *rand.Rand, depth int) *xmldoc.Node
+	build = func(r *rand.Rand, depth int) *xmldoc.Node {
+		n := xmldoc.Elem(fmt.Sprintf("t%d", r.Intn(3)))
+		if depth < 4 {
+			for i := 0; i < 1+r.Intn(2); i++ {
+				n.Add(build(r, depth+1))
+			}
+		}
+		return n
+	}
+	r := rand.New(rand.NewSource(7))
+	c.AddDocument(xmldoc.Build("d", build(r, 0), c.Dict()))
+	g := New(c)
+	var refs []xmldoc.NodeRef
+	c.EachNode(func(d *xmldoc.Document, n *xmldoc.Node) {
+		refs = append(refs, store.RefOf(d, n))
+	})
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a := refs[rr.Intn(len(refs))]
+		b := refs[rr.Intn(len(refs))]
+		x := refs[rr.Intn(len(refs))]
+		dab := g.PairDistance(a, b, 1)
+		dba := g.PairDistance(b, a, 1)
+		if dab != dba {
+			return false
+		}
+		dax := g.PairDistance(a, x, 1)
+		dxb := g.PairDistance(x, b, 1)
+		return dab <= dax+dxb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgesOfDoc(t *testing.T) {
+	_, g := fixture(t)
+	g.DiscoverLinks(DiscoverOptions{IDRefAttrs: []string{"bordering"}})
+	// doc2 (sea): 2 outgoing + 1 incoming (from ph).
+	es := g.EdgesOfDoc(2)
+	if len(es) != 3 {
+		t.Errorf("EdgesOfDoc(sea) = %d, want 3", len(es))
+	}
+	if g.EdgesOfDoc(99) != nil {
+		t.Error("unknown doc should have no edges")
+	}
+}

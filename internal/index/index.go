@@ -1,0 +1,325 @@
+// Package index implements SEDA's full-text indexes (paper §4, §5).
+//
+// Two logical indexes are built over a store.Collection:
+//
+//   - The node index: term → postings of the nodes whose *direct* text (or
+//     attribute value) contains the term, in (doc, Dewey) order with
+//     positions. This plays the role of the paper's Lucene index feeding
+//     the top-k search unit.
+//
+//   - The context index of Figure 8: term → distinct paths the term occurs
+//     in, with occurrence counts. "This full-text index contains all
+//     keywords that appear in the data set as content, as well as all the
+//     tag names. Each distinct path is treated as a virtual document."
+//     It powers the context summary (§5) without touching the node index.
+//
+// The package also exposes MatchTerm, which evaluates one query term
+// (context, search_query) to the set of satisfying nodes per Definition 3.
+package index
+
+import (
+	"sort"
+	"strings"
+
+	"seda/internal/fulltext"
+	"seda/internal/pathdict"
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+)
+
+// Posting records one node whose direct text contains a term.
+type Posting struct {
+	Ref       xmldoc.NodeRef
+	Path      pathdict.PathID
+	Positions []int32 // token positions of the term within the node's direct text
+}
+
+// Index holds the node and context indexes for one collection.
+type Index struct {
+	col *store.Collection
+
+	postings map[string][]Posting // node index, (doc, Dewey)-ordered
+	terms    []string             // sorted term list for prefix scans
+
+	pathTerms map[string]map[pathdict.PathID]int // Fig. 8 context index (content terms + tag names)
+
+	termDocFreq map[string]int // # docs containing term, for IDF
+	pathNodes   map[pathdict.PathID][]xmldoc.NodeRef
+	allPaths    []pathdict.PathID // every distinct path, sorted by string
+}
+
+// Build constructs both indexes in one pass over the collection.
+func Build(col *store.Collection) *Index {
+	ix := &Index{
+		col:         col,
+		postings:    make(map[string][]Posting),
+		pathTerms:   make(map[string]map[pathdict.PathID]int),
+		termDocFreq: make(map[string]int),
+		pathNodes:   make(map[pathdict.PathID][]xmldoc.NodeRef),
+	}
+	lastDocForTerm := make(map[string]xmldoc.DocID)
+	for _, doc := range col.Docs() {
+		d := doc
+		d.Walk(func(n *xmldoc.Node) bool {
+			ref := store.RefOf(d, n)
+			ix.pathNodes[n.Path] = append(ix.pathNodes[n.Path], ref)
+			// Tag names are keywords in the context index.
+			ix.bumpPathTerm(fulltext.NormalizeTerm(n.Tag), n.Path)
+			if n.Text != "" {
+				toks := fulltext.Tokenize(n.Text)
+				var cur string
+				var curPost *Posting
+				for _, tk := range toks {
+					ix.bumpPathTerm(tk.Term, n.Path)
+					if tk.Term != cur || curPost == nil {
+						ix.postings[tk.Term] = append(ix.postings[tk.Term], Posting{Ref: ref, Path: n.Path})
+						curPost = &ix.postings[tk.Term][len(ix.postings[tk.Term])-1]
+						cur = tk.Term
+					}
+					curPost.Positions = append(curPost.Positions, int32(tk.Pos))
+					if last, ok := lastDocForTerm[tk.Term]; !ok || last != d.ID {
+						lastDocForTerm[tk.Term] = d.ID
+						ix.termDocFreq[tk.Term]++
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Postings for one term may interleave node visits (same node appended
+	// once per distinct run); normalize to unique nodes in (doc, Dewey)
+	// order.
+	for term, ps := range ix.postings {
+		ix.postings[term] = normalizePostings(ps)
+		ix.terms = append(ix.terms, term)
+	}
+	sort.Strings(ix.terms)
+	for p := range ix.pathNodes {
+		ix.allPaths = append(ix.allPaths, p)
+	}
+	dict := col.Dict()
+	sort.Slice(ix.allPaths, func(i, j int) bool { return dict.Path(ix.allPaths[i]) < dict.Path(ix.allPaths[j]) })
+	return ix
+}
+
+func (ix *Index) bumpPathTerm(term string, p pathdict.PathID) {
+	if term == "" {
+		return
+	}
+	m, ok := ix.pathTerms[term]
+	if !ok {
+		m = make(map[pathdict.PathID]int)
+		ix.pathTerms[term] = m
+	}
+	m[p]++
+}
+
+func normalizePostings(ps []Posting) []Posting {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Ref.Less(ps[j].Ref) })
+	out := ps[:0]
+	for _, p := range ps {
+		if len(out) > 0 && out[len(out)-1].Ref.Equal(p.Ref) {
+			last := &out[len(out)-1]
+			last.Positions = append(last.Positions, p.Positions...)
+			continue
+		}
+		out = append(out, p)
+	}
+	for i := range out {
+		sort.Slice(out[i].Positions, func(a, b int) bool { return out[i].Positions[a] < out[i].Positions[b] })
+	}
+	return out
+}
+
+// Collection returns the indexed collection.
+func (ix *Index) Collection() *store.Collection { return ix.col }
+
+// Lookup returns the postings of term (nil if absent). The returned slice
+// must not be modified.
+func (ix *Index) Lookup(term string) []Posting { return ix.postings[term] }
+
+// LookupPrefix returns merged postings of all terms starting with prefix,
+// in (doc, Dewey) order.
+func (ix *Index) LookupPrefix(prefix string) []Posting {
+	lo := sort.SearchStrings(ix.terms, prefix)
+	var merged []Posting
+	for i := lo; i < len(ix.terms) && strings.HasPrefix(ix.terms[i], prefix); i++ {
+		merged = append(merged, ix.postings[ix.terms[i]]...)
+	}
+	return normalizePostings(merged)
+}
+
+// LookupQuery resolves a TermQuery (exact or prefix) to postings.
+func (ix *Index) LookupQuery(tq fulltext.TermQuery) []Posting {
+	if tq.Prefix {
+		return ix.LookupPrefix(tq.Term)
+	}
+	return ix.Lookup(tq.Term)
+}
+
+// PhrasePostings returns postings of nodes whose direct text contains the
+// exact phrase, computed by position intersection on the node index.
+func (ix *Index) PhrasePostings(terms []string) []Posting {
+	if len(terms) == 0 {
+		return nil
+	}
+	base := ix.Lookup(terms[0])
+	if len(terms) == 1 {
+		return base
+	}
+	var out []Posting
+	for _, p := range base {
+		ok := true
+		offsets := p.Positions // candidate phrase start positions
+		for k := 1; k < len(terms) && ok; k++ {
+			next := ix.findPosting(terms[k], p.Ref)
+			if next == nil {
+				ok = false
+				break
+			}
+			var keep []int32
+			for _, start := range offsets {
+				if containsI32(next.Positions, start+int32(k)) {
+					keep = append(keep, start)
+				}
+			}
+			offsets = keep
+			ok = len(offsets) > 0
+		}
+		if ok {
+			out = append(out, Posting{Ref: p.Ref, Path: p.Path, Positions: offsets})
+		}
+	}
+	return out
+}
+
+func (ix *Index) findPosting(term string, ref xmldoc.NodeRef) *Posting {
+	ps := ix.postings[term]
+	i := sort.Search(len(ps), func(i int) bool { return !ps[i].Ref.Less(ref) })
+	if i < len(ps) && ps[i].Ref.Equal(ref) {
+		return &ps[i]
+	}
+	return nil
+}
+
+func containsI32(xs []int32, v int32) bool {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+	return i < len(xs) && xs[i] == v
+}
+
+// DocFreq returns the number of documents containing term.
+func (ix *Index) DocFreq(term string) int { return ix.termDocFreq[term] }
+
+// NumTerms returns the vocabulary size of the node index.
+func (ix *Index) NumTerms() int { return len(ix.terms) }
+
+// NodesAtPath returns all nodes with the given path in (doc, Dewey) order.
+// The returned slice must not be modified.
+func (ix *Index) NodesAtPath(p pathdict.PathID) []xmldoc.NodeRef { return ix.pathNodes[p] }
+
+// AllPaths returns every distinct path of the collection, sorted by string
+// form. The returned slice must not be modified.
+func (ix *Index) AllPaths() []pathdict.PathID { return ix.allPaths }
+
+// PathsForTerm implements the Figure 8 probe for a single keyword: the
+// distinct paths the term occurs in, with occurrence counts.
+func (ix *Index) PathsForTerm(term string) map[pathdict.PathID]int {
+	return ix.pathTerms[fulltext.NormalizeTerm(term)]
+}
+
+// PathsForExpr computes the distinct paths an expression can match in,
+// combining per-term path sets: intersection across conjuncts and phrase
+// members, union across disjuncts (paper §5: "compute the set of distinct
+// paths for phrase queries, as well as other search queries with multiple
+// keywords connected with conjunction or disjunction"). MatchAll and
+// purely negative expressions return every path.
+func (ix *Index) PathsForExpr(e fulltext.Expr) map[pathdict.PathID]int {
+	switch t := e.(type) {
+	case fulltext.Word:
+		if t.Prefix {
+			out := make(map[pathdict.PathID]int)
+			lo := sort.SearchStrings(ix.terms, t.Term)
+			for i := lo; i < len(ix.terms) && strings.HasPrefix(ix.terms[i], t.Term); i++ {
+				for p, c := range ix.pathTerms[ix.terms[i]] {
+					out[p] += c
+				}
+			}
+			// Tag names may not appear in ix.terms (node index); scan the
+			// context index for prefix matches too.
+			for term, paths := range ix.pathTerms {
+				if strings.HasPrefix(term, t.Term) && !hasString(ix.terms, term) {
+					for p, c := range paths {
+						out[p] += c
+					}
+				}
+			}
+			return out
+		}
+		return copyPathCounts(ix.pathTerms[t.Term])
+	case fulltext.Phrase:
+		return ix.intersectPaths(wordExprs(t.TermsSeq))
+	case fulltext.And:
+		return ix.intersectPaths(t.Children)
+	case fulltext.Or:
+		out := make(map[pathdict.PathID]int)
+		for _, c := range t.Children {
+			for p, n := range ix.PathsForExpr(c) {
+				out[p] += n
+			}
+		}
+		return out
+	case fulltext.Not, fulltext.MatchAll:
+		out := make(map[pathdict.PathID]int)
+		for _, p := range ix.allPaths {
+			out[p] = len(ix.pathNodes[p])
+		}
+		return out
+	}
+	return nil
+}
+
+func (ix *Index) intersectPaths(children []fulltext.Expr) map[pathdict.PathID]int {
+	var acc map[pathdict.PathID]int
+	for _, c := range children {
+		if _, isNot := c.(fulltext.Not); isNot {
+			continue // negative conjuncts do not restrict the path set
+		}
+		m := ix.PathsForExpr(c)
+		if acc == nil {
+			acc = copyPathCounts(m)
+			continue
+		}
+		for p := range acc {
+			if n, ok := m[p]; ok {
+				acc[p] += n
+			} else {
+				delete(acc, p)
+			}
+		}
+	}
+	if acc == nil {
+		acc = make(map[pathdict.PathID]int)
+	}
+	return acc
+}
+
+func wordExprs(terms []string) []fulltext.Expr {
+	out := make([]fulltext.Expr, len(terms))
+	for i, t := range terms {
+		out[i] = fulltext.Word{Term: t}
+	}
+	return out
+}
+
+func copyPathCounts(m map[pathdict.PathID]int) map[pathdict.PathID]int {
+	out := make(map[pathdict.PathID]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func hasString(sorted []string, s string) bool {
+	i := sort.SearchStrings(sorted, s)
+	return i < len(sorted) && sorted[i] == s
+}

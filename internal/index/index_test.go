@@ -1,0 +1,186 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"seda/internal/fulltext"
+	"seda/internal/pathdict"
+	"seda/internal/store"
+)
+
+// buildFixture assembles a miniature World Factbook-like corpus echoing the
+// paper's Figure 2 fragments.
+func buildFixture(t testing.TB) (*store.Collection, *Index) {
+	t.Helper()
+	c := store.NewCollection()
+	docs := []string{
+		// (a) United States as a country, 2002
+		`<country><name>United States</name><year>2002</year><economy><GDP>10.082T</GDP></economy></country>`,
+		// (b) Mexico 2003 with United States as import partner
+		`<country><name>Mexico</name><year>2003</year><economy><GDP>924.4B</GDP>
+			<import_partners><item><trade_country>United States</trade_country><percentage>70.6%</percentage></item>
+			<item><trade_country>Germany</trade_country><percentage>3.5%</percentage></item></import_partners>
+		 </economy></country>`,
+		// (c) Mexico 2005 with United States as export partner
+		`<country><name>Mexico</name><year>2005</year><economy><GDP_ppp>1.006T</GDP_ppp>
+			<export_partners><item><trade_country>United States</trade_country><percentage>15.3%</percentage></item></export_partners>
+		 </economy></country>`,
+		// A sea document (different root)
+		`<sea><name>Pacific Ocean</name><bordering>United States</bordering></sea>`,
+	}
+	for i, d := range docs {
+		if _, err := c.AddXML(fmt.Sprintf("doc%d", i), []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, Build(c)
+}
+
+func TestLookupBasics(t *testing.T) {
+	_, ix := buildFixture(t)
+	ps := ix.Lookup("united")
+	if len(ps) != 4 {
+		t.Fatalf("postings(united) = %d, want 4", len(ps))
+	}
+	// Postings are in (doc, Dewey) order and unique per node.
+	for i := 1; i < len(ps); i++ {
+		if !ps[i-1].Ref.Less(ps[i].Ref) {
+			t.Errorf("postings out of order at %d", i)
+		}
+	}
+	if ix.Lookup("nonexistent") != nil {
+		t.Error("unknown term should have nil postings")
+	}
+	if ix.DocFreq("united") != 4 {
+		t.Errorf("DocFreq(united) = %d", ix.DocFreq("united"))
+	}
+	if ix.DocFreq("mexico") != 2 {
+		t.Errorf("DocFreq(mexico) = %d", ix.DocFreq("mexico"))
+	}
+}
+
+func TestLookupPrefix(t *testing.T) {
+	_, ix := buildFixture(t)
+	got := ix.LookupPrefix("germ")
+	if len(got) != 1 {
+		t.Fatalf("LookupPrefix(germ) = %d postings", len(got))
+	}
+	// "10.082t" and "15.3%" both start with "1".
+	ones := ix.LookupPrefix("1")
+	if len(ones) < 2 {
+		t.Errorf("LookupPrefix(1) = %d, want >= 2", len(ones))
+	}
+	if ix.LookupPrefix("zzz") != nil {
+		t.Error("no-match prefix should be nil")
+	}
+}
+
+func TestPhrasePostings(t *testing.T) {
+	_, ix := buildFixture(t)
+	ps := ix.PhrasePostings([]string{"united", "states"})
+	if len(ps) != 4 {
+		t.Fatalf("phrase postings = %d, want 4", len(ps))
+	}
+	if got := ix.PhrasePostings([]string{"states", "united"}); got != nil {
+		t.Errorf("reversed phrase matched: %v", got)
+	}
+	if got := ix.PhrasePostings([]string{"pacific", "states"}); got != nil {
+		t.Errorf("cross-node phrase in direct text matched: %v", got)
+	}
+	if ix.PhrasePostings(nil) != nil {
+		t.Error("empty phrase should be nil")
+	}
+	single := ix.PhrasePostings([]string{"pacific"})
+	if len(single) != 1 {
+		t.Errorf("single-term phrase = %d", len(single))
+	}
+}
+
+func TestContextIndexFig8(t *testing.T) {
+	c, ix := buildFixture(t)
+	dict := c.Dict()
+	// "united" occurs in three element contexts + the sea bordering context.
+	paths := ix.PathsForTerm("united")
+	var got []string
+	for p := range paths {
+		got = append(got, dict.Path(p))
+	}
+	want := map[string]bool{
+		"/country/name": true,
+		"/country/economy/import_partners/item/trade_country": true,
+		"/country/economy/export_partners/item/trade_country": true,
+		"/sea/bordering": true,
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("PathsForTerm(united) = %v, want %d contexts", got, len(want))
+	}
+	for p := range paths {
+		if !want[dict.Path(p)] {
+			t.Errorf("unexpected context %q", dict.Path(p))
+		}
+	}
+	// Tag names are indexed as keywords (Fig. 8).
+	tagPaths := ix.PathsForTerm("trade_country")
+	if len(tagPaths) != 2 {
+		t.Errorf("PathsForTerm(trade_country) = %d contexts, want 2", len(tagPaths))
+	}
+}
+
+func TestPathsForExprCombinations(t *testing.T) {
+	c, ix := buildFixture(t)
+	dict := c.Dict()
+
+	// Conjunction intersects the per-term path sets: "united" and "mexico"
+	// co-occur only in the /country/name context.
+	and := ix.PathsForExpr(fulltext.MustParseQuery("united mexico"))
+	if len(and) != 1 || renderPaths(dict, and)[0] != "/country/name" {
+		t.Errorf("AND paths = %v", renderPaths(dict, and))
+	}
+	// Disjunction unions.
+	or := ix.PathsForExpr(fulltext.MustParseQuery("pacific OR germany"))
+	if len(or) != 2 {
+		t.Errorf("OR paths = %v", renderPaths(dict, or))
+	}
+	// Phrase behaves like conjunction of members.
+	ph := ix.PathsForExpr(fulltext.MustParseQuery(`"united states"`))
+	if len(ph) != 4 {
+		t.Errorf("phrase paths = %v", renderPaths(dict, ph))
+	}
+	// MatchAll covers every distinct path.
+	all := ix.PathsForExpr(fulltext.MatchAll{})
+	if len(all) != len(ix.AllPaths()) {
+		t.Errorf("MatchAll paths = %d, want %d", len(all), len(ix.AllPaths()))
+	}
+	// NOT within AND does not restrict the path set.
+	nand := ix.PathsForExpr(fulltext.MustParseQuery("united AND NOT mexico"))
+	un := ix.PathsForExpr(fulltext.MustParseQuery("united"))
+	if len(nand) != len(un) {
+		t.Errorf("NOT restricted the path set: %d vs %d", len(nand), len(un))
+	}
+}
+
+func TestNodesAtPath(t *testing.T) {
+	c, ix := buildFixture(t)
+	dict := c.Dict()
+	p := dict.LookupPath("/country/economy/import_partners/item")
+	refs := ix.NodesAtPath(p)
+	if len(refs) != 2 {
+		t.Fatalf("NodesAtPath(item) = %d, want 2", len(refs))
+	}
+	for i := 1; i < len(refs); i++ {
+		if !refs[i-1].Less(refs[i]) {
+			t.Error("NodesAtPath not ordered")
+		}
+	}
+}
+
+func renderPaths(dict *pathdict.Dict, m map[pathdict.PathID]int) []string {
+	out := make([]string, 0, len(m))
+	for p := range m {
+		out = append(out, dict.Path(p))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,359 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"seda/internal/dewey"
+	"seda/internal/fulltext"
+	"seda/internal/pathdict"
+	"seda/internal/query"
+	"seda/internal/xmldoc"
+)
+
+// Match is one node satisfying a query term, with its content score.
+type Match struct {
+	Ref   xmldoc.NodeRef
+	Path  pathdict.PathID
+	Score float64
+}
+
+// MatchTerm returns all nodes satisfying the query term per Definition 3:
+// content(n) satisfies the search expression and the context matches the
+// node's name or full path. Results are in (doc, Dewey) order.
+//
+// Candidate generation works on the node index: the deepest nodes whose
+// subtree covers a conjunctive clause of the expression (an SLCA-style
+// computation on Dewey ids) are "anchors"; anchors are then lifted to the
+// ancestors-or-self whose path satisfies the context, and every lifted node
+// is verified by evaluating the full expression against content(n). For
+// match-all or purely negative expressions the context's paths enumerate
+// candidates directly.
+func (ix *Index) MatchTerm(t query.Term) ([]Match, error) {
+	if fulltext.OpenMatch(t.Search) {
+		// The expression can match content containing no positive term, so
+		// anchors cannot enumerate candidates; scan by context instead.
+		return ix.matchByContextScan(t)
+	}
+	clauses := dnfClauses(t.Search)
+	if len(clauses) == 0 {
+		return ix.matchByContextScan(t)
+	}
+	anchorSet := make(map[string]xmldoc.NodeRef)
+	for _, clause := range clauses {
+		for _, ref := range ix.clauseAnchors(clause) {
+			anchorSet[refKey(ref)] = ref
+		}
+	}
+	candSet := make(map[string]candidate)
+	dict := ix.col.Dict()
+	for _, anchor := range anchorSet {
+		if t.Context.IsEmpty() {
+			candSet[refKey(anchor)] = candidate{ref: anchor}
+			continue
+		}
+		// Lift to context-matching ancestors-or-self. Ancestor paths are
+		// the step-prefixes of the anchor's path, so the check needs no
+		// tree access.
+		aPath := ix.col.PathOf(anchor)
+		for lvl := anchor.Dewey.Level(); lvl >= 1; lvl-- {
+			p := dict.AncestorAtDepth(aPath, lvl)
+			if p == pathdict.InvalidPath {
+				continue
+			}
+			if t.Context.Matches(dict, p) {
+				ref := xmldoc.NodeRef{Doc: anchor.Doc, Dewey: anchor.Dewey.Prefix(lvl)}
+				candSet[refKey(ref)] = candidate{ref: ref}
+			}
+		}
+	}
+	return ix.verify(t, candSet)
+}
+
+type candidate struct {
+	ref xmldoc.NodeRef
+}
+
+// matchByContextScan handles terms whose expression yields no positive index
+// probes — (context, *) and (context, NOT x). Candidates are all nodes at
+// context-matching paths. query.NewTerm guarantees such terms have a
+// context.
+func (ix *Index) matchByContextScan(t query.Term) ([]Match, error) {
+	if t.Context.IsEmpty() {
+		return nil, fmt.Errorf("index: term %s has neither positive search terms nor a context", t)
+	}
+	dict := ix.col.Dict()
+	candSet := make(map[string]candidate)
+	for _, p := range ix.allPaths {
+		if !t.Context.Matches(dict, p) {
+			continue
+		}
+		for _, ref := range ix.pathNodes[p] {
+			candSet[refKey(ref)] = candidate{ref: ref}
+		}
+	}
+	return ix.verify(t, candSet)
+}
+
+// verify evaluates the full search expression against content(n) for every
+// candidate and scores survivors.
+func (ix *Index) verify(t query.Term, cands map[string]candidate) ([]Match, error) {
+	matches := make([]Match, 0, len(cands))
+	for _, c := range cands {
+		node := ix.col.Node(c.ref)
+		if node == nil {
+			continue
+		}
+		content := fulltext.NewContent(node.Content())
+		if !t.Search.Matches(content) {
+			continue
+		}
+		matches = append(matches, Match{
+			Ref:   c.ref,
+			Path:  node.Path,
+			Score: ix.contentScore(t.Search, content),
+		})
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].Ref.Less(matches[j].Ref) })
+	return matches, nil
+}
+
+// contentScore is a TF-IDF content score: sum over the expression's
+// positive terms of tf·idf, dampened by content length so that deep
+// containers do not dominate leaf-level matches. MatchAll terms score a
+// neutral 1.
+func (ix *Index) contentScore(e fulltext.Expr, content *fulltext.Content) float64 {
+	tqs := fulltext.Terms(e)
+	if len(tqs) == 0 {
+		return 1
+	}
+	n := float64(ix.col.NumDocs())
+	var s float64
+	for _, tq := range tqs {
+		tf := float64(content.TermFreq(tq.Term))
+		if tq.Prefix {
+			// Approximate prefix tf by scanning; cheap because content term
+			// maps are small.
+			tf = 0
+			for i := sort.SearchStrings(ix.terms, tq.Term); i < len(ix.terms) && hasPrefix(ix.terms[i], tq.Term); i++ {
+				tf += float64(content.TermFreq(ix.terms[i]))
+			}
+		}
+		if tf == 0 {
+			continue
+		}
+		df := float64(ix.termDocFreq[tq.Term])
+		if df == 0 {
+			df = 1
+		}
+		idf := math.Log(1 + n/df)
+		s += (1 + math.Log(tf)) * idf
+	}
+	return s / (1 + 0.3*math.Log(1+float64(content.Len())))
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// dnfClauses flattens the positive structure of an expression into
+// conjunctive clauses of index probes (a shallow DNF): each clause is a set
+// of probes that must all occur within one subtree for the clause to match
+// there. Negations contribute nothing (they are verification-only).
+// Returns nil when the expression has no positive probes at all.
+func dnfClauses(e fulltext.Expr) [][]probe {
+	const maxClauses = 64
+	cs := dnf(e, maxClauses)
+	out := cs[:0]
+	for _, c := range cs {
+		if len(c) > 0 {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// probe is a positive index access: a word or a word prefix.
+type probe struct {
+	term   string
+	prefix bool
+}
+
+func dnf(e fulltext.Expr, cap int) [][]probe {
+	switch t := e.(type) {
+	case fulltext.Word:
+		return [][]probe{{{term: t.Term, prefix: t.Prefix}}}
+	case fulltext.Phrase:
+		// A phrase anchors wherever all member words co-occur; adjacency is
+		// decided by verification against content(n), which also catches
+		// phrases spanning element boundaries.
+		clause := make([]probe, len(t.TermsSeq))
+		for i, w := range t.TermsSeq {
+			clause[i] = probe{term: w}
+		}
+		return [][]probe{clause}
+	case fulltext.Not, fulltext.MatchAll:
+		return [][]probe{{}} // contributes no probes
+	case fulltext.Or:
+		var out [][]probe
+		for _, c := range t.Children {
+			out = append(out, dnf(c, cap)...)
+			if len(out) > cap {
+				return mergeToSingle(out)
+			}
+		}
+		return out
+	case fulltext.And:
+		acc := [][]probe{{}}
+		for _, c := range t.Children {
+			sub := dnf(c, cap)
+			var next [][]probe
+			for _, a := range acc {
+				for _, s := range sub {
+					clause := make([]probe, 0, len(a)+len(s))
+					clause = append(clause, a...)
+					clause = append(clause, s...)
+					next = append(next, clause)
+				}
+			}
+			if len(next) > cap {
+				return mergeToSingle(next)
+			}
+			acc = next
+		}
+		return acc
+	}
+	return nil
+}
+
+// mergeToSingle collapses an exploding DNF into one clause per original
+// clause's first probe — a safe over-approximation: anchors become a
+// superset, verification filters precisely.
+func mergeToSingle(cs [][]probe) [][]probe {
+	var out [][]probe
+	for _, c := range cs {
+		if len(c) > 0 {
+			out = append(out, []probe{c[0]})
+		}
+	}
+	return out
+}
+
+// clauseAnchors returns the smallest (deepest, minimal) nodes whose subtree
+// covers every probe of the clause — the multiway SLCA of the clause's
+// posting lists, in the spirit of the SLCA keyword-search work the paper
+// builds on (Xu & Papakonstantinou SIGMOD'05, Sun et al. WWW'07). For a
+// single-probe clause this reduces to the posting nodes that have no
+// posting descendant.
+func (ix *Index) clauseAnchors(clause []probe) []xmldoc.NodeRef {
+	lists := make([][]Posting, 0, len(clause))
+	for _, pr := range clause {
+		var ps []Posting
+		if pr.prefix {
+			ps = ix.LookupPrefix(pr.term)
+		} else {
+			ps = ix.Lookup(pr.term)
+		}
+		if len(ps) == 0 {
+			return nil // clause cannot be satisfied anywhere
+		}
+		lists = append(lists, ps)
+	}
+	return slca(lists)
+}
+
+// event is one posting occurrence tagged with the probe index it satisfies.
+type event struct {
+	ref  xmldoc.NodeRef
+	mask uint64
+}
+
+// slca computes the deepest nodes covering all k posting lists, the
+// multiway smallest-LCA in the spirit of Sun et al. (WWW'07), via a single
+// document-order sweep with an ancestor-chain stack. The stack invariant is
+// that frames form a proper-ancestor chain within one document; popping a
+// frame folds its coverage mask into the LCA it shares with the incoming
+// event, so no coverage is ever lost.
+func slca(lists [][]Posting) []xmldoc.NodeRef {
+	if len(lists) > 63 {
+		// Masks are 64-bit; over-approximate huge clauses by their first 63
+		// probes. Verification against content(n) filters precisely.
+		lists = lists[:63]
+	}
+	var events []event
+	for i, ps := range lists {
+		for _, p := range ps {
+			events = append(events, event{ref: p.Ref, mask: 1 << uint(i)})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].ref.Less(events[j].ref) })
+	full := uint64(1)<<uint(len(lists)) - 1
+
+	type frame struct {
+		doc          xmldoc.DocID
+		id           dewey.ID
+		mask         uint64
+		emittedBelow bool
+	}
+	var stack []frame
+	var out []xmldoc.NodeRef
+
+	// finalize pops the top frame, emitting it if it is a smallest full
+	// cover, and returns its accumulated state.
+	finalize := func() (uint64, bool) {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		emitted := top.emittedBelow
+		if top.mask == full && !top.emittedBelow {
+			out = append(out, xmldoc.NodeRef{Doc: top.doc, Dewey: top.id})
+			emitted = true
+		}
+		return top.mask, emitted
+	}
+
+	flushAll := func() {
+		for len(stack) > 0 {
+			doc := stack[len(stack)-1].doc
+			mask, emitted := finalize()
+			if len(stack) > 0 && stack[len(stack)-1].doc == doc {
+				stack[len(stack)-1].mask |= mask
+				stack[len(stack)-1].emittedBelow = stack[len(stack)-1].emittedBelow || emitted
+			}
+		}
+	}
+
+	for _, ev := range events {
+		if len(stack) > 0 && stack[len(stack)-1].doc != ev.ref.Doc {
+			flushAll()
+		}
+		for len(stack) > 0 && !stack[len(stack)-1].id.IsAncestorOrSelf(ev.ref.Dewey) {
+			fid := stack[len(stack)-1].id
+			doc := stack[len(stack)-1].doc
+			mask, emitted := finalize()
+			l := dewey.LCA(fid, ev.ref.Dewey) // non-nil: same document root
+			if len(stack) > 0 && len(stack[len(stack)-1].id) >= len(l) {
+				// The next frame is at or below the LCA on the same chain:
+				// fold into it and keep popping.
+				stack[len(stack)-1].mask |= mask
+				stack[len(stack)-1].emittedBelow = stack[len(stack)-1].emittedBelow || emitted
+				continue
+			}
+			// Insert the LCA as an explicit frame; it is an ancestor of ev,
+			// so the loop terminates here.
+			stack = append(stack, frame{doc: doc, id: l, mask: mask, emittedBelow: emitted})
+		}
+		if len(stack) > 0 && dewey.Equal(stack[len(stack)-1].id, ev.ref.Dewey) {
+			stack[len(stack)-1].mask |= ev.mask
+			continue
+		}
+		stack = append(stack, frame{doc: ev.ref.Doc, id: ev.ref.Dewey.Clone(), mask: ev.mask})
+	}
+	flushAll()
+	return out
+}
+
+func refKey(r xmldoc.NodeRef) string {
+	return fmt.Sprintf("%d|%s", r.Doc, r.Dewey)
+}

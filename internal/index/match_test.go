@@ -1,0 +1,417 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"seda/internal/fulltext"
+	"seda/internal/query"
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+)
+
+func mustTerm(t testing.TB, ctx, search string) query.Term {
+	t.Helper()
+	term, err := query.NewTerm(ctx, search)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return term
+}
+
+func matchPaths(t *testing.T, c *store.Collection, ms []Match) []string {
+	t.Helper()
+	var out []string
+	for _, m := range ms {
+		out = append(out, c.Dict().Path(m.Path))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestMatchTermEmptyContextThreeUSContexts(t *testing.T) {
+	// The paper's §1 example: "United States" occurs in three different
+	// element contexts (country name, import partner, export partner) plus
+	// our sea's bordering. With an empty context, SEDA matches the deepest
+	// nodes containing the phrase.
+	c, ix := buildFixture(t)
+	ms, err := ix.MatchTerm(mustTerm(t, "*", `"United States"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := matchPaths(t, c, ms)
+	want := []string{
+		"/country/economy/export_partners/item/trade_country",
+		"/country/economy/import_partners/item/trade_country",
+		"/country/name",
+		"/sea/bordering",
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("paths = %v, want %v", got, want)
+	}
+}
+
+func TestMatchTermTagContext(t *testing.T) {
+	c, ix := buildFixture(t)
+	// (trade_country, *) matches both import and export instances.
+	ms, err := ix.MatchTerm(mustTerm(t, "trade_country", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("trade_country matches = %d, want 3", len(ms))
+	}
+	// (trade_country, "United States") narrows to the two US partners.
+	ms, err = ix.MatchTerm(mustTerm(t, "trade_country", `"United States"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("US trade_country matches = %d, want 2", len(ms))
+	}
+	for _, m := range ms {
+		if c.Dict().LeafName(m.Path) != "trade_country" {
+			t.Errorf("match leaf = %q", c.Dict().LeafName(m.Path))
+		}
+	}
+}
+
+func TestMatchTermPathContext(t *testing.T) {
+	c, ix := buildFixture(t)
+	// Restricting to the import context excludes the export match (§5
+	// refinement).
+	term := mustTerm(t, "/country/economy/import_partners/item/trade_country", `"United States"`)
+	ms, err := ix.MatchTerm(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("matches = %d, want 1", len(ms))
+	}
+	if got := c.Dict().Path(ms[0].Path); got != "/country/economy/import_partners/item/trade_country" {
+		t.Errorf("path = %q", got)
+	}
+}
+
+func TestMatchTermContextLifting(t *testing.T) {
+	c, ix := buildFixture(t)
+	// (country, "United States") must lift the name anchor to the country
+	// element whose content contains the phrase — Definition 3's
+	// (country, "Romania") example shape. Three countries contain the
+	// phrase somewhere (US by name, Mexico 2003 import, Mexico 2005 export).
+	ms, err := ix.MatchTerm(mustTerm(t, "country", `"United States"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("country matches = %d, want 3", len(ms))
+	}
+	for _, m := range ms {
+		if got := c.Dict().Path(m.Path); got != "/country" {
+			t.Errorf("lifted path = %q", got)
+		}
+	}
+}
+
+func TestMatchTermBooleanAndNot(t *testing.T) {
+	_, ix := buildFixture(t)
+	// Countries whose content has "mexico" but not "germany": only the 2005
+	// export document.
+	ms, err := ix.MatchTerm(mustTerm(t, "country", "mexico AND NOT germany"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("matches = %d, want 1", len(ms))
+	}
+	// Pure negation with a context: countries without "germany".
+	ms, err = ix.MatchTerm(mustTerm(t, "country", "NOT germany"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("NOT matches = %d, want 2", len(ms))
+	}
+}
+
+func TestMatchTermConjunctionAcrossChildren(t *testing.T) {
+	c := store.NewCollection()
+	if _, err := c.AddXML("d", []byte(`<r><a><x>alpha</x><y>beta</y></a><b><x>alpha</x></b></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(c)
+	// alpha AND beta co-occur only under <a> (and the root). Deepest = <a>.
+	ms, err := ix.MatchTerm(mustTerm(t, "*", "alpha beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || c.Dict().Path(ms[0].Path) != "/r/a" {
+		t.Fatalf("SLCA result wrong: %v", matchPaths(t, c, ms))
+	}
+}
+
+func TestMatchTermScoresOrdering(t *testing.T) {
+	c := store.NewCollection()
+	// One doc mentions the term twice in a tight leaf, another once in a
+	// long container.
+	docs := []string{
+		`<r><x>gold gold</x></r>`,
+		`<r><x>gold and lots of other words diluting the score considerably here</x></r>`,
+	}
+	for i, d := range docs {
+		if _, err := c.AddXML(fmt.Sprintf("d%d", i), []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := Build(c)
+	ms, err := ix.MatchTerm(mustTerm(t, "x", "gold"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("matches = %d", len(ms))
+	}
+	// Matches are Dewey-ordered; doc0's node must out-score doc1's.
+	if !(ms[0].Score > ms[1].Score) {
+		t.Errorf("tf/length scoring inverted: %v vs %v", ms[0].Score, ms[1].Score)
+	}
+}
+
+func TestMatchTermNoMatches(t *testing.T) {
+	_, ix := buildFixture(t)
+	ms, err := ix.MatchTerm(mustTerm(t, "*", "zzzznotfound"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Errorf("matches = %d, want 0", len(ms))
+	}
+	// Unknown context path.
+	ms, err = ix.MatchTerm(mustTerm(t, "/nope/nope", "united"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Errorf("unknown context matches = %d", len(ms))
+	}
+}
+
+func TestMatchTermWildcardTagContext(t *testing.T) {
+	c, ix := buildFixture(t)
+	ms, err := ix.MatchTerm(mustTerm(t, "trade*", `"United States"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("wildcard tag matches = %d, want 2", len(ms))
+	}
+	for _, m := range ms {
+		if !strings.HasPrefix(c.Dict().LeafName(m.Path), "trade") {
+			t.Errorf("leaf %q does not match trade*", c.Dict().LeafName(m.Path))
+		}
+	}
+}
+
+// naiveMatch is the oracle: scan every node and evaluate Definition 3
+// directly. For a non-empty context every context-matching satisfying node
+// is a result. For the empty context, results are the per-clause deepest
+// anchors: for each conjunctive alternative of the expression, the minimal
+// nodes whose subtree covers all of the clause's positive terms, filtered
+// by full-expression verification. (An ancestor that only satisfies the
+// expression through a descendant's terms is not itself a result.)
+func naiveMatch(c *store.Collection, t query.Term) []xmldoc.NodeRef {
+	dict := c.Dict()
+	satisfies := func(n *xmldoc.Node) bool {
+		return t.Search.Matches(fulltext.NewContent(n.Content()))
+	}
+	var out []xmldoc.NodeRef
+	if !t.Context.IsEmpty() {
+		for _, doc := range c.Docs() {
+			d := doc
+			d.Walk(func(n *xmldoc.Node) bool {
+				if t.Context.Matches(dict, n.Path) && satisfies(n) {
+					out = append(out, store.RefOf(d, n))
+				}
+				return true
+			})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+		return out
+	}
+	clauses := naiveDNF(t.Search)
+	seen := make(map[string]bool)
+	for _, doc := range c.Docs() {
+		d := doc
+		for _, clause := range clauses {
+			if len(clause) == 0 {
+				continue
+			}
+			var covers []*xmldoc.Node
+			d.Walk(func(n *xmldoc.Node) bool {
+				if naiveCovers(n, clause) {
+					covers = append(covers, n)
+				}
+				return true
+			})
+			for _, a := range covers {
+				minimal := true
+				for _, b := range covers {
+					if a != b && a.Dewey.IsAncestorOf(b.Dewey) {
+						minimal = false
+						break
+					}
+				}
+				if minimal && satisfies(a) {
+					ref := store.RefOf(d, a)
+					if !seen[ref.String()] {
+						seen[ref.String()] = true
+						out = append(out, ref)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// naiveProbe mirrors the notion of a positive probe without sharing code
+// with the implementation.
+type naiveProbe struct {
+	term   string
+	prefix bool
+}
+
+func naiveCovers(n *xmldoc.Node, clause []naiveProbe) bool {
+	content := fulltext.NewContent(n.Content())
+	for _, p := range clause {
+		if p.prefix {
+			if !content.MatchPrefix(p.term) {
+				return false
+			}
+		} else if !content.Has(p.term) {
+			return false
+		}
+	}
+	return true
+}
+
+func naiveDNF(e fulltext.Expr) [][]naiveProbe {
+	switch t := e.(type) {
+	case fulltext.Word:
+		return [][]naiveProbe{{{term: t.Term, prefix: t.Prefix}}}
+	case fulltext.Phrase:
+		var cl []naiveProbe
+		for _, w := range t.TermsSeq {
+			cl = append(cl, naiveProbe{term: w})
+		}
+		return [][]naiveProbe{cl}
+	case fulltext.Not, fulltext.MatchAll:
+		return [][]naiveProbe{{}}
+	case fulltext.Or:
+		var out [][]naiveProbe
+		for _, c := range t.Children {
+			out = append(out, naiveDNF(c)...)
+		}
+		return out
+	case fulltext.And:
+		acc := [][]naiveProbe{{}}
+		for _, c := range t.Children {
+			var next [][]naiveProbe
+			for _, a := range acc {
+				for _, s := range naiveDNF(c) {
+					cl := append(append([]naiveProbe{}, a...), s...)
+					next = append(next, cl)
+				}
+			}
+			acc = next
+		}
+		return acc
+	}
+	return nil
+}
+
+func sameRefs(a []Match, b []xmldoc.NodeRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Ref.Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropMatchTermAgainstOracle cross-checks MatchTerm with the naive
+// Definition-3 evaluator on randomized corpora and queries.
+func TestPropMatchTermAgainstOracle(t *testing.T) {
+	vocab := []string{"red", "green", "blue", "gold"}
+	tags := []string{"a", "b", "c"}
+	searches := []string{
+		"red", "red green", "red OR green", `"red green"`,
+		"red AND NOT blue", "g*", "red (green OR gold)",
+	}
+	contexts := []string{"*", "a", "b", "c", "a|b", "/a/b", "/a/b/c", "b*"}
+
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := store.NewCollection()
+		nDocs := 1 + r.Intn(4)
+		for i := 0; i < nDocs; i++ {
+			c.AddDocument(xmldoc.Build(fmt.Sprintf("d%d", i), randDoc(r, tags, vocab, 0), c.Dict()))
+		}
+		ix := Build(c)
+		search := searches[r.Intn(len(searches))]
+		ctx := contexts[r.Intn(len(contexts))]
+		term, err := query.NewTerm(ctx, search)
+		if err != nil {
+			return true // e.g. (*, NOT ...) combinations are rejected upstream
+		}
+		got, err := ix.MatchTerm(term)
+		if err != nil {
+			return false
+		}
+		want := naiveMatch(c, term)
+		if !sameRefs(got, want) {
+			t.Logf("seed %d: term %s\n got=%v\nwant=%v", seed, term, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randDoc(r *rand.Rand, tags, vocab []string, depth int) *xmldoc.Node {
+	n := xmldoc.Elem(tags[r.Intn(len(tags))])
+	if r.Intn(2) == 0 {
+		k := 1 + r.Intn(3)
+		var words []string
+		for i := 0; i < k; i++ {
+			words = append(words, vocab[r.Intn(len(vocab))])
+		}
+		n.Text = strings.Join(words, " ")
+	}
+	if depth < 3 {
+		for i := 0; i < r.Intn(3); i++ {
+			n.Add(randDoc(r, tags, vocab, depth+1))
+		}
+	}
+	return n
+}
+
+// TestMatchByContextScanError exercises the defensive error for impossible
+// terms constructed without NewTerm validation.
+func TestMatchByContextScanError(t *testing.T) {
+	_, ix := buildFixture(t)
+	bad := query.Term{Context: query.Context{}, Search: fulltext.MatchAll{}}
+	if _, err := ix.MatchTerm(bad); err == nil {
+		t.Error("(*, *) should error at match time too")
+	}
+}

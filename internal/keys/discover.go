@@ -1,0 +1,168 @@
+package keys
+
+import (
+	"sort"
+	"strings"
+
+	"seda/internal/pathdict"
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+	"seda/internal/xpathlite"
+)
+
+// Composite-key discovery in the spirit of GORDIAN (Sismanis et al., VLDB
+// 2006). The paper specifies keys manually and plans "to adopt the
+// techniques of GORDIAN to discover them automatically" — this implements
+// that extension at the scale SEDA needs: given the nodes of one context
+// path, enumerate candidate components (absolute document-level paths with
+// exactly one instance per document, and sibling-relative paths with
+// exactly one instance per context node), then search subsets smallest-
+// first for a combination whose values are unique.
+
+// DiscoverOptions tunes key discovery.
+type DiscoverOptions struct {
+	// MaxComponents caps the composite size (default 3, matching the
+	// paper's largest example key).
+	MaxComponents int
+	// MaxCandidates caps the candidate component pool (default 12).
+	MaxCandidates int
+}
+
+func (o *DiscoverOptions) defaults() {
+	if o.MaxComponents <= 0 {
+		o.MaxComponents = 3
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 12
+	}
+}
+
+// Discover searches for a relative key for the nodes at contextPath. It
+// returns the discovered key and true, or a zero Key and false when no
+// combination within the caps is unique.
+func Discover(col *store.Collection, contextPath string, opts DiscoverOptions) (Key, bool) {
+	opts.defaults()
+	dict := col.Dict()
+	ctx := dict.LookupPath(contextPath)
+	if ctx == pathdict.InvalidPath {
+		return Key{}, false
+	}
+	refs := nodesAt(col, ctx)
+	if len(refs) == 0 {
+		return Key{}, false
+	}
+	cands := candidates(col, ctx, refs, opts.MaxCandidates)
+	if len(cands) == 0 {
+		return Key{}, false
+	}
+	// Search subsets smallest-first (GORDIAN prunes a lattice; our pools
+	// are small enough for breadth-first subset growth).
+	var combos [][]int
+	for i := range cands {
+		combos = append(combos, []int{i})
+	}
+	for size := 1; size <= opts.MaxComponents; size++ {
+		var next [][]int
+		for _, combo := range combos {
+			if len(combo) != size {
+				continue
+			}
+			k := Key{}
+			for _, ci := range combo {
+				k.Components = append(k.Components, cands[ci])
+			}
+			if len(Verify(col, k, refs)) == 0 {
+				return k, true
+			}
+			for j := combo[len(combo)-1] + 1; j < len(cands); j++ {
+				grown := append(append([]int{}, combo...), j)
+				next = append(next, grown)
+			}
+		}
+		combos = append(combos, next...)
+	}
+	return Key{}, false
+}
+
+func nodesAt(col *store.Collection, p pathdict.PathID) []xmldoc.NodeRef {
+	var refs []xmldoc.NodeRef
+	col.EachNode(func(d *xmldoc.Document, n *xmldoc.Node) {
+		if n.Path == p {
+			refs = append(refs, store.RefOf(d, n))
+		}
+	})
+	return refs
+}
+
+// candidates builds the component pool: absolute prefixes of the context
+// path and their leaf-bearing single-instance children, plus relative
+// sibling paths of the context nodes. Components that fail the exactly-one
+// cardinality on any instance are discarded.
+func candidates(col *store.Collection, ctx pathdict.PathID, refs []xmldoc.NodeRef, maxC int) []xpathlite.Expr {
+	dict := col.Dict()
+	type scored struct {
+		expr     xpathlite.Expr
+		distinct int
+	}
+	var pool []scored
+
+	try := func(e xpathlite.Expr) {
+		values := make(map[string]struct{})
+		for _, ref := range refs {
+			doc := col.Doc(ref.Doc)
+			base := doc.FindByDewey(ref.Dewey)
+			n, err := e.EvalOne(doc, base)
+			if err != nil {
+				return // violates cardinality somewhere
+			}
+			values[strings.TrimSpace(n.Content())] = struct{}{}
+		}
+		pool = append(pool, scored{expr: e, distinct: len(values)})
+	}
+
+	// Absolute candidates: every path in the collection that is "document
+	// scoped" relative to the context's root — single instance per doc.
+	root := dict.AncestorAtDepth(ctx, 1)
+	for _, p := range dict.AllPaths() {
+		if p == ctx || !dict.IsPrefixOf(root, p) {
+			continue
+		}
+		if dict.Depth(p) > dict.Depth(ctx)+1 {
+			continue // keep the pool small and shallow
+		}
+		try(xpathlite.MustParse(dict.Path(p)))
+	}
+	// Relative candidates: sibling tags of the context nodes.
+	sibTags := make(map[string]struct{})
+	for _, ref := range refs {
+		n := col.Node(ref)
+		if n == nil || n.Parent == nil {
+			continue
+		}
+		for _, sib := range n.Parent.Children {
+			if sib != n && sib.Kind == xmldoc.Element {
+				sibTags[sib.Tag] = struct{}{}
+			}
+		}
+	}
+	for tag := range sibTags {
+		try(xpathlite.MustParse("../" + tag))
+	}
+
+	// Prefer components with more distinct values (more selective), then
+	// shorter expressions for readability.
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].distinct != pool[j].distinct {
+			return pool[i].distinct > pool[j].distinct
+		}
+		return pool[i].expr.String() < pool[j].expr.String()
+	})
+	if len(pool) > maxC {
+		pool = pool[:maxC]
+	}
+	out := make([]xpathlite.Expr, len(pool))
+	for i, s := range pool {
+		out[i] = s.expr
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Package keys implements SEDA's relative XML keys (paper §7, following
+// Buneman et al., "Keys for XML", WWW 2001).
+//
+// "A relative key for an XML node n is defined as a list of paths
+// (P1, ..., Pm), where each Pi is either an absolute path expression, which
+// starts at the root of the document, or a relative path expression, which
+// starts at the node n." The paper's running example is the key of the
+// percentage fact: (/country, /country/year, ../trade_country).
+//
+// SEDA "requires every dimension table to have a key in order to have
+// meaningful aggregates" and "automatically verifies the keys by computing
+// them for every cni in R(q) and checking their uniqueness"; Verify
+// implements that check. Discover implements a small composite-key search
+// in the spirit of GORDIAN (Sismanis et al., VLDB 2006), which the paper
+// lists as future work for automating key specification.
+package keys
+
+import (
+	"fmt"
+	"strings"
+
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+	"seda/internal/xpathlite"
+)
+
+// Key is a relative XML key: an ordered list of path components.
+type Key struct {
+	Components []xpathlite.Expr
+}
+
+// Parse parses a key written as comma-separated components, optionally
+// parenthesized: "(/country, /country/year, ../trade_country)".
+func Parse(spec string) (Key, error) {
+	s := strings.TrimSpace(spec)
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	if strings.TrimSpace(s) == "" {
+		return Key{}, fmt.Errorf("keys: empty key spec %q", spec)
+	}
+	var k Key
+	for _, part := range strings.Split(s, ",") {
+		e, err := xpathlite.Parse(part)
+		if err != nil {
+			return Key{}, fmt.Errorf("keys: component %q: %w", part, err)
+		}
+		k.Components = append(k.Components, e)
+	}
+	return k, nil
+}
+
+// MustParse panics on error.
+func MustParse(spec string) Key {
+	k, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// String renders the parenthesized form used in the paper's Figure 3.
+func (k Key) String() string {
+	parts := make([]string, len(k.Components))
+	for i, c := range k.Components {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// IsZero reports whether the key has no components.
+func (k Key) IsZero() bool { return len(k.Components) == 0 }
+
+// Value is one evaluated key: the contents of the component nodes in
+// order.
+type Value []string
+
+// Encode renders the value as a single comparable string.
+func (v Value) Encode() string { return strings.Join(v, "\x1f") }
+
+// Evaluate computes the key value for the node ref. Every component must
+// select exactly one node (the cardinality assumption of §7); otherwise an
+// error describes the violation.
+func Evaluate(col *store.Collection, k Key, ref xmldoc.NodeRef) (Value, error) {
+	doc := col.Doc(ref.Doc)
+	if doc == nil {
+		return nil, fmt.Errorf("keys: dangling document %d", ref.Doc)
+	}
+	base := doc.FindByDewey(ref.Dewey)
+	if base == nil {
+		return nil, fmt.Errorf("keys: dangling node %v", ref)
+	}
+	v := make(Value, 0, len(k.Components))
+	for _, comp := range k.Components {
+		n, err := comp.EvalOne(doc, base)
+		if err != nil {
+			return nil, fmt.Errorf("keys: node %v: %w", ref, err)
+		}
+		v = append(v, strings.TrimSpace(n.Content()))
+	}
+	return v, nil
+}
+
+// Violation describes why a key failed verification.
+type Violation struct {
+	// Refs are the conflicting nodes (two or more share a key value), or a
+	// single node whose key could not be computed.
+	Refs  []xmldoc.NodeRef
+	Value Value // the duplicated value, when applicable
+	Err   error // the evaluation error, when applicable
+}
+
+func (v Violation) String() string {
+	if v.Err != nil {
+		return v.Err.Error()
+	}
+	return fmt.Sprintf("keys: duplicate key %q shared by %v", v.Value.Encode(), v.Refs)
+}
+
+// Verify computes the key for every ref and checks uniqueness. It returns
+// all violations (nil means the key is valid for this node set).
+func Verify(col *store.Collection, k Key, refs []xmldoc.NodeRef) []Violation {
+	var out []Violation
+	seen := make(map[string]xmldoc.NodeRef, len(refs))
+	reported := make(map[string]int) // encoded value -> index in out
+	for _, ref := range refs {
+		v, err := Evaluate(col, k, ref)
+		if err != nil {
+			out = append(out, Violation{Refs: []xmldoc.NodeRef{ref}, Err: err})
+			continue
+		}
+		enc := v.Encode()
+		if first, dup := seen[enc]; dup {
+			if i, ok := reported[enc]; ok {
+				out[i].Refs = append(out[i].Refs, ref)
+			} else {
+				reported[enc] = len(out)
+				out = append(out, Violation{Refs: []xmldoc.NodeRef{first, ref}, Value: v})
+			}
+			continue
+		}
+		seen[enc] = ref
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package keys
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"seda/internal/dewey"
+	"seda/internal/pathdict"
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+)
+
+// corpus gives two World Factbook-style documents where (country, year,
+// trade_country) is the paper's key for percentage facts.
+func corpus(t testing.TB) *store.Collection {
+	t.Helper()
+	c := store.NewCollection()
+	docs := []string{
+		`<country><name>United States</name><year>2004</year><economy><import_partners>
+			<item><trade_country>China</trade_country><percentage>12.5%</percentage></item>
+			<item><trade_country>Mexico</trade_country><percentage>10.7%</percentage></item>
+		</import_partners></economy></country>`,
+		`<country><name>United States</name><year>2005</year><economy><import_partners>
+			<item><trade_country>China</trade_country><percentage>13.8%</percentage></item>
+			<item><trade_country>Mexico</trade_country><percentage>10.3%</percentage></item>
+		</import_partners></economy></country>`,
+	}
+	for i, d := range docs {
+		if _, err := c.AddXML(fmt.Sprintf("doc%d", i), []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func pctRefs(t testing.TB, c *store.Collection) []xmldoc.NodeRef {
+	t.Helper()
+	p := c.Dict().LookupPath("/country/economy/import_partners/item/percentage")
+	if p == pathdict.InvalidPath {
+		t.Fatal("fixture path missing")
+	}
+	var refs []xmldoc.NodeRef
+	c.EachNode(func(d *xmldoc.Document, n *xmldoc.Node) {
+		if n.Path == p {
+			refs = append(refs, store.RefOf(d, n))
+		}
+	})
+	return refs
+}
+
+func TestParseAndString(t *testing.T) {
+	k, err := Parse("(/country, /country/year, ../trade_country)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k.String(); got != "(/country, /country/year, ../trade_country)" {
+		t.Errorf("String = %q", got)
+	}
+	if len(k.Components) != 3 {
+		t.Errorf("components = %d", len(k.Components))
+	}
+	// Unparenthesized also accepted.
+	k2, err := Parse("/country/year")
+	if err != nil || len(k2.Components) != 1 {
+		t.Errorf("single component: %v %v", k2, err)
+	}
+	for _, bad := range []string{"", "()", "(/a, )", "(,)"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): want error", bad)
+		}
+	}
+	if !(Key{}).IsZero() || MustParse("/a").IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestEvaluatePaperKey(t *testing.T) {
+	c := corpus(t)
+	k := MustParse("(/country, /country/year, ../trade_country)")
+	refs := pctRefs(t, c)
+	if len(refs) != 4 {
+		t.Fatalf("refs = %d", len(refs))
+	}
+	v, err := Evaluate(c, k, refs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 3 {
+		t.Fatalf("value = %v", v)
+	}
+	// /country content concatenates the whole doc; year and sibling are
+	// precise.
+	if v[1] != "2004" || v[2] != "China" {
+		t.Errorf("value = %v", v)
+	}
+	if !strings.Contains(v[0], "United States") {
+		t.Errorf("country component = %q", v[0])
+	}
+}
+
+func TestVerifyUniqueAndViolations(t *testing.T) {
+	c := corpus(t)
+	refs := pctRefs(t, c)
+	// The paper's full key is unique.
+	full := MustParse("(/country, /country/year, ../trade_country)")
+	if vs := Verify(c, full, refs); len(vs) != 0 {
+		t.Errorf("full key violations: %v", vs)
+	}
+	// Dropping the year makes "United States China" collide across the two
+	// annual documents — exactly why SEDA augments the result with
+	// /country/year (§1, §7).
+	noYear := MustParse("(/country/name, ../trade_country)")
+	vs := Verify(c, noYear, refs)
+	if len(vs) != 2 { // China pair and Mexico pair
+		t.Fatalf("violations = %d: %v", len(vs), vs)
+	}
+	for _, v := range vs {
+		if len(v.Refs) != 2 || v.Err != nil {
+			t.Errorf("violation shape: %+v", v)
+		}
+	}
+}
+
+func TestVerifyCardinalityViolation(t *testing.T) {
+	c := store.NewCollection()
+	// Two name siblings break the exactly-one rule.
+	if _, err := c.AddXML("d", []byte(`<r><item><v>1</v></item><name>a</name><name>b</name></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	var refs []xmldoc.NodeRef
+	p := c.Dict().LookupPath("/r/item/v")
+	c.EachNode(func(d *xmldoc.Document, n *xmldoc.Node) {
+		if n.Path == p {
+			refs = append(refs, store.RefOf(d, n))
+		}
+	})
+	k := MustParse("(/r/name)")
+	vs := Verify(c, k, refs)
+	if len(vs) != 1 || vs[0].Err == nil {
+		t.Errorf("violations = %v", vs)
+	}
+}
+
+func TestEvaluateDanglingRef(t *testing.T) {
+	c := corpus(t)
+	k := MustParse("/country/year")
+	if _, err := Evaluate(c, k, xmldoc.NodeRef{Doc: 99, Dewey: dewey.Root()}); err == nil {
+		t.Error("dangling doc should error")
+	}
+	if _, err := Evaluate(c, k, xmldoc.NodeRef{Doc: 0, Dewey: dewey.ID{1, 99}}); err == nil {
+		t.Error("dangling node should error")
+	}
+}
+
+func TestDiscoverPaperKey(t *testing.T) {
+	c := corpus(t)
+	k, ok := Discover(c, "/country/economy/import_partners/item/percentage", DiscoverOptions{})
+	if !ok {
+		t.Fatal("no key discovered")
+	}
+	// The discovered key must verify.
+	if vs := Verify(c, k, pctRefs(t, c)); len(vs) != 0 {
+		t.Errorf("discovered key %s has violations: %v", k, vs)
+	}
+	// It must involve the sibling trade_country (year alone cannot
+	// distinguish the two items within one document).
+	if !strings.Contains(k.String(), "../trade_country") {
+		t.Errorf("discovered key = %s, expected ../trade_country component", k)
+	}
+}
+
+func TestDiscoverImpossible(t *testing.T) {
+	c := store.NewCollection()
+	// Identical rows with no distinguishing component.
+	if _, err := c.AddXML("d", []byte(`<r><item><v>x</v></item><item><v>x</v></item></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := Discover(c, "/r/item/v", DiscoverOptions{}); ok {
+		t.Errorf("discovered impossible key %s", k)
+	}
+	if _, ok := Discover(c, "/nonexistent", DiscoverOptions{}); ok {
+		t.Error("unknown context should fail")
+	}
+}
+
+func TestDiscoverSingleComponent(t *testing.T) {
+	c := store.NewCollection()
+	if _, err := c.AddXML("d", []byte(`<r>
+		<item><id>1</id><v>a</v></item>
+		<item><id>2</id><v>a</v></item>
+	</r>`)); err != nil {
+		t.Fatal(err)
+	}
+	k, ok := Discover(c, "/r/item/v", DiscoverOptions{})
+	if !ok {
+		t.Fatal("no key found")
+	}
+	if got := k.String(); got != "(../id)" {
+		t.Errorf("key = %s, want (../id)", got)
+	}
+}

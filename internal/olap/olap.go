@@ -1,0 +1,226 @@
+// Package olap is the "off-the-shelf OLAP tool" of the paper's pipeline
+// (§7: "we feed these tables into an OLAP-tool to compute the data cubes,
+// one per fact table, and the desired aggregation functions for further
+// analysis"). It computes data cubes over the star schemas produced by
+// internal/cube: group-by aggregation over any dimension subset, the full
+// cube lattice, rollup, slice and dice, and a pivot renderer.
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seda/internal/rel"
+)
+
+// Cube is one analyzable cube: a fact table, the dimension columns, and a
+// measure column.
+type Cube struct {
+	fact    *rel.Table
+	dims    []string
+	measure string
+}
+
+// New creates a cube, validating that all named columns exist in the fact
+// table.
+func New(fact *rel.Table, dims []string, measure string) (*Cube, error) {
+	if fact == nil {
+		return nil, fmt.Errorf("olap: nil fact table")
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("olap: a cube needs at least one dimension")
+	}
+	for _, d := range dims {
+		if fact.ColIndex(d) < 0 {
+			return nil, fmt.Errorf("olap: fact table %s has no dimension column %q", fact.Name, d)
+		}
+	}
+	if fact.ColIndex(measure) < 0 {
+		return nil, fmt.Errorf("olap: fact table %s has no measure column %q", fact.Name, measure)
+	}
+	return &Cube{fact: fact, dims: dims, measure: measure}, nil
+}
+
+// Dims returns the cube's dimension column names.
+func (c *Cube) Dims() []string { return append([]string{}, c.dims...) }
+
+// Measure returns the measure column name.
+func (c *Cube) Measure() string { return c.measure }
+
+// Fact returns the underlying fact table.
+func (c *Cube) Fact() *rel.Table { return c.fact }
+
+// Aggregate groups the fact table by the given dimension subset and applies
+// fn over the measure. An empty groupBy computes the grand total.
+func (c *Cube) Aggregate(groupBy []string, fn rel.AggFn) (*rel.Table, error) {
+	for _, d := range groupBy {
+		if !c.hasDim(d) {
+			return nil, fmt.Errorf("olap: %q is not a dimension of this cube", d)
+		}
+	}
+	return c.fact.GroupBy(groupBy, []rel.AggSpec{{Fn: fn, Col: c.measure}})
+}
+
+// Lattice computes the aggregate for every subset of the cube's dimensions
+// (the CUBE operator). Keys of the result map are comma-joined dimension
+// subsets (empty string = grand total).
+func (c *Cube) Lattice(fn rel.AggFn) (map[string]*rel.Table, error) {
+	n := len(c.dims)
+	if n > 12 {
+		return nil, fmt.Errorf("olap: %d dimensions is too many for a full lattice", n)
+	}
+	out := make(map[string]*rel.Table, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		var subset []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				subset = append(subset, c.dims[i])
+			}
+		}
+		t, err := c.Aggregate(subset, fn)
+		if err != nil {
+			return nil, err
+		}
+		out[strings.Join(subset, ",")] = t
+	}
+	return out, nil
+}
+
+// Rollup aggregates at decreasing granularity along the dimension order:
+// (d1..dk), (d1..dk-1), ..., (d1), (). The result has one table per level,
+// finest first.
+func (c *Cube) Rollup(fn rel.AggFn) ([]*rel.Table, error) {
+	var out []*rel.Table
+	for k := len(c.dims); k >= 0; k-- {
+		t, err := c.Aggregate(c.dims[:k], fn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Slice fixes one dimension to a value, returning a cube over the remaining
+// dimensions.
+func (c *Cube) Slice(dim, value string) (*Cube, error) {
+	if !c.hasDim(dim) {
+		return nil, fmt.Errorf("olap: %q is not a dimension of this cube", dim)
+	}
+	di := c.fact.ColIndex(dim)
+	sub := c.fact.Select(func(r []rel.Value) bool { return r[di].Str == value })
+	var rest []string
+	for _, d := range c.dims {
+		if d != dim {
+			rest = append(rest, d)
+		}
+	}
+	if len(rest) == 0 {
+		rest = []string{dim} // degenerate: keep the sliced dim as the only axis
+	}
+	sub.Name = fmt.Sprintf("%s[%s=%s]", c.fact.Name, dim, value)
+	return New(sub, rest, c.measure)
+}
+
+// Dice keeps only rows whose dimension values are in the given allow-lists
+// (dimensions absent from the map are unconstrained).
+func (c *Cube) Dice(allow map[string][]string) (*Cube, error) {
+	idx := make(map[int]map[string]bool)
+	for dim, vals := range allow {
+		if !c.hasDim(dim) {
+			return nil, fmt.Errorf("olap: %q is not a dimension of this cube", dim)
+		}
+		set := make(map[string]bool, len(vals))
+		for _, v := range vals {
+			set[v] = true
+		}
+		idx[c.fact.ColIndex(dim)] = set
+	}
+	sub := c.fact.Select(func(r []rel.Value) bool {
+		for i, set := range idx {
+			if !set[r[i].Str] {
+				return false
+			}
+		}
+		return true
+	})
+	sub.Name = c.fact.Name + "[diced]"
+	return New(sub, c.dims, c.measure)
+}
+
+// Pivot renders a two-dimensional pivot table: rows by rowDim, columns by
+// colDim, cells aggregated with fn.
+func (c *Cube) Pivot(rowDim, colDim string, fn rel.AggFn) (string, error) {
+	if !c.hasDim(rowDim) || !c.hasDim(colDim) || rowDim == colDim {
+		return "", fmt.Errorf("olap: pivot needs two distinct cube dimensions")
+	}
+	agg, err := c.Aggregate([]string{rowDim, colDim}, fn)
+	if err != nil {
+		return "", err
+	}
+	rowSet := map[string]bool{}
+	colSet := map[string]bool{}
+	cells := map[[2]string]rel.Value{}
+	for _, r := range agg.Rows {
+		rk, ck := r[0].String(), r[1].String()
+		rowSet[rk] = true
+		colSet[ck] = true
+		cells[[2]string{rk, ck}] = r[2]
+	}
+	rows := sortedSet(rowSet)
+	cols := sortedSet(colSet)
+
+	width := len(rowDim)
+	for _, r := range rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	colW := make([]int, len(cols))
+	for i, cl := range cols {
+		colW[i] = len(cl)
+		for _, r := range rows {
+			if v, ok := cells[[2]string{r, cl}]; ok && len(v.String()) > colW[i] {
+				colW[i] = len(v.String())
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s) by %s x %s\n", fn, c.measure, rowDim, colDim)
+	fmt.Fprintf(&b, "%-*s", width, rowDim)
+	for i, cl := range cols {
+		fmt.Fprintf(&b, "  %*s", colW[i], cl)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s", width, r)
+		for i, cl := range cols {
+			if v, ok := cells[[2]string{r, cl}]; ok {
+				fmt.Fprintf(&b, "  %*s", colW[i], v.String())
+			} else {
+				fmt.Fprintf(&b, "  %*s", colW[i], ".")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func (c *Cube) hasDim(d string) bool {
+	for _, x := range c.dims {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,214 @@
+package olap
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"seda/internal/rel"
+)
+
+// star mirrors the paper's Figure 3(c) fact table.
+func star() *rel.Table {
+	t := rel.NewTable("fact_percentage", "country", "year", "import_country", "percentage")
+	rows := []struct {
+		y, p string
+		v    float64
+	}{
+		{"2004", "China", 12.5}, {"2004", "Mexico", 10.7},
+		{"2005", "China", 13.8}, {"2005", "Mexico", 10.3},
+		{"2006", "China", 15}, {"2006", "Canada", 16.9},
+	}
+	for _, r := range rows {
+		t.Insert(rel.S("United States"), rel.S(r.y), rel.S(r.p), rel.N(r.v))
+	}
+	return t
+}
+
+func newCube(t *testing.T) *Cube {
+	t.Helper()
+	c, err := New(star(), []string{"country", "year", "import_country"}, "percentage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	f := star()
+	if _, err := New(nil, []string{"year"}, "percentage"); err == nil {
+		t.Error("nil fact accepted")
+	}
+	if _, err := New(f, nil, "percentage"); err == nil {
+		t.Error("no dims accepted")
+	}
+	if _, err := New(f, []string{"nope"}, "percentage"); err == nil {
+		t.Error("unknown dim accepted")
+	}
+	if _, err := New(f, []string{"year"}, "nope"); err == nil {
+		t.Error("unknown measure accepted")
+	}
+	c := newCube(t)
+	if c.Measure() != "percentage" || len(c.Dims()) != 3 || c.Fact() == nil {
+		t.Error("accessors broken")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	c := newCube(t)
+	byYear, err := c.Aggregate([]string{"year"}, rel.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"2004": 23.2, "2005": 24.1, "2006": 31.9}
+	if byYear.NumRows() != 3 {
+		t.Fatalf("rows = %d", byYear.NumRows())
+	}
+	for _, r := range byYear.Rows {
+		if math.Abs(r[1].Num-want[r[0].Str]) > 1e-9 {
+			t.Errorf("SUM(%s) = %v, want %v", r[0].Str, r[1].Num, want[r[0].Str])
+		}
+	}
+	// Grand total.
+	total, err := c.Aggregate(nil, rel.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.NumRows() != 1 || math.Abs(total.Rows[0][0].Num-79.2) > 1e-9 {
+		t.Errorf("grand total = %v", total)
+	}
+	if _, err := c.Aggregate([]string{"nope"}, rel.Sum); err == nil {
+		t.Error("unknown group dim accepted")
+	}
+}
+
+func TestLatticeConsistency(t *testing.T) {
+	c := newCube(t)
+	lat, err := c.Lattice(rel.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lat) != 8 {
+		t.Fatalf("lattice size = %d, want 2^3", len(lat))
+	}
+	grand := lat[""].Rows[0][0].Num
+	// Every grouping's sums must add back to the grand total.
+	for key, tab := range lat {
+		if key == "" {
+			continue
+		}
+		vi := len(tab.Cols) - 1
+		s := 0.0
+		for _, r := range tab.Rows {
+			s += r[vi].Num
+		}
+		if math.Abs(s-grand) > 1e-9 {
+			t.Errorf("grouping %q sums to %v, grand %v", key, s, grand)
+		}
+	}
+}
+
+func TestRollup(t *testing.T) {
+	c := newCube(t)
+	levels, err := c.Rollup(rel.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 dims: levels for k=3,2,1,0.
+	if len(levels) != 4 {
+		t.Fatalf("levels = %d", len(levels))
+	}
+	if levels[0].NumRows() != 6 || levels[3].NumRows() != 1 {
+		t.Errorf("level shapes: %d ... %d", levels[0].NumRows(), levels[3].NumRows())
+	}
+	for i := 1; i < len(levels); i++ {
+		if len(levels[i].Cols) >= len(levels[i-1].Cols) {
+			t.Error("rollup must coarsen")
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	c := newCube(t)
+	s2005, err := c.Slice("year", "2005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2005.Fact().NumRows() != 2 {
+		t.Fatalf("slice rows = %d", s2005.Fact().NumRows())
+	}
+	byPartner, err := s2005.Aggregate([]string{"import_country"}, rel.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byPartner.NumRows() != 2 {
+		t.Errorf("partners in 2005 = %d", byPartner.NumRows())
+	}
+	if _, err := c.Slice("nope", "x"); err == nil {
+		t.Error("unknown slice dim accepted")
+	}
+	// Slicing away the only dimension keeps a degenerate axis.
+	one, err := New(star(), []string{"year"}, "percentage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := one.Slice("year", "2004")
+	if err != nil || deg.Fact().NumRows() != 2 {
+		t.Errorf("degenerate slice: %v %v", deg, err)
+	}
+}
+
+func TestDice(t *testing.T) {
+	c := newCube(t)
+	d, err := c.Dice(map[string][]string{
+		"year":           {"2004", "2005"},
+		"import_country": {"China"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Fact().NumRows() != 2 {
+		t.Fatalf("diced rows = %d", d.Fact().NumRows())
+	}
+	total, _ := d.Aggregate(nil, rel.Sum)
+	if math.Abs(total.Rows[0][0].Num-26.3) > 1e-9 {
+		t.Errorf("diced sum = %v", total.Rows[0][0].Num)
+	}
+	if _, err := c.Dice(map[string][]string{"nope": {"x"}}); err == nil {
+		t.Error("unknown dice dim accepted")
+	}
+}
+
+func TestPivot(t *testing.T) {
+	c := newCube(t)
+	p, err := c.Pivot("import_country", "year", rel.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canada has no 2004/2005 cells -> "." placeholders.
+	if !strings.Contains(p, "Canada") || !strings.Contains(p, ".") {
+		t.Errorf("pivot:\n%s", p)
+	}
+	if !strings.Contains(p, "15") {
+		t.Errorf("pivot missing value:\n%s", p)
+	}
+	if _, err := c.Pivot("year", "year", rel.Sum); err == nil {
+		t.Error("same-dim pivot accepted")
+	}
+	if _, err := c.Pivot("year", "nope", rel.Sum); err == nil {
+		t.Error("unknown pivot dim accepted")
+	}
+}
+
+func TestAggregateAvgMinMax(t *testing.T) {
+	c := newCube(t)
+	avg, err := c.Aggregate([]string{"import_country"}, rel.Avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range avg.Rows {
+		if r[0].Str == "China" && math.Abs(r[1].Num-(12.5+13.8+15)/3) > 1e-9 {
+			t.Errorf("AVG(China) = %v", r[1].Num)
+		}
+	}
+}

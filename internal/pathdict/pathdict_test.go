@@ -1,0 +1,249 @@
+package pathdict
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternAndLookup(t *testing.T) {
+	d := New()
+	p1, err := d.InternPath("/country/economy/GDP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := d.InternPath("/country/economy/GDP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Errorf("interning the same path twice: %d vs %d", p1, p2)
+	}
+	if got := d.LookupPath("/country/economy/GDP"); got != p1 {
+		t.Errorf("LookupPath = %d, want %d", got, p1)
+	}
+	if got := d.Path(p1); got != "/country/economy/GDP" {
+		t.Errorf("Path = %q", got)
+	}
+	if got := d.LookupPath("/country/economy/GDP_ppp"); got != InvalidPath {
+		t.Errorf("unknown path should be invalid, got %d", got)
+	}
+	if d.NumPaths() != 3 { // /country, /country/economy, /country/economy/GDP
+		t.Errorf("NumPaths = %d, want 3", d.NumPaths())
+	}
+}
+
+func TestMalformedPaths(t *testing.T) {
+	d := New()
+	for _, bad := range []string{"", "country", "/a//b", "/", "/a/"} {
+		if _, err := d.InternPath(bad); err == nil {
+			t.Errorf("InternPath(%q): want error", bad)
+		}
+		if got := d.LookupPath(bad); got != InvalidPath {
+			t.Errorf("LookupPath(%q) = %d, want invalid", bad, got)
+		}
+	}
+}
+
+func TestParentLeafDepth(t *testing.T) {
+	d := New()
+	p, _ := d.InternPath("/country/economy/import_partners/item/percentage")
+	if d.Depth(p) != 5 {
+		t.Errorf("Depth = %d", d.Depth(p))
+	}
+	if d.LeafName(p) != "percentage" {
+		t.Errorf("LeafName = %q", d.LeafName(p))
+	}
+	par := d.Parent(p)
+	if d.Path(par) != "/country/economy/import_partners/item" {
+		t.Errorf("Parent path = %q", d.Path(par))
+	}
+	top := d.LookupPath("/country")
+	if d.Parent(top) != InvalidPath {
+		t.Error("depth-1 path parent should be invalid")
+	}
+	if d.Depth(InvalidPath) != 0 || d.LeafName(InvalidPath) != "" {
+		t.Error("invalid path should have zero depth and empty leaf")
+	}
+}
+
+func TestPrefixAndCommonPrefix(t *testing.T) {
+	d := New()
+	a, _ := d.InternPath("/country/economy")
+	b, _ := d.InternPath("/country/economy/import_partners/item/percentage")
+	c, _ := d.InternPath("/country/economy/export_partners/item/percentage")
+	g, _ := d.InternPath("/country/geography")
+	other, _ := d.InternPath("/sea/name")
+
+	if !d.IsPrefixOf(a, b) {
+		t.Error("economy should prefix percentage path")
+	}
+	if d.IsPrefixOf(b, a) {
+		t.Error("longer path cannot prefix shorter")
+	}
+	if !d.IsPrefixOf(a, a) {
+		t.Error("prefix is reflexive")
+	}
+	if !d.IsPrefixOf(InvalidPath, a) {
+		t.Error("virtual root prefixes everything")
+	}
+
+	if got := d.CommonPrefix(b, c); got != a {
+		t.Errorf("CommonPrefix(import,export) = %q, want %q", d.Path(got), d.Path(a))
+	}
+	cn := d.LookupPath("/country")
+	if got := d.CommonPrefix(b, g); got != cn {
+		t.Errorf("CommonPrefix = %q, want /country", d.Path(got))
+	}
+	if got := d.CommonPrefix(b, other); got != InvalidPath {
+		t.Errorf("CommonPrefix of disjoint roots = %q, want invalid", d.Path(got))
+	}
+}
+
+func TestAncestorAtDepthAndSteps(t *testing.T) {
+	d := New()
+	p, _ := d.InternPath("/a/b/c/d")
+	if got := d.AncestorAtDepth(p, 2); d.Path(got) != "/a/b" {
+		t.Errorf("AncestorAtDepth(2) = %q", d.Path(got))
+	}
+	if got := d.AncestorAtDepth(p, 4); got != p {
+		t.Error("AncestorAtDepth(depth) should be self")
+	}
+	if got := d.AncestorAtDepth(p, 5); got != InvalidPath {
+		t.Error("deeper than path should be invalid")
+	}
+	steps := d.Steps(p)
+	want := []string{"a", "b", "c", "d"}
+	if len(steps) != len(want) {
+		t.Fatalf("Steps len = %d", len(steps))
+	}
+	for i, s := range steps {
+		if d.Tag(s) != want[i] {
+			t.Errorf("step %d = %q, want %q", i, d.Tag(s), want[i])
+		}
+	}
+}
+
+func TestTags(t *testing.T) {
+	d := New()
+	id := d.InternTag("country")
+	if d.InternTag("country") != id {
+		t.Error("tag interning not idempotent")
+	}
+	if d.Tag(id) != "country" {
+		t.Errorf("Tag = %q", d.Tag(id))
+	}
+	if d.LookupTag("nope") != InvalidTag {
+		t.Error("unknown tag should be invalid")
+	}
+	if d.Tag(InvalidTag) != "" {
+		t.Error("invalid tag name should be empty")
+	}
+	if d.NumTags() != 1 {
+		t.Errorf("NumTags = %d", d.NumTags())
+	}
+}
+
+func TestAllPathsSorted(t *testing.T) {
+	d := New()
+	for _, p := range []string{"/z/y", "/a/b", "/a", "/m"} {
+		if _, err := d.InternPath(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := d.AllPaths()
+	for i := 1; i < len(all); i++ {
+		if d.Path(all[i-1]) >= d.Path(all[i]) {
+			t.Errorf("AllPaths not sorted: %q >= %q", d.Path(all[i-1]), d.Path(all[i]))
+		}
+	}
+	if len(all) != 5 { // /z, /z/y, /a, /a/b, /m
+		t.Errorf("AllPaths len = %d, want 5", len(all))
+	}
+}
+
+// Property: interning then rendering is the identity on well-formed paths.
+func TestPropInternRenderRoundtrip(t *testing.T) {
+	d := New()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		depth := 1 + r.Intn(6)
+		path := ""
+		for i := 0; i < depth; i++ {
+			path += fmt.Sprintf("/t%d", r.Intn(20))
+		}
+		id, err := d.InternPath(path)
+		if err != nil {
+			return false
+		}
+		return d.Path(id) == path && d.LookupPath(path) == id && d.Depth(id) == depth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CommonPrefix is a prefix of both arguments and is the deepest
+// such path.
+func TestPropCommonPrefix(t *testing.T) {
+	d := New()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() PathID {
+			depth := 1 + r.Intn(5)
+			path := ""
+			for i := 0; i < depth; i++ {
+				path += fmt.Sprintf("/t%d", r.Intn(4))
+			}
+			id, _ := d.InternPath(path)
+			return id
+		}
+		a, b := mk(), mk()
+		cp := d.CommonPrefix(a, b)
+		if cp == InvalidPath {
+			// Valid only if first steps differ.
+			return d.Steps(a)[0] != d.Steps(b)[0]
+		}
+		if !d.IsPrefixOf(cp, a) || !d.IsPrefixOf(cp, b) {
+			return false
+		}
+		// One step deeper on either branch must not prefix the other.
+		da := d.AncestorAtDepth(a, d.Depth(cp)+1)
+		if da != InvalidPath && d.IsPrefixOf(da, b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	d := New()
+	var wg sync.WaitGroup
+	const workers = 8
+	ids := make([]PathID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p, err := d.InternPath(fmt.Sprintf("/root/branch%d/leaf%d", i%10, i%7))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ids[w] = p
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if ids[w] != ids[0] {
+			t.Errorf("worker %d got different id for same path", w)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package rel is a small in-memory relational engine: typed columns, rows,
+// and the operators SEDA's cube construction and OLAP analysis need
+// (project, select, hash join, group-by with aggregates, sort, distinct).
+// It substitutes for the relational side of the paper's DB2 + OLAP-tool
+// stack (§7 Step 3 generates SQL/XML against DB2; we generate the
+// equivalent statements as text and execute them here).
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a tagged scalar: text or numeric (NULL when neither flag set).
+type Value struct {
+	Str    string
+	Num    float64
+	IsNum  bool
+	IsNull bool
+}
+
+// S makes a string value.
+func S(s string) Value { return Value{Str: s} }
+
+// N makes a numeric value.
+func N(f float64) Value { return Value{Num: f, IsNum: true} }
+
+// Null is the SQL NULL analogue.
+func Null() Value { return Value{IsNull: true} }
+
+// ParseNumeric interprets common XML measure spellings as numbers:
+// "15%" → 15, "10.082T" → 10.082e12, "924.4B" → 924.4e9, "1,234" → 1234.
+// It returns a string value when no numeric reading exists.
+func ParseNumeric(s string) Value {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return Null()
+	}
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(t, "%"):
+		t = strings.TrimSuffix(t, "%")
+	case strings.HasSuffix(t, "T"):
+		mult, t = 1e12, strings.TrimSuffix(t, "T")
+	case strings.HasSuffix(t, "B"):
+		mult, t = 1e9, strings.TrimSuffix(t, "B")
+	case strings.HasSuffix(t, "M"):
+		mult, t = 1e6, strings.TrimSuffix(t, "M")
+	}
+	t = strings.ReplaceAll(t, ",", "")
+	if f, err := strconv.ParseFloat(t, 64); err == nil {
+		return N(f * mult)
+	}
+	return S(s)
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch {
+	case v.IsNull:
+		return "NULL"
+	case v.IsNum:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	default:
+		return v.Str
+	}
+}
+
+// Key renders the value as a grouping/join key.
+func (v Value) Key() string {
+	if v.IsNull {
+		return "\x00null"
+	}
+	if v.IsNum {
+		return "\x00n" + strconv.FormatFloat(v.Num, 'g', -1, 64)
+	}
+	return v.Str
+}
+
+// Less orders values: NULL first, numbers before strings, each naturally.
+func (v Value) Less(o Value) bool {
+	switch {
+	case v.IsNull:
+		return !o.IsNull
+	case o.IsNull:
+		return false
+	case v.IsNum && o.IsNum:
+		return v.Num < o.Num
+	case v.IsNum:
+		return true
+	case o.IsNum:
+		return false
+	default:
+		return v.Str < o.Str
+	}
+}
+
+// Table is a named relation.
+type Table struct {
+	Name string
+	Cols []string
+	Rows [][]Value
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, cols ...string) *Table {
+	return &Table{Name: name, Cols: cols}
+}
+
+// Insert appends a row; it panics if the arity is wrong (programming
+// error).
+func (t *Table) Insert(vals ...Value) {
+	if len(vals) != len(t.Cols) {
+		panic(fmt.Sprintf("rel: inserting %d values into %d columns of %s", len(vals), len(t.Cols), t.Name))
+	}
+	t.Rows = append(t.Rows, vals)
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Project returns a new table with the named columns, in order.
+func (t *Table) Project(cols ...string) (*Table, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := t.ColIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("rel: project: no column %q in %s", c, t.Name)
+		}
+		idx[i] = j
+	}
+	out := NewTable(t.Name, cols...)
+	for _, r := range t.Rows {
+		row := make([]Value, len(idx))
+		for i, j := range idx {
+			row[i] = r[j]
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Select returns the rows satisfying pred.
+func (t *Table) Select(pred func(row []Value) bool) *Table {
+	out := NewTable(t.Name, t.Cols...)
+	for _, r := range t.Rows {
+		if pred(r) {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// Distinct removes duplicate rows, preserving first occurrence order.
+func (t *Table) Distinct() *Table {
+	out := NewTable(t.Name, t.Cols...)
+	seen := make(map[string]struct{}, len(t.Rows))
+	for _, r := range t.Rows {
+		k := rowKey(r)
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Rows = append(out.Rows, r)
+	}
+	return out
+}
+
+// Sort orders rows by the named columns ascending.
+func (t *Table) Sort(cols ...string) (*Table, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := t.ColIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("rel: sort: no column %q in %s", c, t.Name)
+		}
+		idx[i] = j
+	}
+	out := NewTable(t.Name, t.Cols...)
+	out.Rows = append(out.Rows, t.Rows...)
+	sort.SliceStable(out.Rows, func(a, b int) bool {
+		for _, j := range idx {
+			va, vb := out.Rows[a][j], out.Rows[b][j]
+			if va.Less(vb) {
+				return true
+			}
+			if vb.Less(va) {
+				return false
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+// Join hash-joins t with right on equality of the named column pairs,
+// returning columns of t followed by columns of right (right's join columns
+// included, prefixed by table name on collision).
+func (t *Table) Join(right *Table, leftCols, rightCols []string) (*Table, error) {
+	if len(leftCols) != len(rightCols) || len(leftCols) == 0 {
+		return nil, fmt.Errorf("rel: join: mismatched key columns")
+	}
+	li := make([]int, len(leftCols))
+	ri := make([]int, len(rightCols))
+	for i := range leftCols {
+		if li[i] = t.ColIndex(leftCols[i]); li[i] < 0 {
+			return nil, fmt.Errorf("rel: join: no column %q in %s", leftCols[i], t.Name)
+		}
+		if ri[i] = right.ColIndex(rightCols[i]); ri[i] < 0 {
+			return nil, fmt.Errorf("rel: join: no column %q in %s", rightCols[i], right.Name)
+		}
+	}
+	cols := append([]string{}, t.Cols...)
+	have := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		have[c] = true
+	}
+	for _, c := range right.Cols {
+		if have[c] {
+			cols = append(cols, right.Name+"."+c)
+		} else {
+			cols = append(cols, c)
+		}
+	}
+	// Build hash on the smaller side (right).
+	idx := make(map[string][]int)
+	for rn, r := range right.Rows {
+		idx[joinKey(r, ri)] = append(idx[joinKey(r, ri)], rn)
+	}
+	out := NewTable(t.Name+"*"+right.Name, cols...)
+	for _, l := range t.Rows {
+		for _, rn := range idx[joinKey(l, li)] {
+			row := make([]Value, 0, len(cols))
+			row = append(row, l...)
+			row = append(row, right.Rows[rn]...)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func joinKey(row []Value, idx []int) string {
+	parts := make([]string, len(idx))
+	for i, j := range idx {
+		parts[i] = row[j].Key()
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+func rowKey(row []Value) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.Key()
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// String pretty-prints the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(t.Rows))
+	for rn, r := range t.Rows {
+		cells[rn] = make([]string, len(r))
+		for i, v := range r {
+			s := v.String()
+			cells[rn][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d rows)\n", t.Name, len(t.Rows))
+	for i, c := range t.Cols {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		_ = i
+	}
+	b.WriteByte('\n')
+	for i := range t.Cols {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for _, r := range cells {
+		for i, s := range r {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package summary
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seda/internal/pathdict"
+)
+
+// ExportDOT renders a connection summary as a Graphviz digraph — the
+// library counterpart of the paper's §6 GUI: "SEDA displays these
+// connections in a visual graph representation and allows the user to pick
+// or drop connections". Nodes are the query terms' context paths; solid
+// edges are tree connections labeled with their join path; dashed edges
+// are link connections labeled with the relationship (mirroring Figure 1's
+// dashed non-tree edges). False positives render grey.
+func ExportDOT(dict *pathdict.Dict, conns []Connection) string {
+	var b strings.Builder
+	b.WriteString("digraph connections {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+
+	nodeID := make(map[string]string)
+	var order []string
+	node := func(termIdx int, p pathdict.PathID) string {
+		key := fmt.Sprintf("t%d:%s", termIdx, dict.Path(p))
+		if id, ok := nodeID[key]; ok {
+			return id
+		}
+		id := fmt.Sprintf("n%d", len(nodeID))
+		nodeID[key] = id
+		order = append(order, key)
+		return id
+	}
+	type edge struct {
+		from, to, attrs string
+	}
+	var edges []edge
+	for _, c := range conns {
+		fa := node(c.TermA, c.PathA)
+		fb := node(c.TermB, c.PathB)
+		color := "black"
+		if c.FalsePositive {
+			color = "grey"
+		}
+		switch c.Kind {
+		case Tree:
+			edges = append(edges, edge{fa, fb, fmt.Sprintf(
+				"label=%q, color=%s, dir=none", "via "+dict.Path(c.JoinPath), color)})
+		default:
+			edges = append(edges, edge{fa, fb, fmt.Sprintf(
+				"label=%q, color=%s, style=dashed, dir=none", fmt.Sprintf("%s:%s", c.Link.Kind, c.Link.Label), color)})
+		}
+	}
+	// Deterministic node declarations.
+	sort.Strings(order)
+	for _, key := range order {
+		term, path, _ := strings.Cut(key, ":")
+		fmt.Fprintf(&b, "  %s [label=%q];\n", nodeID[key], term+"\n"+path)
+	}
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %s -> %s [%s];\n", e.from, e.to, e.attrs)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package summary
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExportDOT(t *testing.T) {
+	c, ix, g, dg := fixture(t)
+	rs := runTopK(t, ix, g,
+		`(/country/economy/import_partners/item/trade_country, *) AND (/country/economy/import_partners/item/percentage, *)`, 50)
+	s := NewSummarizer(dg, g)
+	conns := s.Connections(rs)
+	dot := ExportDOT(c.Dict(), conns)
+	if !strings.HasPrefix(dot, "digraph connections {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("not a digraph:\n%s", dot)
+	}
+	for _, want := range []string{
+		"via /country/economy/import_partners/item",
+		"via /country/economy/import_partners",
+		"trade_country",
+		"percentage",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Deterministic output.
+	if dot != ExportDOT(c.Dict(), conns) {
+		t.Error("DOT output not deterministic")
+	}
+}
+
+func TestExportDOTFalsePositiveStyling(t *testing.T) {
+	c, ix, g, dg := fixture(t)
+	// Restrict results so the cross-item connection is unsupported.
+	rs := runTopK(t, ix, g, `(trade_country, germany) AND (percentage, "3.5%")`, 10)
+	s := NewSummarizer(dg, g)
+	conns := s.Connections(rs)
+	dot := ExportDOT(c.Dict(), conns)
+	if !strings.Contains(dot, "grey") {
+		t.Errorf("false positive not greyed:\n%s", dot)
+	}
+}

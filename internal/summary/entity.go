@@ -1,0 +1,86 @@
+package summary
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// EntityRegistry implements §5's context abstraction: "a context can be
+// further abstracted and represented by a real-world entity, if such
+// information is available". Users (or an administrator) register entity
+// labels for paths or path prefixes; the context summary then annotates
+// each context with the deepest matching label, so "/country/economy/
+// import_partners/item/trade_country" can surface as "import partner"
+// rather than a raw path.
+type EntityRegistry struct {
+	mu sync.RWMutex
+	// exact path (or prefix when registered with RegisterPrefix) -> label
+	exact    map[string]string
+	prefixes []prefixEntry
+}
+
+type prefixEntry struct {
+	prefix string
+	label  string
+}
+
+// NewEntityRegistry returns an empty registry.
+func NewEntityRegistry() *EntityRegistry {
+	return &EntityRegistry{exact: make(map[string]string)}
+}
+
+// Register labels one exact context path.
+func (r *EntityRegistry) Register(path, label string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.exact[path] = label
+}
+
+// RegisterPrefix labels every context under the given path prefix (the
+// deepest registered prefix wins).
+func (r *EntityRegistry) RegisterPrefix(prefix, label string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.prefixes = append(r.prefixes, prefixEntry{prefix: prefix, label: label})
+	sort.Slice(r.prefixes, func(i, j int) bool {
+		return len(r.prefixes[i].prefix) > len(r.prefixes[j].prefix)
+	})
+}
+
+// Lookup returns the entity label for a context path, or "".
+func (r *EntityRegistry) Lookup(path string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if l, ok := r.exact[path]; ok {
+		return l
+	}
+	for _, p := range r.prefixes {
+		if path == p.prefix || strings.HasPrefix(path, p.prefix+"/") {
+			return p.label
+		}
+	}
+	return ""
+}
+
+// Len returns the number of registered labels.
+func (r *EntityRegistry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.exact) + len(r.prefixes)
+}
+
+// Annotate fills the Entity field of every entry in the buckets.
+func (r *EntityRegistry) Annotate(buckets []ContextBucket) {
+	if r == nil {
+		return
+	}
+	for bi := range buckets {
+		for ei := range buckets[bi].Entries {
+			buckets[bi].Entries[ei].Entity = r.Lookup(buckets[bi].Entries[ei].PathString)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package summary
+
+import (
+	"testing"
+
+	"seda/internal/query"
+)
+
+func TestEntityRegistryLookup(t *testing.T) {
+	r := NewEntityRegistry()
+	r.Register("/country/name", "country")
+	r.RegisterPrefix("/country/economy/import_partners", "import partner")
+	r.RegisterPrefix("/country/economy", "economy statistic")
+
+	cases := []struct{ path, want string }{
+		{"/country/name", "country"},
+		{"/country/economy/import_partners/item/trade_country", "import partner"},
+		{"/country/economy/import_partners", "import partner"},
+		{"/country/economy/GDP", "economy statistic"},
+		{"/country/year", ""},
+		// No false prefix match on partial step names.
+		{"/country/economy/import_partnersX", "economy statistic"},
+	}
+	for _, c := range cases {
+		if got := r.Lookup(c.path); got != c.want {
+			t.Errorf("Lookup(%q) = %q, want %q", c.path, got, c.want)
+		}
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	// Exact beats prefix.
+	r.Register("/country/economy/GDP", "gross domestic product")
+	if got := r.Lookup("/country/economy/GDP"); got != "gross domestic product" {
+		t.Errorf("exact override = %q", got)
+	}
+	// Nil registry is inert.
+	var nilReg *EntityRegistry
+	if nilReg.Lookup("/x") != "" {
+		t.Error("nil registry lookup should be empty")
+	}
+	nilReg.Annotate(nil)
+}
+
+func TestEntityAnnotationInContextSummary(t *testing.T) {
+	_, ix, _, _ := fixture(t)
+	buckets := Contexts(ix, query.MustParse(`(*, "United States")`))
+	r := NewEntityRegistry()
+	r.Register("/country/name", "country")
+	r.RegisterPrefix("/country/economy/import_partners", "import partner")
+	r.RegisterPrefix("/country/economy/export_partners", "export partner")
+	r.Annotate(buckets)
+	got := map[string]string{}
+	for _, e := range buckets[0].Entries {
+		got[e.PathString] = e.Entity
+	}
+	if got["/country/name"] != "country" {
+		t.Errorf("name entity = %q", got["/country/name"])
+	}
+	if got["/country/economy/import_partners/item/trade_country"] != "import partner" {
+		t.Errorf("import entity = %q", got["/country/economy/import_partners/item/trade_country"])
+	}
+	if got["/country/economy/export_partners/item/trade_country"] != "export partner" {
+		t.Errorf("export entity = %q", got["/country/economy/export_partners/item/trade_country"])
+	}
+}

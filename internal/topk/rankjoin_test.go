@@ -1,0 +1,119 @@
+package topk
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seda/internal/graph"
+	"seda/internal/index"
+	"seda/internal/query"
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+)
+
+func TestRankJoinBasic(t *testing.T) {
+	_, ix, g := fixture(t)
+	s := New(ix, g)
+	q := query.MustParse(`(trade_country, *) AND (percentage, *)`)
+	rjs, stats, err := s.SearchRankJoin(q, Options{K: 5, DisableCrossDoc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rjs) == 0 {
+		t.Fatal("no rank-join results")
+	}
+	if stats.UnitsScanned == 0 || stats.TuplesScored == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	// Scores descend.
+	for i := 1; i < len(rjs); i++ {
+		if rjs[i].Score > rjs[i-1].Score {
+			t.Error("rank-join results out of order")
+		}
+	}
+	// Term with no matches yields no tuples, no error.
+	rjs2, _, err := s.SearchRankJoin(query.MustParse(`(trade_country, *) AND (*, zzznope)`), Options{K: 5})
+	if err != nil || len(rjs2) != 0 {
+		t.Errorf("empty-term run: %v %v", rjs2, err)
+	}
+	// Empty query errors.
+	if _, _, err := s.SearchRankJoin(query.Query{}, Options{}); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+// TestPropRankJoinMatchesDocAtATime: both strategies must return the same
+// top-k scores on same-document workloads.
+func TestPropRankJoinMatchesDocAtATime(t *testing.T) {
+	vocab := []string{"red", "green", "blue"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := store.NewCollection()
+		n := 2 + r.Intn(5)
+		for i := 0; i < n; i++ {
+			root := xmldoc.Elem("r")
+			for j := 0; j < 1+r.Intn(4); j++ {
+				root.Add(xmldoc.Text(fmt.Sprintf("t%d", r.Intn(3)), vocab[r.Intn(len(vocab))]))
+			}
+			c.AddDocument(xmldoc.Build(fmt.Sprintf("d%d", i), root, c.Dict()))
+		}
+		ix := index.Build(c)
+		s := New(ix, graph.New(c))
+		q := query.MustParse(`(*, red) AND (*, green)`)
+		opts := Options{K: 5, PerDocPerTerm: 1000, DisableCrossDoc: true}
+		a, err := s.Search(q, opts)
+		if err != nil {
+			return false
+		}
+		b, _, err := s.SearchRankJoin(q, opts)
+		if err != nil {
+			return false
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if math.Abs(a[i].Score-b[i].Score) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRankJoinEarlyStop: with same-node double matching the threshold is
+// achievable and the scan must stop before exhausting the streams.
+func TestRankJoinEarlyStop(t *testing.T) {
+	c := store.NewCollection()
+	for i := 0; i < 80; i++ {
+		reps := 1 + i%6
+		var v string
+		for r := 0; r < reps; r++ {
+			v += "gold "
+		}
+		if _, err := c.AddXML(fmt.Sprintf("d%d", i),
+			[]byte(fmt.Sprintf(`<r><x>%ssilver</x></r>`, v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := index.Build(c)
+	s := New(ix, nil)
+	q := query.MustParse(`(x, gold) AND (x, silver)`)
+	rs, stats, err := s.SearchRankJoin(q, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	if stats.UnitsScanned >= stats.UnitsCandidates {
+		t.Errorf("no early stop: scanned %d of %d stream entries",
+			stats.UnitsScanned, stats.UnitsCandidates)
+	}
+}

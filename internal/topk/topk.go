@@ -1,0 +1,330 @@
+// Package topk implements SEDA's top-k search unit (paper §4).
+//
+// "SEDA employs a top-k search algorithm based on the family of threshold
+// algorithms (TA). The SEDA top-k algorithm retrieves the results from
+// full-text indexes and calculates top answers according to a ranking
+// function which takes into account both the content score as well as the
+// structural properties of the matched nodes" — the structural component
+// being the compactness of the graph connecting the tuple (§1).
+//
+// The implementation is document-at-a-time: per-term match lists from the
+// index are grouped by document; candidate documents are visited in
+// decreasing order of an upper score bound (sum of the best per-term
+// content scores, times the maximum compactness of 1), and the scan stops
+// as soon as the k-th best materialized tuple meets the bound of the next
+// unvisited document — the TA termination condition. Tuples spanning two
+// documents joined by a link edge are also considered, honoring Definition
+// 4's connectivity-by-data-graph requirement.
+package topk
+
+import (
+	"fmt"
+	"sort"
+
+	"seda/internal/graph"
+	"seda/internal/index"
+	"seda/internal/pathdict"
+	"seda/internal/query"
+	"seda/internal/xmldoc"
+)
+
+// Options tunes a search. The zero value is usable: K defaults to 10.
+type Options struct {
+	// K is the number of results to return (default 10).
+	K int
+	// MaxLinkHops caps link-edge traversals when checking tuple
+	// connectivity (default 2).
+	MaxLinkHops int
+	// PerDocPerTerm beams the number of matches considered per term within
+	// one document (default 8). Raising it trades latency for exactness.
+	PerDocPerTerm int
+	// CrossDoc enables tuples spanning two link-connected documents
+	// (default true; set DisableCrossDoc to turn off).
+	DisableCrossDoc bool
+	// ContentOnly ignores the compactness factor — the ablation the
+	// benchmarks compare against (score = content sum only).
+	ContentOnly bool
+}
+
+func (o *Options) defaults() {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.MaxLinkHops <= 0 {
+		o.MaxLinkHops = 2
+	}
+	if o.PerDocPerTerm <= 0 {
+		o.PerDocPerTerm = 8
+	}
+}
+
+// Result is one ranked tuple: node i satisfies query term i.
+type Result struct {
+	Nodes        []xmldoc.NodeRef
+	Paths        []pathdict.PathID
+	Score        float64
+	ContentScore float64
+	Compactness  float64
+}
+
+// Stats reports how much work the TA loop did; UnitsScanned <
+// UnitsCandidates demonstrates threshold-based early termination.
+type Stats struct {
+	// UnitsCandidates is the number of candidate units (documents or
+	// link-joined document pairs) with full term coverage.
+	UnitsCandidates int
+	// UnitsScanned is how many of them were materialized before the
+	// threshold condition stopped the scan.
+	UnitsScanned int
+	// TuplesScored counts scored (connected) tuples.
+	TuplesScored int
+}
+
+// Searcher executes top-k queries over an index and a data graph.
+type Searcher struct {
+	ix *index.Index
+	g  *graph.Graph
+}
+
+// New returns a Searcher. A nil graph is replaced by an empty overlay (tree
+// edges only), so same-document tuples still connect and score.
+func New(ix *index.Index, g *graph.Graph) *Searcher {
+	if g == nil {
+		g = graph.New(ix.Collection())
+	}
+	return &Searcher{ix: ix, g: g}
+}
+
+// Search returns the top-k result tuples of q, best first. Ties break
+// deterministically by node order.
+func (s *Searcher) Search(q query.Query, opts Options) ([]Result, error) {
+	rs, _, err := s.SearchStats(q, opts)
+	return rs, err
+}
+
+// SearchStats is Search with TA work counters.
+func (s *Searcher) SearchStats(q query.Query, opts Options) ([]Result, Stats, error) {
+	opts.defaults()
+	if len(q.Terms) == 0 {
+		return nil, Stats{}, fmt.Errorf("topk: empty query")
+	}
+	matches := make([][]index.Match, len(q.Terms))
+	for i, t := range q.Terms {
+		ms, err := s.ix.MatchTerm(t)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("topk: term %d: %w", i, err)
+		}
+		matches[i] = ms
+	}
+	rs, st := s.rank(matches, opts)
+	return rs, st, nil
+}
+
+// docMatches groups one term's matches for one document.
+type docEntry struct {
+	perTerm [][]index.Match // index by term; nil when the term has no match here
+	bound   float64         // upper bound on any tuple rooted in this doc
+}
+
+func (s *Searcher) rank(matches [][]index.Match, opts Options) ([]Result, Stats) {
+	m := len(matches)
+	// Group matches per document, keeping only the strongest
+	// opts.PerDocPerTerm per (doc, term).
+	docs := make(map[xmldoc.DocID]*docEntry)
+	globalBest := make([]float64, m)
+	for i, ms := range matches {
+		for _, match := range ms {
+			e, ok := docs[match.Ref.Doc]
+			if !ok {
+				e = &docEntry{perTerm: make([][]index.Match, m)}
+				docs[match.Ref.Doc] = e
+			}
+			e.perTerm[i] = append(e.perTerm[i], match)
+			if match.Score > globalBest[i] {
+				globalBest[i] = match.Score
+			}
+		}
+	}
+	for _, e := range docs {
+		for i := range e.perTerm {
+			lst := e.perTerm[i]
+			sort.Slice(lst, func(a, b int) bool { return lst[a].Score > lst[b].Score })
+			if len(lst) > opts.PerDocPerTerm {
+				e.perTerm[i] = lst[:opts.PerDocPerTerm]
+			}
+		}
+	}
+
+	// Candidate units: single documents covering all terms, plus pairs of
+	// link-connected documents that cover all terms together.
+	var units []candUnit
+	for id, e := range docs {
+		full := true
+		b := 0.0
+		for i := range e.perTerm {
+			if len(e.perTerm[i]) == 0 {
+				full = false
+				break
+			}
+			b += e.perTerm[i][0].Score
+		}
+		if full {
+			units = append(units, candUnit{entries: []*docEntry{e}, ids: []xmldoc.DocID{id}, bound: b})
+		}
+	}
+	if !opts.DisableCrossDoc && s.g != nil {
+		units = append(units, s.crossDocUnits(docs, m)...)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].bound > units[j].bound })
+
+	// TA loop: materialize tuples unit by unit in bound order; stop when
+	// the k-th best score dominates the next unit's bound.
+	stats := Stats{UnitsCandidates: len(units)}
+	var results []Result
+	kth := func() float64 {
+		if len(results) < opts.K {
+			return -1
+		}
+		return results[opts.K-1].Score
+	}
+	before := 0
+	for _, u := range units {
+		if t := kth(); t >= 0 && t >= u.bound {
+			break // TA threshold reached
+		}
+		stats.UnitsScanned++
+		before = len(results)
+		s.enumerate(u.entries, u.ids, opts, &results)
+		stats.TuplesScored += len(results) - before
+		sort.Slice(results, func(i, j int) bool {
+			if results[i].Score != results[j].Score {
+				return results[i].Score > results[j].Score
+			}
+			return lessTuple(results[i].Nodes, results[j].Nodes)
+		})
+		if len(results) > opts.K*4 {
+			results = results[:opts.K*4] // keep the frontier small
+		}
+	}
+	if len(results) > opts.K {
+		results = results[:opts.K]
+	}
+	return results, stats
+}
+
+// candUnit is a candidate unit for the TA loop: the documents whose
+// combined matches can form tuples, with an upper score bound.
+type candUnit struct {
+	entries []*docEntry
+	ids     []xmldoc.DocID
+	bound   float64
+}
+
+// crossDocUnits builds two-document candidate units from link edges whose
+// endpoint documents each match at least one term.
+func (s *Searcher) crossDocUnits(docs map[xmldoc.DocID]*docEntry, m int) []candUnit {
+	var units []candUnit
+	seen := make(map[[2]xmldoc.DocID]bool)
+	for _, e := range s.g.Edges() {
+		a, b := e.From.Doc, e.To.Doc
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]xmldoc.DocID{a, b}] {
+			continue
+		}
+		seen[[2]xmldoc.DocID{a, b}] = true
+		ea, okA := docs[a]
+		eb, okB := docs[b]
+		if !okA || !okB {
+			continue
+		}
+		bound := 0.0
+		full := true
+		for i := 0; i < m; i++ {
+			best := 0.0
+			if len(ea.perTerm[i]) > 0 {
+				best = ea.perTerm[i][0].Score
+			}
+			if len(eb.perTerm[i]) > 0 && eb.perTerm[i][0].Score > best {
+				best = eb.perTerm[i][0].Score
+			}
+			if best == 0 && len(ea.perTerm[i]) == 0 && len(eb.perTerm[i]) == 0 {
+				full = false
+				break
+			}
+			bound += best
+		}
+		if full {
+			units = append(units, candUnit{entries: []*docEntry{ea, eb}, ids: []xmldoc.DocID{a, b}, bound: bound})
+		}
+	}
+	return units
+}
+
+// enumerate materializes all tuples of a candidate unit and appends scored,
+// connected ones to out.
+func (s *Searcher) enumerate(entries []*docEntry, ids []xmldoc.DocID, opts Options, out *[]Result) {
+	m := len(entries[0].perTerm)
+	options := make([][]index.Match, m)
+	for i := 0; i < m; i++ {
+		for _, e := range entries {
+			options[i] = append(options[i], e.perTerm[i]...)
+		}
+		if len(options[i]) == 0 {
+			return
+		}
+	}
+	tuple := make([]index.Match, m)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == m {
+			s.scoreTuple(tuple, opts, out)
+			return
+		}
+		for _, match := range options[i] {
+			tuple[i] = match
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+func (s *Searcher) scoreTuple(tuple []index.Match, opts Options, out *[]Result) {
+	refs := make([]xmldoc.NodeRef, len(tuple))
+	paths := make([]pathdict.PathID, len(tuple))
+	content := 0.0
+	for i, m := range tuple {
+		refs[i] = m.Ref
+		paths[i] = m.Path
+		content += m.Score
+	}
+	w, connected := s.g.SteinerWeight(refs, opts.MaxLinkHops)
+	if !connected {
+		return // Definition 4: tuples must be connected
+	}
+	compact := graph.Compactness(w)
+	score := content
+	if !opts.ContentOnly {
+		score = content * compact
+	}
+	*out = append(*out, Result{
+		Nodes:        refs,
+		Paths:        paths,
+		Score:        score,
+		ContentScore: content,
+		Compactness:  compact,
+	})
+}
+
+func lessTuple(a, b []xmldoc.NodeRef) bool {
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return a[i].Less(b[i])
+		}
+	}
+	return false
+}

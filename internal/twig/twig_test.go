@@ -1,0 +1,296 @@
+package twig
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"seda/internal/dataguide"
+	"seda/internal/graph"
+	"seda/internal/index"
+	"seda/internal/pathdict"
+	"seda/internal/query"
+	"seda/internal/store"
+	"seda/internal/summary"
+	"seda/internal/xmldoc"
+)
+
+// fixture: two annual US documents with two import items each, plus one
+// linked sea document — enough to exercise twigs and cross-twig joins.
+func fixture(t testing.TB) (*store.Collection, *index.Index, *graph.Graph) {
+	t.Helper()
+	c := store.NewCollection()
+	docs := []string{
+		`<country id="us2004"><name>United States</name><year>2004</year><economy><import_partners>
+			<item><trade_country>China</trade_country><percentage>12.5%</percentage></item>
+			<item><trade_country>Mexico</trade_country><percentage>10.7%</percentage></item>
+		</import_partners></economy></country>`,
+		`<country id="us2005"><name>United States</name><year>2005</year><economy><import_partners>
+			<item><trade_country>China</trade_country><percentage>13.8%</percentage></item>
+			<item><trade_country>Mexico</trade_country><percentage>10.3%</percentage></item>
+		</import_partners></economy></country>`,
+		`<sea id="pac" bordering="us2004 us2005"><name>Pacific Ocean</name></sea>`,
+	}
+	for i, d := range docs {
+		if _, err := c.AddXML(fmt.Sprintf("doc%d", i), []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := index.Build(c)
+	g := graph.New(c)
+	g.DiscoverLinks(graph.DiscoverOptions{IDRefAttrs: []string{"bordering"}})
+	return c, ix, g
+}
+
+func mustTerm(t testing.TB, ctx, search string) query.Term {
+	t.Helper()
+	tm, err := query.NewTerm(ctx, search)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func treeConn(dict *pathdict.Dict, a, b int, pathA, pathB, join string) summary.Connection {
+	return summary.Connection{
+		TermA: a, TermB: b,
+		PathA: dict.LookupPath(pathA), PathB: dict.LookupPath(pathB),
+		Kind:     summary.Tree,
+		JoinPath: dict.LookupPath(join),
+	}
+}
+
+const (
+	tcPath = "/country/economy/import_partners/item/trade_country"
+	pcPath = "/country/economy/import_partners/item/percentage"
+	ipPath = "/country/economy/import_partners"
+	itPath = "/country/economy/import_partners/item"
+)
+
+func TestSameItemConnection(t *testing.T) {
+	c, ix, g := fixture(t)
+	dict := c.Dict()
+	e := New(ix, g)
+	plan := Plan{
+		Terms:       []query.Term{mustTerm(t, tcPath, "*"), mustTerm(t, pcPath, "*")},
+		Connections: []summary.Connection{treeConn(dict, 0, 1, tcPath, pcPath, itPath)},
+	}
+	out, err := e.ComputeAll(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-item pairing: exactly 4 tuples (one per item).
+	if len(out) != 4 {
+		t.Fatalf("tuples = %d, want 4", len(out))
+	}
+	for _, tp := range out {
+		if tp.Nodes[0].Doc != tp.Nodes[1].Doc {
+			t.Error("tree-connected tuple crossed documents")
+		}
+	}
+}
+
+func TestCrossItemConnection(t *testing.T) {
+	c, ix, g := fixture(t)
+	dict := c.Dict()
+	e := New(ix, g)
+	plan := Plan{
+		Terms:       []query.Term{mustTerm(t, tcPath, "*"), mustTerm(t, pcPath, "*")},
+		Connections: []summary.Connection{treeConn(dict, 0, 1, tcPath, pcPath, ipPath)},
+	}
+	out, err := e.ComputeAll(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Across items only: per doc, tc of item1 with pct of item2 and vice
+	// versa = 2 per doc, 4 total. Same-item pairs are excluded because
+	// their LCA is the item, not import_partners.
+	if len(out) != 4 {
+		t.Fatalf("tuples = %d, want 4", len(out))
+	}
+	for _, tp := range out {
+		// trade_country and percentage must be in different items.
+		if tp.Nodes[0].Dewey[3] == tp.Nodes[1].Dewey[3] && tp.Nodes[0].Doc == tp.Nodes[1].Doc {
+			// index 3 is the item ordinal under import_partners... verify
+			// via prefix: LCA level must be depth(import_partners) = 3.
+		}
+	}
+}
+
+func TestLinkCrossTwigJoin(t *testing.T) {
+	c, ix, g := fixture(t)
+	dict := c.Dict()
+	e := New(ix, g)
+	conn := summary.Connection{
+		TermA: 0, TermB: 1,
+		Kind: summary.LinkEdge,
+		Link: dataguide.Link{
+			Kind:     graph.IDRef,
+			Label:    "sea",
+			FromPath: dict.LookupPath("/sea"),
+			ToPath:   dict.LookupPath("/country"),
+		},
+	}
+	plan := Plan{
+		Terms:       []query.Term{mustTerm(t, "/sea/name", "*"), mustTerm(t, "/country/year", "*")},
+		Connections: []summary.Connection{conn},
+	}
+	out, err := e.ComputeAll(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sea name x two years, joined through bordering edges.
+	if len(out) != 2 {
+		t.Fatalf("tuples = %d, want 2", len(out))
+	}
+}
+
+func TestUnconnectedPlanRejected(t *testing.T) {
+	_, ix, g := fixture(t)
+	e := New(ix, g)
+	plan := Plan{
+		Terms: []query.Term{mustTerm(t, "/sea/name", "*"), mustTerm(t, "/country/year", "*")},
+	}
+	if _, err := e.ComputeAll(plan); err == nil {
+		t.Error("plan without spanning connections must be rejected")
+	}
+	if _, err := e.ComputeAll(Plan{}); err == nil {
+		t.Error("empty plan must be rejected")
+	}
+	bad := Plan{
+		Terms:       []query.Term{mustTerm(t, "/sea/name", "*")},
+		Connections: []summary.Connection{{TermA: 0, TermB: 5}},
+	}
+	if _, err := e.ComputeAll(bad); err == nil {
+		t.Error("out-of-range connection must be rejected")
+	}
+}
+
+func TestSingleTermPlan(t *testing.T) {
+	_, ix, g := fixture(t)
+	e := New(ix, g)
+	out, err := e.ComputeAll(Plan{Terms: []query.Term{mustTerm(t, tcPath, "*")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("tuples = %d, want 4", len(out))
+	}
+}
+
+func TestHolisticMatchesNaive(t *testing.T) {
+	c, ix, g := fixture(t)
+	dict := c.Dict()
+	e := New(ix, g)
+	plans := []Plan{
+		{
+			Terms:       []query.Term{mustTerm(t, tcPath, "*"), mustTerm(t, pcPath, "*")},
+			Connections: []summary.Connection{treeConn(dict, 0, 1, tcPath, pcPath, itPath)},
+		},
+		{
+			Terms:       []query.Term{mustTerm(t, tcPath, "*"), mustTerm(t, pcPath, "*")},
+			Connections: []summary.Connection{treeConn(dict, 0, 1, tcPath, pcPath, ipPath)},
+		},
+		{
+			Terms: []query.Term{mustTerm(t, tcPath, "china"), mustTerm(t, pcPath, "*"), mustTerm(t, "/country/year", "*")},
+			Connections: []summary.Connection{
+				treeConn(dict, 0, 1, tcPath, pcPath, itPath),
+				treeConn(dict, 1, 2, pcPath, "/country/year", "/country"),
+			},
+		},
+	}
+	for pi, plan := range plans {
+		holistic, err := e.ComputeAll(plan)
+		if err != nil {
+			t.Fatalf("plan %d: %v", pi, err)
+		}
+		naive, err := e.ComputeNaive(plan)
+		if err != nil {
+			t.Fatalf("plan %d naive: %v", pi, err)
+		}
+		if !reflect.DeepEqual(holistic, naive) {
+			t.Errorf("plan %d: holistic %d tuples, naive %d tuples", pi, len(holistic), len(naive))
+		}
+	}
+}
+
+// Property: on random corpora and random same-doc twig plans, holistic
+// equals naive.
+func TestPropHolisticEqualsNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := store.NewCollection()
+		nd := 1 + r.Intn(3)
+		for i := 0; i < nd; i++ {
+			root := xmldoc.Elem("r")
+			for j := 0; j < 1+r.Intn(3); j++ {
+				grp := xmldoc.Elem("grp")
+				for k := 0; k < 1+r.Intn(3); k++ {
+					grp.Add(xmldoc.Elem("item",
+						xmldoc.Text("a", fmt.Sprintf("v%d", r.Intn(3))),
+						xmldoc.Text("b", fmt.Sprintf("w%d", r.Intn(3)))))
+				}
+				root.Add(grp)
+			}
+			c.AddDocument(xmldoc.Build(fmt.Sprintf("d%d", i), root, c.Dict()))
+		}
+		ix := index.Build(c)
+		g := graph.New(c)
+		e := New(ix, g)
+		dict := c.Dict()
+		joins := []string{"/r/grp/item", "/r/grp", "/r"}
+		join := joins[r.Intn(len(joins))]
+		plan := Plan{
+			Terms: []query.Term{
+				mustTermQuiet("/r/grp/item/a", "*"),
+				mustTermQuiet("/r/grp/item/b", "*"),
+			},
+			Connections: []summary.Connection{treeConn(dict, 0, 1, "/r/grp/item/a", "/r/grp/item/b", join)},
+		}
+		h, err := e.ComputeAll(plan)
+		if err != nil {
+			return false
+		}
+		n, err := e.ComputeNaive(plan)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(h, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustTermQuiet(ctx, search string) query.Term {
+	tm, err := query.NewTerm(ctx, search)
+	if err != nil {
+		panic(err)
+	}
+	return tm
+}
+
+func TestFigure3ShapeColumns(t *testing.T) {
+	// R(q) columns per Figure 3(a): each tuple exposes node ids and paths.
+	c, ix, g := fixture(t)
+	dict := c.Dict()
+	e := New(ix, g)
+	plan := Plan{
+		Terms:       []query.Term{mustTerm(t, tcPath, "*"), mustTerm(t, pcPath, "*")},
+		Connections: []summary.Connection{treeConn(dict, 0, 1, tcPath, pcPath, itPath)},
+	}
+	out, err := e.ComputeAll(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range out {
+		if len(tp.Nodes) != 2 || len(tp.Paths) != 2 {
+			t.Fatalf("tuple shape: %+v", tp)
+		}
+		if dict.Path(tp.Paths[0]) != tcPath || dict.Path(tp.Paths[1]) != pcPath {
+			t.Errorf("paths = %q, %q", dict.Path(tp.Paths[0]), dict.Path(tp.Paths[1]))
+		}
+	}
+}

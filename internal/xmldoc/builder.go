@@ -1,0 +1,47 @@
+package xmldoc
+
+// Builder constructs document trees programmatically. The dataset
+// generators (internal/datagen) use it to synthesize corpora without paying
+// for XML serialization and re-parsing; tests use it for fixtures.
+//
+// The builder produces raw trees; call Finalize (or Build, which does it for
+// you) to assign Dewey ids and intern paths.
+
+import "seda/internal/pathdict"
+
+// Elem creates an element node with the given children already attached.
+func Elem(tag string, children ...*Node) *Node {
+	n := &Node{Tag: tag, Kind: Element, Children: children}
+	for _, c := range children {
+		c.Parent = n
+	}
+	return n
+}
+
+// Text creates a leaf element holding character data, e.g.
+// Text("percentage", "15%").
+func Text(tag, text string) *Node {
+	return &Node{Tag: tag, Kind: Element, Text: text}
+}
+
+// Attr creates an attribute node; attach it before element children to
+// mirror parser output.
+func Attr(name, value string) *Node {
+	return &Node{Tag: name, Kind: Attribute, Text: value}
+}
+
+// Add appends children to n and returns n, for fluent tree building.
+func (n *Node) Add(children ...*Node) *Node {
+	for _, c := range children {
+		c.Parent = n
+	}
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// Build wraps a root node into a Document and finalizes it against dict.
+func Build(name string, root *Node, dict *pathdict.Dict) *Document {
+	doc := &Document{Name: name, Root: root}
+	Finalize(doc, dict)
+	return doc
+}

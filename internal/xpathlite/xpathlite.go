@@ -1,0 +1,168 @@
+// Package xpathlite evaluates the path-expression fragment SEDA's relative
+// XML keys need (paper §7, citing Buneman et al.'s "Keys for XML"): an
+// expression is either absolute ("/country/year", starting at the document
+// root) or relative ("../trade_country", "./name", starting at a context
+// node with optional parent steps). Only child steps are supported — the
+// fragment the paper's keys use.
+package xpathlite
+
+import (
+	"fmt"
+	"strings"
+
+	"seda/internal/xmldoc"
+)
+
+// Expr is a parsed path expression.
+type Expr struct {
+	// Absolute expressions start at the document root; the first step must
+	// match the root's tag.
+	Absolute bool
+	// Up counts leading ".." steps of a relative expression.
+	Up int
+	// Steps are the child tag names to descend through.
+	Steps []string
+}
+
+// Parse parses "/a/b", "./x", "../y/z", "../../w", or ".".
+func Parse(s string) (Expr, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Expr{}, fmt.Errorf("xpathlite: empty expression")
+	}
+	var e Expr
+	rest := s
+	if strings.HasPrefix(s, "/") {
+		e.Absolute = true
+		rest = s[1:]
+		if rest == "" {
+			return Expr{}, fmt.Errorf("xpathlite: bare '/' is not a valid expression")
+		}
+	} else {
+		// Relative: consume leading . and .. steps.
+		for {
+			switch {
+			case rest == ".":
+				rest = ""
+			case rest == "..":
+				e.Up++
+				rest = ""
+			case strings.HasPrefix(rest, "../"):
+				e.Up++
+				rest = rest[3:]
+			case strings.HasPrefix(rest, "./"):
+				rest = rest[2:]
+			default:
+				goto steps
+			}
+			if rest == "" {
+				break
+			}
+		}
+	}
+steps:
+	if rest != "" {
+		for _, step := range strings.Split(rest, "/") {
+			if step == "" {
+				return Expr{}, fmt.Errorf("xpathlite: empty step in %q", s)
+			}
+			if step == ".." || step == "." {
+				return Expr{}, fmt.Errorf("xpathlite: %q steps must precede tag steps in %q", step, s)
+			}
+			e.Steps = append(e.Steps, step)
+		}
+	}
+	if e.Absolute && len(e.Steps) == 0 {
+		return Expr{}, fmt.Errorf("xpathlite: absolute expression %q has no steps", s)
+	}
+	return e, nil
+}
+
+// MustParse panics on error; for constant expressions in tests/examples.
+func MustParse(s string) Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// String renders the canonical form.
+func (e Expr) String() string {
+	if e.Absolute {
+		return "/" + strings.Join(e.Steps, "/")
+	}
+	var b strings.Builder
+	if e.Up == 0 {
+		b.WriteString(".")
+	}
+	for i := 0; i < e.Up; i++ {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		b.WriteString("..")
+	}
+	for _, s := range e.Steps {
+		b.WriteByte('/')
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// IsSelf reports whether the expression denotes the context node itself.
+func (e Expr) IsSelf() bool { return !e.Absolute && e.Up == 0 && len(e.Steps) == 0 }
+
+// Eval returns the nodes the expression selects from base within doc, in
+// document order. For absolute expressions base may be nil. A nil result
+// means the expression selects nothing.
+func (e Expr) Eval(doc *xmldoc.Document, base *xmldoc.Node) []*xmldoc.Node {
+	var start *xmldoc.Node
+	steps := e.Steps
+	if e.Absolute {
+		if doc == nil || doc.Root == nil || len(steps) == 0 || doc.Root.Tag != steps[0] {
+			return nil
+		}
+		start = doc.Root
+		steps = steps[1:]
+	} else {
+		start = base
+		for i := 0; i < e.Up && start != nil; i++ {
+			start = start.Parent
+		}
+	}
+	if start == nil {
+		return nil
+	}
+	frontier := []*xmldoc.Node{start}
+	for _, step := range steps {
+		var next []*xmldoc.Node
+		for _, n := range frontier {
+			for _, c := range n.Children {
+				if c.Tag == step {
+					next = append(next, c)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		frontier = next
+	}
+	return frontier
+}
+
+// EvalOne evaluates the expression expecting exactly one result; it returns
+// an error when zero or several nodes match — the cardinality relative keys
+// require (paper §7: "This assumes that every percentage in the result will
+// have exactly one such sibling").
+func (e Expr) EvalOne(doc *xmldoc.Document, base *xmldoc.Node) (*xmldoc.Node, error) {
+	ns := e.Eval(doc, base)
+	switch len(ns) {
+	case 0:
+		return nil, fmt.Errorf("xpathlite: %s selected no node", e)
+	case 1:
+		return ns[0], nil
+	default:
+		return nil, fmt.Errorf("xpathlite: %s selected %d nodes, want 1", e, len(ns))
+	}
+}

@@ -1,0 +1,131 @@
+package xpathlite
+
+import (
+	"testing"
+
+	"seda/internal/pathdict"
+	"seda/internal/xmldoc"
+)
+
+const doc = `<country><name>Mexico</name><year>2003</year><economy>
+	<import_partners>
+		<item><trade_country>United States</trade_country><percentage>70.6%</percentage></item>
+		<item><trade_country>Germany</trade_country><percentage>3.5%</percentage></item>
+	</import_partners></economy></country>`
+
+func parse(t *testing.T) *xmldoc.Document {
+	t.Helper()
+	d, err := xmldoc.Parse([]byte(doc), pathdict.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestParseAndString(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/country/year", "/country/year"},
+		{"../trade_country", "../trade_country"},
+		{"../../item", "../../item"},
+		{"./name", "./name"},
+		{".", "."},
+		{"..", ".."},
+		{" /a/b ", "/a/b"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if e.String() != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, e.String(), c.want)
+		}
+	}
+	for _, bad := range []string{"", "/", "//a", "a//b", "a/../b", "/a/"} {
+		if e, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted: %v", bad, e)
+		}
+	}
+}
+
+func TestAbsoluteEval(t *testing.T) {
+	d := parse(t)
+	ns := MustParse("/country/year").Eval(d, nil)
+	if len(ns) != 1 || ns[0].Text != "2003" {
+		t.Fatalf("year eval = %v", ns)
+	}
+	// Multi-result absolute.
+	items := MustParse("/country/economy/import_partners/item").Eval(d, nil)
+	if len(items) != 2 {
+		t.Fatalf("items = %d", len(items))
+	}
+	// Root tag mismatch.
+	if MustParse("/sea/name").Eval(d, nil) != nil {
+		t.Error("wrong root should select nothing")
+	}
+	// Dead end.
+	if MustParse("/country/missing").Eval(d, nil) != nil {
+		t.Error("missing step should select nothing")
+	}
+}
+
+func TestRelativeEval(t *testing.T) {
+	d := parse(t)
+	pct := MustParse("/country/economy/import_partners/item/percentage").Eval(d, nil)
+	if len(pct) != 2 {
+		t.Fatal("fixture broken")
+	}
+	// The paper's key component: ../trade_country from a percentage node.
+	tc, err := MustParse("../trade_country").EvalOne(d, pct[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Text != "United States" {
+		t.Errorf("sibling = %q", tc.Text)
+	}
+	tc2, err := MustParse("../trade_country").EvalOne(d, pct[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc2.Text != "Germany" {
+		t.Errorf("sibling = %q", tc2.Text)
+	}
+	// Self.
+	self := MustParse(".").Eval(d, pct[0])
+	if len(self) != 1 || self[0] != pct[0] {
+		t.Error("self selection broken")
+	}
+	// Up beyond root.
+	if MustParse("../../../../../..").Eval(d, pct[0]) != nil {
+		t.Error("climbing beyond root should select nothing")
+	}
+	// ../.. then down.
+	items := MustParse("../../item").Eval(d, pct[0])
+	if len(items) != 2 {
+		t.Errorf("../../item = %d nodes", len(items))
+	}
+}
+
+func TestEvalOneCardinality(t *testing.T) {
+	d := parse(t)
+	ip := MustParse("/country/economy/import_partners").Eval(d, nil)[0]
+	if _, err := MustParse("./item").EvalOne(d, ip); err == nil {
+		t.Error("two items must fail EvalOne")
+	}
+	if _, err := MustParse("./missing").EvalOne(d, ip); err == nil {
+		t.Error("zero matches must fail EvalOne")
+	}
+	if n, err := MustParse("/country/name").EvalOne(d, nil); err != nil || n.Text != "Mexico" {
+		t.Errorf("EvalOne = %v, %v", n, err)
+	}
+}
+
+func TestIsSelf(t *testing.T) {
+	if !MustParse(".").IsSelf() {
+		t.Error(". should be self")
+	}
+	if MustParse("..").IsSelf() || MustParse("./x").IsSelf() || MustParse("/a").IsSelf() {
+		t.Error("non-self expression reported self")
+	}
+}
