@@ -1,0 +1,22 @@
+GO ?= go
+SCALE ?= 0.05
+
+.PHONY: build test bench serve vet
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test -race ./...
+
+# Micro-benchmarks plus the paper-experiment harness; the harness leaves
+# machine-readable BENCH_<name>.json files at the repo root.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+	$(GO) run ./cmd/sedabench -scale $(SCALE)
+
+serve:
+	$(GO) run ./cmd/sedad -preload worldfactbook -scale $(SCALE)

@@ -3,17 +3,27 @@
 // the one-shot companion to the root bench_test.go micro-benchmarks; its
 // output is the source for EXPERIMENTS.md.
 //
+// Each experiment additionally writes a machine-readable result file
+// BENCH_<name>.json (wall ns/op, allocations) into -out (default the
+// current directory, i.e. the repo root when run as `go run
+// ./cmd/sedabench`), giving successive revisions a perf trajectory to
+// compare against.
+//
 // Usage:
 //
 //	sedabench                  # all experiments at full scale
 //	sedabench -exp table1      # one experiment
 //	sedabench -scale 0.2       # scaled corpora (faster, shapes preserved)
+//	sedabench -out ""          # skip the BENCH_*.json files
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"time"
 
 	"seda"
@@ -28,14 +38,29 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|all")
 	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = paper size)")
+	out := flag.String("out", ".", "directory for BENCH_<name>.json result files (empty disables)")
 	flag.Parse()
 
 	run := func(name string, fn func(float64)) {
 		if *exp == "all" || *exp == name {
 			fmt.Printf("==== %s ====\n", name)
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
 			start := time.Now()
 			fn(*scale)
-			fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			fmt.Printf("(%s in %v)\n\n", name, elapsed.Round(time.Millisecond))
+			if *out != "" {
+				writeBenchResult(*out, benchResult{
+					Name:       name,
+					Scale:      *scale,
+					NsPerOp:    elapsed.Nanoseconds(),
+					Allocs:     m1.Mallocs - m0.Mallocs,
+					AllocBytes: m1.TotalAlloc - m0.TotalAlloc,
+				})
+			}
 		}
 	}
 	run("table1", table1)
@@ -294,6 +319,30 @@ func ablations(scale float64) {
 	}
 
 	fmt.Println("A2 join and A4 probe ablations: go test -bench 'BenchmarkAblationJoin|BenchmarkAblationContextProbe'")
+}
+
+// benchResult is the machine-readable record one experiment run leaves
+// behind for perf-trajectory comparisons across revisions. Each experiment
+// runs once, so ns_per_op is its wall time.
+type benchResult struct {
+	Name       string  `json:"name"`
+	Scale      float64 `json:"scale"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	Allocs     uint64  `json:"allocs"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+}
+
+func writeBenchResult(dir string, r benchResult) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_"+r.Name+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sedabench: writing %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("wrote %s\n\n", path)
 }
 
 func fatal(err error) {

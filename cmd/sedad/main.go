@@ -1,0 +1,108 @@
+// Command sedad serves SEDA's interactive exploration loop (paper Figure
+// 6) as a stateful HTTP/JSON API: collections, sessions, top-k, context
+// and connection summaries, refinement, star-schema cubes, and OLAP
+// aggregates. See internal/server for the endpoint list and README.md for
+// curl examples.
+//
+// Usage:
+//
+//	sedad                              # listen on :8080, no preloaded corpora
+//	sedad -preload worldfactbook       # register (lazily build) a builtin
+//	sedad -addr :9000 -scale 0.2       # bigger generated corpora
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"seda"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.Float64("scale", 0.05, "default corpus scale for builtin collections")
+	ttl := flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (0 disables TTL eviction)")
+	maxSessions := flag.Int("max-sessions", 1024, "session table capacity (LRU-evicted beyond)")
+	cacheSize := flag.Int("cache-size", 256, "top-k result cache entries (0 disables caching)")
+	preload := flag.String("preload", "", "comma-separated builtin corpora to register at startup (worldfactbook,mondial,googlebase,recipeml)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "sedad ", log.LstdFlags|log.Lmsgprefix)
+
+	// The Options zero value means "use the default", so an explicit 0 on
+	// the command line maps to the negative "disabled" spelling.
+	if *cacheSize == 0 {
+		*cacheSize = -1
+	}
+	if *ttl == 0 {
+		*ttl = -1
+	}
+	srv := seda.NewServer(seda.ServerOptions{
+		SessionTTL:   *ttl,
+		MaxSessions:  *maxSessions,
+		CacheSize:    *cacheSize,
+		BuiltinScale: *scale,
+	})
+	for _, name := range strings.Split(*preload, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if err := srv.Registry().RegisterBuiltin(name, name, *scale, seda.Config{}); err != nil {
+			logger.Fatalf("preload %s: %v", name, err)
+		}
+		logger.Printf("registered builtin collection %q (scale %g, built on first use)", name, *scale)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(logger, srv),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		logger.Fatalf("serve: %v", err)
+	case s := <-sig:
+		logger.Printf("caught %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Printf("shutdown: %v", err)
+		}
+	}
+}
+
+// logRequests is a minimal access log: method, path, status, duration.
+func logRequests(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,3 @@
+module seda
+
+go 1.24

@@ -7,6 +7,22 @@
 // summary, fact/dimension catalog). A Session owns one exploration: the
 // Figure 6 loop of query → top-k → summaries → refinement → complete
 // results → cube.
+//
+// # Concurrency
+//
+// An Engine is safe for concurrent use by many Sessions once NewEngine
+// returns. The collection, indexes, data graph, and dataguide summary are
+// immutable after construction; the two pieces of engine state that ARE
+// mutated during query processing — the fact/dimension catalog (users
+// expand it while exploring) and the connection summarizer's path-pair
+// cache (§6.1) — synchronize internally. BuildTimings is written only
+// during NewEngine and must not be mutated afterwards.
+//
+// A Session is NOT safe for concurrent use: it is one user's exploration
+// state machine, and callers running the same session from several
+// goroutines (e.g. a server handling requests for one session id) must
+// serialize access themselves. Distinct sessions over one engine need no
+// external locking.
 package core
 
 import (
@@ -149,7 +165,8 @@ func (e *Engine) Aggregate(star *cube.Star, measure string, groupBy []string, fn
 	return ft.GroupBy(groupBy, []rel.AggSpec{{Fn: fn, Col: measure}})
 }
 
-// Session is one Figure 6 exploration loop.
+// Session is one Figure 6 exploration loop. It is not safe for concurrent
+// use; see the package comment.
 type Session struct {
 	eng   *Engine
 	query query.Query
@@ -195,6 +212,22 @@ func (s *Session) TopK(k int) ([]topk.Result, error) {
 	s.connections = nil
 	s.complete = nil
 	return rs, nil
+}
+
+// TopKResults returns the session's current top-k results (nil before the
+// first TopK/SetTopK, or after a refinement cleared them). The slice must
+// be treated as read-only.
+func (s *Session) TopKResults() []topk.Result { return s.topK }
+
+// SetTopK installs externally-computed top-k results — e.g. results a
+// serving tier found in its cache for an identical (query, k) — exactly as
+// if TopK had produced them: downstream summaries are invalidated. The
+// slice is retained and read, never written, so cached results may be
+// shared between sessions.
+func (s *Session) SetTopK(rs []topk.Result) {
+	s.topK = rs
+	s.connections = nil
+	s.complete = nil
 }
 
 // ContextSummary computes the per-term context buckets (§5), annotated

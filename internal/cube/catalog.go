@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"seda/internal/keys"
 )
@@ -71,8 +72,13 @@ func (d *Def) String() string {
 
 // Catalog holds the known facts and dimensions. It is "initially provided
 // by a system administrator and expanded by users during query
-// processing".
+// processing". Because users expand it *during* query processing, a
+// catalog shared by concurrent sessions sees interleaved reads and writes;
+// all methods are safe for concurrent use. Definitions are immutable once
+// registered — mutating a *Def returned by Lookup/Facts/Dimensions is a
+// data race.
 type Catalog struct {
+	mu   sync.RWMutex
 	defs map[string]*Def
 }
 
@@ -93,6 +99,8 @@ func (c *Catalog) add(name string, isFact bool, entries []ContextEntry) error {
 	if name == "" {
 		return fmt.Errorf("cube: empty definition name")
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, dup := c.defs[name]; dup {
 		return fmt.Errorf("cube: definition %q already exists", name)
 	}
@@ -112,10 +120,18 @@ func (c *Catalog) add(name string, isFact bool, entries []ContextEntry) error {
 }
 
 // Lookup returns the named definition, or nil.
-func (c *Catalog) Lookup(name string) *Def { return c.defs[name] }
+func (c *Catalog) Lookup(name string) *Def {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.defs[name]
+}
 
 // Remove deletes a definition by name.
-func (c *Catalog) Remove(name string) { delete(c.defs, name) }
+func (c *Catalog) Remove(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.defs, name)
+}
 
 // Facts returns all fact definitions sorted by name.
 func (c *Catalog) Facts() []*Def { return c.list(true) }
@@ -124,6 +140,8 @@ func (c *Catalog) Facts() []*Def { return c.list(true) }
 func (c *Catalog) Dimensions() []*Def { return c.list(false) }
 
 func (c *Catalog) list(isFact bool) []*Def {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []*Def
 	for _, d := range c.defs {
 		if d.IsFact == isFact {
@@ -138,6 +156,8 @@ func (c *Catalog) list(isFact bool) []*Def {
 // used when augmenting key columns with known dimensions (the paper's year
 // example).
 func (c *Catalog) DefsForContext(path string) []*Def {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []*Def
 	for _, d := range c.defs {
 		if d.HasContext(path) {

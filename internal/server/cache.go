@@ -1,0 +1,122 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"seda/internal/topk"
+)
+
+// resultCache is a bounded LRU over top-k result slices, keyed on
+// (collection, query, k). It serves the hot read path of the serving tier:
+// many sessions asking the identical question about the same corpus share
+// one search. Cached slices are shared read-only — Session.SetTopK and the
+// wire renderers never mutate them.
+//
+// The cache is safe for concurrent use. Hit/miss counters feed
+// GET /debug/stats.
+type resultCache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheItem struct {
+	key     string
+	results []topk.Result
+}
+
+// newResultCache returns an LRU holding at most max entries. max <= 0
+// disables caching (every Get misses, Put is a no-op).
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// cacheKey builds the (collection, query, k) key. The query's rendered
+// string is canonical for search purposes: refinement rewrites term
+// contexts, so a refined query keys differently from its parent, and two
+// sessions that refined to the same contexts share entries.
+func cacheKey(collection, query string, k int) string {
+	return fmt.Sprintf("%s\x1f%s\x1f%d", collection, query, k)
+}
+
+// cacheKeyPrefix is the (collection, query) prefix shared by all k.
+func cacheKeyPrefix(collection, query string) string {
+	return collection + "\x1f" + query + "\x1f"
+}
+
+// get returns the cached results for key, bumping recency, and counts the
+// hit or miss.
+func (c *resultCache) get(key string) ([]topk.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).results, true
+}
+
+// put inserts (or refreshes) key, evicting the least recently used entry
+// when over capacity.
+func (c *resultCache) put(key string, rs []topk.Result) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).results = rs
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, results: rs})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheItem).key)
+	}
+}
+
+// invalidatePrefix drops every entry whose key starts with prefix — all k
+// variants of one (collection, query). Called when a session refines or
+// chooses, making its previously-served results stale for that query.
+func (c *resultCache) invalidatePrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, el := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			n++
+		}
+	}
+	return n
+}
+
+// cacheStats is a point-in-time snapshot for /debug/stats.
+type cacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+	Max     int    `json:"max"`
+}
+
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Max: c.max}
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"seda/internal/topk"
+)
+
+func rs(score float64) []topk.Result { return []topk.Result{{Score: score}} }
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put(cacheKey("col", "q1", 10), rs(1))
+	c.put(cacheKey("col", "q2", 10), rs(2))
+	// Touch q1 so q2 is the eviction victim.
+	if _, ok := c.get(cacheKey("col", "q1", 10)); !ok {
+		t.Fatal("q1 missing")
+	}
+	c.put(cacheKey("col", "q3", 10), rs(3))
+	if _, ok := c.get(cacheKey("col", "q2", 10)); ok {
+		t.Error("q2 survived past capacity (not LRU-evicted)")
+	}
+	if _, ok := c.get(cacheKey("col", "q1", 10)); !ok {
+		t.Error("recently-used q1 was evicted")
+	}
+	if _, ok := c.get(cacheKey("col", "q3", 10)); !ok {
+		t.Error("just-inserted q3 missing")
+	}
+}
+
+func TestCacheInvalidatePrefix(t *testing.T) {
+	c := newResultCache(10)
+	c.put(cacheKey("col", "q", 10), rs(1))
+	c.put(cacheKey("col", "q", 20), rs(2))
+	c.put(cacheKey("col", "other", 10), rs(3))
+	if n := c.invalidatePrefix(cacheKeyPrefix("col", "q")); n != 2 {
+		t.Fatalf("invalidated %d entries, want 2", n)
+	}
+	if _, ok := c.get(cacheKey("col", "q", 10)); ok {
+		t.Error("k=10 entry survived invalidation")
+	}
+	if _, ok := c.get(cacheKey("col", "q", 20)); ok {
+		t.Error("k=20 entry survived invalidation")
+	}
+	if _, ok := c.get(cacheKey("col", "other", 10)); !ok {
+		t.Error("unrelated query was invalidated")
+	}
+}
+
+func TestCacheKeyCollisionResistance(t *testing.T) {
+	// The separator keeps (collection, query) unambiguous: "a" + "bq" must
+	// not collide with "ab" + "q".
+	if cacheKey("a", "bq", 1) == cacheKey("ab", "q", 1) {
+		t.Error("cache keys collide across collection/query boundary")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	c.put("k", rs(1))
+	if _, ok := c.get("k"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+}
+
+func TestCacheStatsAndConcurrency(t *testing.T) {
+	c := newResultCache(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				key := cacheKey("col", fmt.Sprintf("q%d", j%10), 10)
+				if _, ok := c.get(key); !ok {
+					c.put(key, rs(float64(j)))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := c.stats()
+	if st.Hits+st.Misses != 800 {
+		t.Errorf("hits+misses = %d, want 800", st.Hits+st.Misses)
+	}
+	if st.Entries == 0 || st.Entries > 10 {
+		t.Errorf("entries = %d, want 1..10", st.Entries)
+	}
+}

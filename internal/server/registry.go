@@ -1,0 +1,213 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"seda/internal/core"
+	"seda/internal/datagen"
+	"seda/internal/store"
+)
+
+// ErrAlreadyRegistered reports a duplicate collection name; handlers map
+// it to 409 Conflict.
+var ErrAlreadyRegistered = errors.New("collection already registered")
+
+// An engineBuilder produces the collection and engine for one registered
+// name. Builders run at most once, on first use.
+type engineBuilder func() (*core.Engine, error)
+
+// regEntry is one named collection in the registry. The engine is built
+// lazily, exactly once, by whichever request needs it first; concurrent
+// first users block on the same per-entry mutex and then share the
+// result. A failed build is NOT cached — the next request retries, so a
+// transiently-broken collection does not brick its name for the life of
+// the process.
+type regEntry struct {
+	name    string
+	builtin string // generator name for builtins, "" for uploads
+
+	buildMu sync.Mutex
+	done    atomic.Bool // set after a successful build; gates lock-free peeks
+	build   engineBuilder
+	eng     *core.Engine
+}
+
+func (e *regEntry) engine() (*core.Engine, error) {
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	if e.eng != nil {
+		return e.eng, nil
+	}
+	eng, err := e.build()
+	if err != nil {
+		return nil, err
+	}
+	e.eng = eng
+	e.done.Store(true)
+	return eng, nil
+}
+
+// builtEngine returns the engine if the build has completed successfully,
+// else nil. It never triggers or waits for a build.
+func (e *regEntry) builtEngine() *core.Engine {
+	if !e.done.Load() {
+		return nil
+	}
+	return e.eng
+}
+
+// Registry maps collection names to lazily-built engines. It is safe for
+// concurrent use.
+type Registry struct {
+	// MaxEntries caps registrations (0 = unlimited). Set it before
+	// serving; built engines are pinned for the process lifetime, so an
+	// open registration endpoint needs a bound.
+	MaxEntries int
+
+	mu      sync.RWMutex
+	entries map[string]*regEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*regEntry)}
+}
+
+// maxBuiltinScale caps generated-corpus size: 1.0 is the paper's full
+// size, 2.0 leaves headroom without letting one request OOM the daemon.
+const maxBuiltinScale = 2.0
+
+// Builtin corpus generators selectable via POST /collections.
+var builtins = map[string]func(float64) *store.Collection{
+	"worldfactbook": datagen.WorldFactbook,
+	"mondial":       datagen.Mondial,
+	"googlebase":    datagen.GoogleBase,
+	"recipeml":      datagen.RecipeML,
+}
+
+// BuiltinNames lists the selectable builtin corpora, sorted.
+func BuiltinNames() []string {
+	out := make([]string, 0, len(builtins))
+	for n := range builtins {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterBuiltin registers one of the paper's generated corpora under
+// name. The corpus is generated and indexed on first use.
+func (r *Registry) RegisterBuiltin(name, builtin string, scale float64, cfg core.Config) error {
+	gen, ok := builtins[builtin]
+	if !ok {
+		return fmt.Errorf("server: unknown builtin corpus %q (have %v)", builtin, BuiltinNames())
+	}
+	if scale <= 0 || scale > maxBuiltinScale {
+		return fmt.Errorf("server: builtin scale must be in (0, %g], got %v", maxBuiltinScale, scale)
+	}
+	if builtin == "mondial" {
+		idAttrs, refAttrs := datagen.MondialLinkAttrs()
+		cfg.Discover.IDAttrs = idAttrs
+		cfg.Discover.IDRefAttrs = refAttrs
+	}
+	return r.register(&regEntry{
+		name:    name,
+		builtin: builtin,
+		build: func() (*core.Engine, error) {
+			return core.NewEngine(gen(scale), cfg)
+		},
+	})
+}
+
+// RegisterCollection registers an already-materialized collection (e.g.
+// assembled from uploaded XML documents).
+func (r *Registry) RegisterCollection(name string, col *store.Collection, cfg core.Config) error {
+	return r.register(&regEntry{
+		name:  name,
+		build: func() (*core.Engine, error) { return core.NewEngine(col, cfg) },
+	})
+}
+
+// validName restricts collection names to a URL- and cache-key-safe
+// charset: names appear as path segments and as components of the top-k
+// cache key, so control characters (the key separator in particular) and
+// slashes must not sneak in.
+func validName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(e *regEntry) error {
+	if !validName(e.name) {
+		return fmt.Errorf("server: invalid collection name %q (use 1-64 of [a-zA-Z0-9._-])", e.name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[e.name]; dup {
+		return fmt.Errorf("server: collection %q: %w", e.name, ErrAlreadyRegistered)
+	}
+	if r.MaxEntries > 0 && len(r.entries) >= r.MaxEntries {
+		return fmt.Errorf("server: collection limit reached (%d)", r.MaxEntries)
+	}
+	r.entries[e.name] = e
+	return nil
+}
+
+// Engine returns the engine for name, building it on first use. Every
+// caller observes the same engine (or the same build error).
+func (r *Registry) Engine(name string) (*core.Engine, error) {
+	r.mu.RLock()
+	e := r.entries[name]
+	r.mu.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("server: unknown collection %q", name)
+	}
+	return e.engine()
+}
+
+// Info describes one registered collection for the wire.
+type RegistryInfo struct {
+	Name    string `json:"name"`
+	Builtin string `json:"builtin,omitempty"`
+	Built   bool   `json:"built"`
+	Docs    int    `json:"docs,omitempty"`
+	Nodes   int    `json:"nodes,omitempty"`
+}
+
+// List reports every registered collection, sorted by name. Docs/Nodes are
+// populated only for collections whose engine has been built.
+func (r *Registry) List() []RegistryInfo {
+	r.mu.RLock()
+	entries := make([]*regEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	out := make([]RegistryInfo, 0, len(entries))
+	for _, e := range entries {
+		info := RegistryInfo{Name: e.name, Builtin: e.builtin}
+		if eng := e.builtEngine(); eng != nil {
+			info.Built = true
+			info.Docs = eng.Collection().NumDocs()
+			info.Nodes = eng.Collection().NumNodes()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

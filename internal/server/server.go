@@ -1,0 +1,676 @@
+// Package server is sedad's HTTP serving tier: the paper's interactive
+// exploration loop (Figure 6) exposed as a stateful JSON API.
+//
+// Three layers sit between the HTTP surface and the core engine:
+//
+//   - a Registry of named collections whose engines build lazily, exactly
+//     once on success, shared by every request (failed builds retry);
+//   - a session manager: a concurrent session table with TTL and
+//     max-count eviction, locking per session so one session's refinement
+//     never blocks another session's top-k;
+//   - a bounded LRU result cache on the hot top-k read path, keyed on
+//     (collection, query, k) and invalidated when a session refines or
+//     chooses connections.
+//
+// Endpoints:
+//
+//	GET    /healthz
+//	GET    /debug/stats                     registry + session + cache counters
+//	GET    /collections                     list registered collections
+//	POST   /collections                     register a builtin or uploaded corpus
+//	POST   /collections/{name}/catalog      add fact/dimension definitions
+//	POST   /sessions                        parse a query, start an exploration
+//	GET    /sessions/{id}                   session info
+//	DELETE /sessions/{id}                   end a session
+//	GET    /sessions/{id}/topk?k=           ranked results (cached)
+//	GET    /sessions/{id}/contexts          context summary (§5)
+//	POST   /sessions/{id}/refine            restrict a term to chosen contexts
+//	GET    /sessions/{id}/connections       connection summary (§6)
+//	POST   /sessions/{id}/choose            fix connection selections
+//	GET    /sessions/{id}/results?max_rows= complete result table (§7)
+//	POST   /sessions/{id}/cube              build the star schema (§7)
+//	POST   /sessions/{id}/analyze           OLAP aggregate over the last cube
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"seda/internal/core"
+	"seda/internal/cube"
+	"seda/internal/keys"
+	"seda/internal/rel"
+	"seda/internal/store"
+)
+
+// Options tunes a Server. The zero value serves with the defaults below.
+type Options struct {
+	// SessionTTL evicts sessions idle longer than this (default 30m;
+	// negative disables TTL eviction).
+	SessionTTL time.Duration
+	// MaxSessions caps the session table; the least recently used session
+	// is evicted when a create would exceed it (default 1024).
+	MaxSessions int
+	// CacheSize bounds the top-k result cache in entries (default 256;
+	// negative disables caching).
+	CacheSize int
+	// BuiltinScale is the corpus scale used when POST /collections selects
+	// a builtin without an explicit scale (default 0.05).
+	BuiltinScale float64
+	// MaxCollections caps registered collections — built engines are
+	// pinned for the process lifetime (default 64; negative = unlimited).
+	MaxCollections int
+	// Clock overrides time.Now for eviction tests.
+	Clock func() time.Time
+}
+
+func (o *Options) defaults() {
+	if o.SessionTTL == 0 {
+		o.SessionTTL = 30 * time.Minute
+	}
+	if o.MaxSessions == 0 {
+		o.MaxSessions = 1024
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	if o.BuiltinScale == 0 {
+		o.BuiltinScale = 0.05
+	}
+	if o.MaxCollections == 0 {
+		o.MaxCollections = 64
+	}
+}
+
+// Server is the sedad HTTP handler. Create one with New; it is safe for
+// concurrent use.
+type Server struct {
+	opts     Options
+	registry *Registry
+	sessions *sessionManager
+	cache    *resultCache
+	mux      *http.ServeMux
+	started  time.Time
+}
+
+// New returns a ready-to-serve handler.
+func New(opts Options) *Server {
+	opts.defaults()
+	now := opts.Clock
+	if now == nil {
+		now = time.Now
+	}
+	reg := NewRegistry()
+	if opts.MaxCollections > 0 {
+		reg.MaxEntries = opts.MaxCollections
+	}
+	s := &Server{
+		opts:     opts,
+		registry: reg,
+		sessions: newSessionManager(opts.SessionTTL, opts.MaxSessions, opts.Clock),
+		cache:    newResultCache(opts.CacheSize),
+		mux:      http.NewServeMux(),
+		started:  now(),
+	}
+	s.routes()
+	return s
+}
+
+// Registry exposes the collection registry so embedders (and cmd/sedad
+// flags) can pre-register corpora before serving.
+func (s *Server) Registry() *Registry { return s.registry }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/stats", s.handleStats)
+	s.mux.HandleFunc("GET /collections", s.handleListCollections)
+	s.mux.HandleFunc("POST /collections", s.handleCreateCollection)
+	s.mux.HandleFunc("POST /collections/{name}/catalog", s.handleCatalog)
+	s.mux.HandleFunc("POST /sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /sessions/{id}", s.handleSessionInfo)
+	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
+	s.mux.HandleFunc("GET /sessions/{id}/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /sessions/{id}/contexts", s.handleContexts)
+	s.mux.HandleFunc("POST /sessions/{id}/refine", s.handleRefine)
+	s.mux.HandleFunc("GET /sessions/{id}/connections", s.handleConnections)
+	s.mux.HandleFunc("POST /sessions/{id}/choose", s.handleChoose)
+	s.mux.HandleFunc("GET /sessions/{id}/results", s.handleResults)
+	s.mux.HandleFunc("POST /sessions/{id}/cube", s.handleCube)
+	s.mux.HandleFunc("POST /sessions/{id}/analyze", s.handleAnalyze)
+}
+
+// --- plumbing ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is gone; nothing left to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxTopK caps GET /topk's k so one request cannot force an arbitrarily
+// large search and cache entry.
+const maxTopK = 1000
+
+// maxBodyBytes caps request bodies (collection uploads are the largest
+// legitimate payload); beyond it the daemon answers 413 instead of
+// buffering an unbounded body into memory.
+const maxBodyBytes = 64 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// getSession resolves {id}, writing 404 when the session is unknown or
+// expired.
+func (s *Server) getSession(w http.ResponseWriter, r *http.Request) *session {
+	sess, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return nil
+	}
+	return sess
+}
+
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %v", name, err)
+	}
+	return n, nil
+}
+
+// --- health and stats ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Uptime:      time.Since(s.started).Round(time.Millisecond).String(),
+		Collections: s.registry.List(),
+		Sessions:    s.sessions.stats(),
+		TopKCache:   s.cache.stats(),
+	})
+}
+
+// --- collections ---
+
+func (s *Server) handleListCollections(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"collections": s.registry.List(),
+		"builtins":    BuiltinNames(),
+	})
+}
+
+func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) {
+	var req collectionRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "collection name is required")
+		return
+	}
+	cfg := core.Config{DataguideThreshold: req.DataguideThreshold}
+	var err error
+	switch {
+	case req.Builtin != "" && len(req.Documents) > 0:
+		writeError(w, http.StatusBadRequest, "specify builtin or documents, not both")
+		return
+	case req.Builtin != "":
+		scale := req.Scale
+		if scale == 0 {
+			scale = s.opts.BuiltinScale
+		}
+		err = s.registry.RegisterBuiltin(req.Name, req.Builtin, scale, cfg)
+	case len(req.Documents) > 0:
+		col := store.NewCollection()
+		for _, d := range req.Documents {
+			if _, aerr := col.AddXML(d.Name, []byte(d.XML)); aerr != nil {
+				writeError(w, http.StatusBadRequest, "document %q: %v", d.Name, aerr)
+				return
+			}
+		}
+		err = s.registry.RegisterCollection(req.Name, col, cfg)
+	default:
+		writeError(w, http.StatusBadRequest, "specify a builtin corpus or upload documents")
+		return
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrAlreadyRegistered) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, RegistryInfo{Name: req.Name, Builtin: req.Builtin})
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req catalogRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	eng, err := s.registry.Engine(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	// Two phases so a malformed definition rejects the whole request
+	// before anything is applied — a client can fix and resend the same
+	// payload without tripping over half-registered names. (Racing
+	// catalog requests can still interleave; the catalog's own duplicate
+	// check is the arbiter then.)
+	type parsedDef struct {
+		name    string
+		isFact  bool
+		entries []cube.ContextEntry
+	}
+	var defs []parsedDef
+	seen := make(map[string]bool)
+	parse := func(payloads []defPayload, isFact bool) bool {
+		for _, d := range payloads {
+			entries := make([]cube.ContextEntry, 0, len(d.Contexts))
+			for _, c := range d.Contexts {
+				key, kerr := keys.Parse(c.Key)
+				if kerr != nil {
+					writeError(w, http.StatusBadRequest, "definition %q: %v", d.Name, kerr)
+					return false
+				}
+				entries = append(entries, cube.ContextEntry{Context: c.Context, Key: key})
+			}
+			if seen[d.Name] || eng.Catalog().Lookup(d.Name) != nil {
+				writeError(w, http.StatusConflict, "definition %q already exists", d.Name)
+				return false
+			}
+			seen[d.Name] = true
+			defs = append(defs, parsedDef{name: d.Name, isFact: isFact, entries: entries})
+		}
+		return true
+	}
+	if !parse(req.Facts, true) || !parse(req.Dimensions, false) {
+		return
+	}
+	for _, d := range defs {
+		var aerr error
+		if d.isFact {
+			aerr = eng.Catalog().AddFact(d.name, d.entries...)
+		} else {
+			aerr = eng.Catalog().AddDimension(d.name, d.entries...)
+		}
+		if aerr != nil {
+			writeError(w, http.StatusConflict, "%v", aerr)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"collection": name,
+		"facts":      len(eng.Catalog().Facts()),
+		"dimensions": len(eng.Catalog().Dimensions()),
+	})
+}
+
+// --- session lifecycle ---
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Collection == "" || req.Query == "" {
+		writeError(w, http.StatusBadRequest, "collection and query are required")
+		return
+	}
+	eng, err := s.registry.Engine(req.Collection)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	cs, err := eng.NewSession(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sess := s.sessions.create(req.Collection, eng, cs)
+	writeJSON(w, http.StatusCreated, sessionResponse{
+		Session:    sess.id,
+		Collection: sess.collection,
+		Query:      req.Query,
+		Created:    sess.created,
+	})
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	q := sess.queryString()
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, sessionResponse{
+		Session:    sess.id,
+		Collection: sess.collection,
+		Query:      q,
+		Created:    sess.created,
+	})
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	s.sessions.remove(r.PathValue("id"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- the Figure-6 loop ---
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	k, err := queryInt(r, "k", 10)
+	if err != nil || k <= 0 || k > maxTopK {
+		writeError(w, http.StatusBadRequest, "parameter k must be an integer in 1..%d", maxTopK)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	q := sess.queryString()
+	key := cacheKey(sess.collection, q, k)
+	rs, cached := s.cache.get(key)
+	switch {
+	case sess.lastTopK == key:
+		// The session already holds exactly these results — even if the
+		// shared cache entry is gone (choose invalidates it, LRU may
+		// evict it). Serve from session state and leave the downstream
+		// summaries (connections etc.) intact: a repeated GET is truly
+		// read-only.
+		rs = sess.sess.TopKResults()
+	case cached:
+		sess.sess.SetTopK(rs)
+	default:
+		rs, err = sess.sess.TopK(k)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.cache.put(key, rs)
+	}
+	sess.lastTopK = key
+	writeJSON(w, http.StatusOK, topkResponse{
+		Session: sess.id,
+		Query:   q,
+		K:       k,
+		Cached:  cached,
+		Results: wireResults(sess.eng.Collection(), rs),
+	})
+}
+
+func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	ctxs := sess.sess.ContextSummary()
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, contextsResponse{
+		Session:  sess.id,
+		Contexts: wireContexts(ctxs),
+	})
+}
+
+func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	var req refineRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	before := sess.queryString()
+	if err := sess.sess.RefineContexts(req.Term, req.Paths...); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The query this session was serving from the cache is now stale for
+	// it; drop the entries so no session resurrects superseded results.
+	// This deliberately also evicts entries other sessions on the same
+	// query could still use — they repopulate on their next request; the
+	// conservative policy keeps refinement semantics simple.
+	s.cache.invalidatePrefix(cacheKeyPrefix(sess.collection, before))
+	sess.star = nil
+	sess.lastTopK = ""
+	writeJSON(w, http.StatusOK, sessionResponse{
+		Session:    sess.id,
+		Collection: sess.collection,
+		Query:      sess.queryString(),
+		Created:    sess.created,
+	})
+}
+
+func (s *Server) handleConnections(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	conns, err := sess.sess.ConnectionSummary()
+	var dot string
+	if err == nil && r.URL.Query().Get("dot") == "1" {
+		dot, _ = sess.sess.ConnectionsDOT()
+	}
+	col := sess.eng.Collection()
+	sess.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, connectionsResponse{
+		Session:     sess.id,
+		Connections: wireConnections(col, conns),
+		DOT:         dot,
+	})
+}
+
+func (s *Server) handleChoose(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	var req chooseRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if err := sess.sess.ChooseConnections(req.Connections...); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Choosing connections cannot change top-k results, so strictly this
+	// eviction is conservative; it is kept deliberately so a choice is a
+	// clean break — nothing computed before it is served after it.
+	s.cache.invalidatePrefix(cacheKeyPrefix(sess.collection, sess.queryString()))
+	sess.star = nil
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session": sess.id,
+		"chosen":  req.Connections,
+	})
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	maxRows, err := queryInt(r, "max_rows", 100)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sess.mu.Lock()
+	table, terr := sess.sess.ResultTable()
+	sess.mu.Unlock()
+	if terr != nil {
+		writeError(w, http.StatusConflict, "%v", terr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session": sess.id,
+		"table":   wireTableOf(table, maxRows),
+	})
+}
+
+func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	var req cubeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	maxRows := req.MaxRows
+	if maxRows == 0 {
+		maxRows = 100
+	}
+	opts := cube.Options{
+		AddFacts:         req.AddFacts,
+		AddDimensions:    req.AddDimensions,
+		RemoveFacts:      req.RemoveFacts,
+		RemoveDimensions: req.RemoveDimensions,
+	}
+	for _, d := range req.Define {
+		// The builder registers defined names in the shared catalog as a
+		// side effect; reject duplicates up front so a failed build plus
+		// retry cannot trip over its own half-applied definitions.
+		if sess.eng.Catalog().Lookup(d.Name) != nil {
+			writeError(w, http.StatusConflict, "definition %q already exists", d.Name)
+			return
+		}
+		opts.Define = append(opts.Define, cube.NewDef{
+			Name: d.Name, Column: d.Column, IsFact: d.IsFact, Key: d.Key,
+		})
+	}
+	sess.mu.Lock()
+	star, err := sess.sess.BuildCube(opts)
+	if err == nil {
+		sess.star = star
+	}
+	sess.mu.Unlock()
+	if err != nil {
+		// Best-effort compensation: the builder may have registered the
+		// request's definitions before failing; remove them so an
+		// identical retry starts clean. (A racing request defining the
+		// same name in this window loses its copy too — the same TOCTOU
+		// the catalog endpoint documents.)
+		for _, d := range req.Define {
+			sess.eng.Catalog().Remove(d.Name)
+		}
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	resp := cubeResponse{Session: sess.id, SQL: star.SQL, Warnings: star.Warnings}
+	for _, t := range star.FactTables {
+		resp.Facts = append(resp.Facts, wireTableOf(t, maxRows))
+	}
+	for _, t := range star.DimTables {
+		resp.Dimensions = append(resp.Dimensions, wireTableOf(t, maxRows))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	var req analyzeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Measure == "" || len(req.Dims) == 0 {
+		writeError(w, http.StatusBadRequest, "measure and dims are required")
+		return
+	}
+	agg := rel.Sum
+	if req.Agg != "" {
+		agg = rel.AggFn(strings.ToUpper(req.Agg))
+		switch agg {
+		case rel.Sum, rel.Count, rel.Avg, rel.Min, rel.Max:
+		default:
+			writeError(w, http.StatusBadRequest, "unknown aggregate %q", req.Agg)
+			return
+		}
+	}
+	groupBy := req.GroupBy
+	if len(groupBy) == 0 {
+		groupBy = req.Dims
+	}
+	maxRows := req.MaxRows
+	if maxRows == 0 {
+		maxRows = 100
+	}
+	sess.mu.Lock()
+	star := sess.star
+	sess.mu.Unlock()
+	if star == nil {
+		writeError(w, http.StatusConflict, "build a cube before analyzing (POST /sessions/{id}/cube)")
+		return
+	}
+	oc, err := sess.eng.Analyze(star, req.Measure, req.Dims)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	table, err := oc.Aggregate(groupBy, agg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, analyzeResponse{
+		Session: sess.id,
+		Measure: req.Measure,
+		Dims:    req.Dims,
+		Agg:     string(agg),
+		GroupBy: groupBy,
+		Table:   wireTableOf(table, maxRows),
+	})
+}

@@ -3,6 +3,7 @@ package summary
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"seda/internal/dataguide"
 	"seda/internal/dewey"
@@ -58,17 +59,24 @@ func (c Connection) Describe(dict *pathdict.Dict) string {
 // Summarizer computes connection summaries against a dataguide set and a
 // data graph. It caches per path-pair candidates, the optimization §6.1
 // describes ("we cache the connections we discover so that we can leverage
-// the cache for later query hits").
+// the cache for later query hits"). The cache is shared across every
+// session of one engine, so Connections is safe for concurrent use; the
+// instrumentation counters are only coherent to read once callers are
+// quiescent.
 type Summarizer struct {
-	dg    *dataguide.Set
-	g     *graph.Graph
-	dict  *pathdict.Dict
+	dg   *dataguide.Set
+	g    *graph.Graph
+	dict *pathdict.Dict
+
+	mu    sync.Mutex
 	cache map[[2]pathdict.PathID][]Connection
 	// CacheHits and CacheMisses instrument the cache for the ablation
-	// benchmarks.
+	// benchmarks. Guarded by mu; read them only after all Connections
+	// calls have returned.
 	CacheHits   int
 	CacheMisses int
-	// NoCache disables the cache (ablation A3).
+	// NoCache disables the cache (ablation A3). Set it before sharing the
+	// Summarizer between goroutines.
 	NoCache bool
 }
 
@@ -139,12 +147,19 @@ func (s *Summarizer) Connections(results []topk.Result) []Connection {
 func (s *Summarizer) candidates(pa, pb pathdict.PathID) []Connection {
 	key := [2]pathdict.PathID{pa, pb}
 	if !s.NoCache {
-		if cs, ok := s.cache[key]; ok {
+		s.mu.Lock()
+		cs, ok := s.cache[key]
+		if ok {
 			s.CacheHits++
-			return cloneConns(cs)
+			out := cloneConns(cs)
+			s.mu.Unlock()
+			return out
 		}
+		s.mu.Unlock()
 	}
+	s.mu.Lock()
 	s.CacheMisses++
+	s.mu.Unlock()
 	var out []Connection
 	// Tree connections from every guide containing both paths. Multiple
 	// guides can propose the same join path; dedupe keeping the shortest
@@ -193,7 +208,9 @@ func (s *Summarizer) candidates(pa, pb pathdict.PathID) []Connection {
 		})
 	}
 	if !s.NoCache {
+		s.mu.Lock()
 		s.cache[key] = cloneConns(out)
+		s.mu.Unlock()
 	}
 	return out
 }

@@ -44,6 +44,7 @@ import (
 	"seda/internal/olap"
 	"seda/internal/query"
 	"seda/internal/rel"
+	"seda/internal/server"
 	"seda/internal/store"
 	"seda/internal/summary"
 	"seda/internal/topk"
@@ -125,6 +126,24 @@ type (
 	// DataguideSet is the dataguide summary of a collection.
 	DataguideSet = dataguide.Set
 )
+
+// Serving tier types (the cmd/sedad daemon; see internal/server).
+type (
+	// Server is the HTTP/JSON serving tier exposing the Figure 6 loop as
+	// stateful endpoints, with an engine registry, a TTL/LRU-evicted
+	// session table, and a bounded top-k result cache.
+	Server = server.Server
+	// ServerOptions tunes session TTL, table capacity, cache size, and the
+	// default builtin corpus scale.
+	ServerOptions = server.Options
+	// EngineRegistry maps collection names to lazily-built engines.
+	EngineRegistry = server.Registry
+)
+
+// NewServer returns an http.Handler serving the SEDA exploration API.
+// Register collections up front via (*Server).Registry() or at runtime
+// with POST /collections.
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
 
 // NewEngine indexes a collection and prepares all SEDA components.
 func NewEngine(col *Collection, cfg Config) (*Engine, error) {
