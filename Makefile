@@ -1,7 +1,7 @@
 GO ?= go
 SCALE ?= 0.05
 
-.PHONY: build test bench serve vet
+.PHONY: build test bench bench-smoke serve vet
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,13 @@ test: vet
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 	$(GO) run ./cmd/sedabench -scale $(SCALE)
+
+# Fast perf canary: one sedabench pass at a small scale so perf regressions
+# and BENCH-writer breakage surface on every PR. CI runs this on each push.
+# BENCH files go to a temp dir — the checked-in BENCH_*.json trajectory is
+# recorded at scale 0.1 and must only be refreshed at that scale.
+bench-smoke:
+	$(GO) run ./cmd/sedabench -scale 0.05 -out "$$(mktemp -d)"
 
 serve:
 	$(GO) run ./cmd/sedad -preload worldfactbook -scale $(SCALE)

@@ -15,6 +15,7 @@
 //	sedabench -exp table1      # one experiment
 //	sedabench -scale 0.2       # scaled corpora (faster, shapes preserved)
 //	sedabench -out ""          # skip the BENCH_*.json files
+//	sedabench -parallelism 1   # sequential builds/searches (perf baseline)
 package main
 
 import (
@@ -39,7 +40,13 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|all")
 	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = paper size)")
 	out := flag.String("out", ".", "directory for BENCH_<name>.json result files (empty disables)")
+	par := flag.Int("parallelism", 0, "worker goroutines for engine builds and searches (0 = all cores, 1 = sequential)")
 	flag.Parse()
+	if *par < 0 {
+		fmt.Fprintln(os.Stderr, "sedabench: -parallelism must be >= 0")
+		os.Exit(2)
+	}
+	parallelism = *par
 
 	run := func(name string, fn func(float64)) {
 		if *exp == "all" || *exp == name {
@@ -97,7 +104,7 @@ func table1(scale float64) {
 	fmt.Printf("%-22s %12s %12s %14s %14s\n", "Data set", "# docs", "paper docs", "# data guides", "paper guides")
 	for _, r := range rows {
 		col := r.gen(scale)
-		dg, err := dataguide.Build(col, 0.40)
+		dg, err := dataguide.BuildParallel(col, nil, 0.40, parallelism)
 		if err != nil {
 			fatal(err)
 		}
@@ -108,7 +115,7 @@ func table1(scale float64) {
 // inText reproduces the §1/§2 corpus statistics on World Factbook.
 func inText(scale float64) {
 	col := seda.WorldFactbook(scale)
-	ix := index.Build(col)
+	ix := index.BuildParallel(col, parallelism)
 	dict := col.Dict()
 	fmt.Printf("%-52s %10s %10s\n", "Statistic", "measured", "paper")
 	fmt.Printf("%-52s %10d %10d\n", "documents", col.NumDocs(), 1600)
@@ -143,7 +150,7 @@ func sweep(scale float64) {
 		col := c.gen(scale)
 		fmt.Printf("%-22s", c.name)
 		for _, th := range ths {
-			dg, err := dataguide.Build(col, th)
+			dg, err := dataguide.BuildParallel(col, nil, th, parallelism)
 			if err != nil {
 				fatal(err)
 			}
@@ -154,10 +161,14 @@ func sweep(scale float64) {
 	fmt.Println("paper: unmerged WFB = 1600 guides; reduction 3x (WFB) to 100x (Google Base) at 0.4")
 }
 
+// parallelism is the -parallelism flag: the worker-pool width for engine
+// builds and top-k searches (0 = all cores).
+var parallelism int
+
 // wfbEngineWithCatalog builds the full-scale engine + Figure 3(b) catalog.
 func wfbEngineWithCatalog(scale float64) *seda.Engine {
 	col := seda.WorldFactbook(scale)
-	eng, err := seda.NewEngine(col, seda.Config{})
+	eng, err := seda.NewEngine(col, seda.Config{Parallelism: parallelism})
 	if err != nil {
 		fatal(err)
 	}
@@ -277,7 +288,7 @@ func ablations(scale float64) {
 	searcher := topk.New(eng.Index(), eng.Graph())
 	for _, contentOnly := range []bool{false, true} {
 		start := time.Now()
-		rs, err := searcher.Search(q, topk.Options{K: 10, ContentOnly: contentOnly})
+		rs, err := searcher.Search(q, topk.Options{K: 10, ContentOnly: contentOnly, Parallelism: parallelism})
 		if err != nil {
 			fatal(err)
 		}

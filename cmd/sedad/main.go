@@ -9,6 +9,7 @@
 //	sedad                              # listen on :8080, no preloaded corpora
 //	sedad -preload worldfactbook       # register (lazily build) a builtin
 //	sedad -addr :9000 -scale 0.2       # bigger generated corpora
+//	sedad -parallelism 1               # sequential builds and searches
 package main
 
 import (
@@ -33,7 +34,11 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 1024, "session table capacity (LRU-evicted beyond)")
 	cacheSize := flag.Int("cache-size", 256, "top-k result cache entries (0 disables caching)")
 	preload := flag.String("preload", "", "comma-separated builtin corpora to register at startup (worldfactbook,mondial,googlebase,recipeml)")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines for engine builds and top-k searches (0 = all cores, 1 = sequential)")
 	flag.Parse()
+	if *parallelism < 0 {
+		log.Fatal("sedad: -parallelism must be >= 0")
+	}
 
 	logger := log.New(os.Stderr, "sedad ", log.LstdFlags|log.Lmsgprefix)
 
@@ -50,13 +55,14 @@ func main() {
 		MaxSessions:  *maxSessions,
 		CacheSize:    *cacheSize,
 		BuiltinScale: *scale,
+		Parallelism:  *parallelism,
 	})
 	for _, name := range strings.Split(*preload, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		if err := srv.Registry().RegisterBuiltin(name, name, *scale, seda.Config{}); err != nil {
+		if err := srv.Registry().RegisterBuiltin(name, name, *scale, seda.Config{Parallelism: *parallelism}); err != nil {
 			logger.Fatalf("preload %s: %v", name, err)
 		}
 		logger.Printf("registered builtin collection %q (scale %g, built on first use)", name, *scale)

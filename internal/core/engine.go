@@ -27,6 +27,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"seda/internal/cube"
@@ -62,6 +63,12 @@ type Config struct {
 	// SkipDataguides skips summary construction (for benchmarks that only
 	// need search).
 	SkipDataguides bool
+	// Parallelism bounds the worker goroutines used during construction
+	// (index sharding, dataguide profiling, overlapped phases) and is the
+	// default worker count for the engine's top-k searches. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces fully sequential execution. The
+	// built engine and all query results are identical at every setting.
+	Parallelism int
 }
 
 // Engine is the per-collection SEDA runtime.
@@ -77,12 +84,22 @@ type Engine struct {
 	builder  *cube.Builder
 	entities *summary.EntityRegistry
 
-	// BuildTimings records how long each construction phase took.
+	// parallelism is the resolved Config.Parallelism, reused as the default
+	// worker count for the engine's top-k searches.
+	parallelism int
+
+	// BuildTimings records how long each construction phase took. With
+	// Parallelism > 1 the index phase overlaps the graph and dataguide
+	// phases, so the entries are per-phase wall times, not a sum.
 	BuildTimings map[string]time.Duration
 }
 
 // NewEngine indexes the collection and precomputes the dataguide summary
 // (§6.1: "The dataguide summary is precomputed on the entire data graph").
+//
+// Construction parallelizes along the phase dependency structure: the
+// index build (itself sharded across documents) runs concurrently with the
+// graph discovery → dataguide chain, bounded by cfg.Parallelism.
 func NewEngine(col *store.Collection, cfg Config) (*Engine, error) {
 	if col == nil || col.NumDocs() == 0 {
 		return nil, fmt.Errorf("core: empty collection")
@@ -90,13 +107,39 @@ func NewEngine(col *store.Collection, cfg Config) (*Engine, error) {
 	if cfg.DataguideThreshold == 0 {
 		cfg.DataguideThreshold = 0.40
 	}
-	e := &Engine{col: col, BuildTimings: make(map[string]time.Duration)}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{col: col, parallelism: par, BuildTimings: make(map[string]time.Duration)}
+
+	// The worker budget is split across the overlapped phases — the index
+	// build gets half, the graph → dataguide chain the rest — so total
+	// construction workers never exceed cfg.Parallelism. Without a
+	// dataguide phase there is nothing worth overlapping (graph discovery
+	// is sequential and cheap), so the index keeps the full budget.
+	overlap := par > 1 && !cfg.SkipDataguides
+	indexPar, chainPar := par, par
+	if overlap {
+		indexPar, chainPar = (par+1)/2, par/2
+	}
+	var indexDone chan struct{}
+	var indexTime time.Duration
+	if overlap {
+		indexDone = make(chan struct{})
+		go func() {
+			defer close(indexDone)
+			t0 := time.Now()
+			e.ix = index.BuildParallel(col, indexPar)
+			indexTime = time.Since(t0)
+		}()
+	} else {
+		t0 := time.Now()
+		e.ix = index.BuildParallel(col, indexPar)
+		indexTime = time.Since(t0)
+	}
 
 	t0 := time.Now()
-	e.ix = index.Build(col)
-	e.BuildTimings["index"] = time.Since(t0)
-
-	t0 = time.Now()
 	e.g = graph.New(col)
 	e.g.DiscoverLinks(cfg.Discover)
 	for _, vl := range cfg.ValueLinks {
@@ -106,14 +149,22 @@ func NewEngine(col *store.Collection, cfg Config) (*Engine, error) {
 
 	if !cfg.SkipDataguides {
 		t0 = time.Now()
-		dg, err := dataguide.BuildWithGraph(col, e.g, cfg.DataguideThreshold)
+		dg, err := dataguide.BuildParallel(col, e.g, cfg.DataguideThreshold, chainPar)
 		if err != nil {
+			if indexDone != nil {
+				<-indexDone // don't leak the index builder on error
+			}
 			return nil, err
 		}
 		e.dg = dg
 		e.BuildTimings["dataguide"] = time.Since(t0)
 		e.summz = summary.NewSummarizer(dg, e.g)
 	}
+
+	if indexDone != nil {
+		<-indexDone
+	}
+	e.BuildTimings["index"] = indexTime
 
 	e.searcher = topk.New(e.ix, e.g)
 	e.eval = twig.New(e.ix, e.g)
@@ -199,10 +250,11 @@ func (e *Engine) NewSessionFromQuery(q query.Query) *Session {
 // Query returns the session's current (possibly refined) query.
 func (s *Session) Query() query.Query { return s.query }
 
-// TopK runs the top-k search unit and caches the results.
+// TopK runs the top-k search unit and caches the results. The search's
+// worker pool inherits the engine's Config.Parallelism.
 func (s *Session) TopK(k int) ([]topk.Result, error) {
 	t0 := time.Now()
-	rs, err := s.eng.searcher.Search(s.query, topk.Options{K: k})
+	rs, err := s.eng.searcher.Search(s.query, topk.Options{K: k, Parallelism: s.eng.parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -318,5 +319,43 @@ func TestSingleTermCompleteWithoutConnections(t *testing.T) {
 	}
 	if len(tuples) != 7 {
 		t.Errorf("single-term tuples = %d, want 7", len(tuples))
+	}
+}
+
+// TestParallelEngineMatchesSequential: a parallel-built engine must be
+// behaviorally identical to a sequential one — same dataguides, and the
+// same (parallel-searched) top-k results as a sequential search.
+func TestParallelEngineMatchesSequential(t *testing.T) {
+	col := corpus(t)
+	seqEng, err := NewEngine(col, Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parEng, err := NewEngine(col, Config{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg, pg := len(seqEng.Dataguides().Guides), len(parEng.Dataguides().Guides); sg != pg {
+		t.Errorf("guide counts differ: sequential %d, parallel %d", sg, pg)
+	}
+	const q = `(*, "United States") AND (trade_country, *) AND (percentage, *)`
+	ss, err := seqEng.NewSession(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := parEng.NewSession(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ss.TopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ps.TopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("parallel engine's top-k differs from sequential engine's")
 	}
 }

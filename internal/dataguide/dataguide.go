@@ -23,7 +23,9 @@ package dataguide
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"seda/internal/graph"
 	"seda/internal/pathdict"
@@ -163,7 +165,7 @@ func (s *Set) GuidesContaining(p pathdict.PathID) []*Guide {
 // Build computes the dataguide summary of col at the given overlap
 // threshold (the paper evaluates 0.40).
 func Build(col *store.Collection, threshold float64) (*Set, error) {
-	return BuildWithGraph(col, nil, threshold)
+	return BuildParallel(col, nil, threshold, 0)
 }
 
 // BuildWithGraph additionally folds the data graph's link edges into
@@ -171,13 +173,54 @@ func Build(col *store.Collection, threshold float64) (*Set, error) {
 // value relationships (§6.1: "a set of links between the dataguides
 // corresponding to the external edges between documents").
 func BuildWithGraph(col *store.Collection, g *graph.Graph, threshold float64) (*Set, error) {
+	return BuildParallel(col, g, threshold, 0)
+}
+
+// BuildParallel is BuildWithGraph with an explicit worker count for the
+// per-document profile extraction (the CPU-bound walk). Profiles are then
+// absorbed sequentially in document order — absorption order determines
+// guide merging, so it must stay deterministic. parallelism <= 0 means
+// runtime.GOMAXPROCS(0); 1 forces a fully sequential build.
+func BuildParallel(col *store.Collection, g *graph.Graph, threshold float64, parallelism int) (*Set, error) {
 	if threshold < 0 || threshold > 1 {
 		return nil, fmt.Errorf("dataguide: threshold %v outside [0,1]", threshold)
 	}
 	s := &Set{col: col, Threshold: threshold, docGuide: make(map[xmldoc.DocID]int)}
-	for _, doc := range col.Docs() {
-		paths, rep := docProfile(doc)
-		s.absorb(doc.ID, paths, rep)
+	docs := col.Docs()
+	p := parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(docs) {
+		p = len(docs)
+	}
+	if p <= 1 {
+		for _, doc := range docs {
+			paths, rep := docProfile(doc)
+			s.absorb(doc.ID, paths, rep)
+		}
+	} else {
+		type profile struct {
+			paths map[pathdict.PathID]struct{}
+			rep   map[pathdict.PathID]bool
+		}
+		profiles := make([]profile, len(docs))
+		var wg sync.WaitGroup
+		for w := 0; w < p; w++ {
+			lo, hi := w*len(docs)/p, (w+1)*len(docs)/p
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					paths, rep := docProfile(docs[i])
+					profiles[i] = profile{paths: paths, rep: rep}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		for i, doc := range docs {
+			s.absorb(doc.ID, profiles[i].paths, profiles[i].rep)
+		}
 	}
 	if g != nil {
 		s.buildLinks(g)

@@ -18,8 +18,10 @@
 package index
 
 import (
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"seda/internal/fulltext"
 	"seda/internal/pathdict"
@@ -48,43 +50,79 @@ type Index struct {
 	allPaths    []pathdict.PathID // every distinct path, sorted by string
 }
 
-// Build constructs both indexes in one pass over the collection.
-func Build(col *store.Collection) *Index {
+// Build constructs both indexes over the collection, sharding the scan
+// across runtime.GOMAXPROCS(0) goroutines.
+func Build(col *store.Collection) *Index { return BuildParallel(col, 0) }
+
+// BuildParallel is Build with an explicit worker count: the document list
+// is split into contiguous shards scanned concurrently, and the per-shard
+// accumulators are merged in shard order, so the result is byte-identical
+// to a sequential build. parallelism <= 0 means runtime.GOMAXPROCS(0); 1
+// forces a sequential scan.
+func BuildParallel(col *store.Collection, parallelism int) *Index {
+	docs := col.Docs()
+	p := parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(docs) {
+		p = len(docs)
+	}
+	if p < 1 {
+		p = 1
+	}
+	shards := make([]*indexShard, p)
+	if p == 1 {
+		shards[0] = buildShard(docs)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < p; w++ {
+			lo, hi := w*len(docs)/p, (w+1)*len(docs)/p
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				shards[w] = buildShard(docs[lo:hi])
+			}(w, lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Merge in shard order, adopting the first shard's maps wholesale so a
+	// sequential build pays no merge cost at all. Shards hold contiguous
+	// document ranges, so per-path node lists concatenate back into global
+	// (doc, Dewey) order, and per-term posting runs are re-sorted by
+	// normalizePostings anyway.
 	ix := &Index{
 		col:         col,
-		postings:    make(map[string][]Posting),
-		pathTerms:   make(map[string]map[pathdict.PathID]int),
-		termDocFreq: make(map[string]int),
-		pathNodes:   make(map[pathdict.PathID][]xmldoc.NodeRef),
+		postings:    shards[0].postings,
+		pathTerms:   shards[0].pathTerms,
+		termDocFreq: shards[0].termDocFreq,
+		pathNodes:   shards[0].pathNodes,
 	}
-	lastDocForTerm := make(map[string]xmldoc.DocID)
-	for _, doc := range col.Docs() {
-		d := doc
-		d.Walk(func(n *xmldoc.Node) bool {
-			ref := store.RefOf(d, n)
-			ix.pathNodes[n.Path] = append(ix.pathNodes[n.Path], ref)
-			// Tag names are keywords in the context index.
-			ix.bumpPathTerm(fulltext.NormalizeTerm(n.Tag), n.Path)
-			if n.Text != "" {
-				toks := fulltext.Tokenize(n.Text)
-				var cur string
-				var curPost *Posting
-				for _, tk := range toks {
-					ix.bumpPathTerm(tk.Term, n.Path)
-					if tk.Term != cur || curPost == nil {
-						ix.postings[tk.Term] = append(ix.postings[tk.Term], Posting{Ref: ref, Path: n.Path})
-						curPost = &ix.postings[tk.Term][len(ix.postings[tk.Term])-1]
-						cur = tk.Term
-					}
-					curPost.Positions = append(curPost.Positions, int32(tk.Pos))
-					if last, ok := lastDocForTerm[tk.Term]; !ok || last != d.ID {
-						lastDocForTerm[tk.Term] = d.ID
-						ix.termDocFreq[tk.Term]++
-					}
-				}
+	for _, sh := range shards[1:] {
+		for term, ps := range sh.postings {
+			ix.postings[term] = append(ix.postings[term], ps...)
+		}
+		for term, paths := range sh.pathTerms {
+			m, ok := ix.pathTerms[term]
+			if !ok {
+				ix.pathTerms[term] = paths
+				continue
 			}
-			return true
-		})
+			for pid, n := range paths {
+				m[pid] += n
+			}
+		}
+		for term, n := range sh.termDocFreq {
+			ix.termDocFreq[term] += n // shards hold disjoint documents
+		}
+		for pid, refs := range sh.pathNodes {
+			if cur, ok := ix.pathNodes[pid]; ok {
+				ix.pathNodes[pid] = append(cur, refs...)
+			} else {
+				ix.pathNodes[pid] = refs
+			}
+		}
 	}
 	// Postings for one term may interleave node visits (same node appended
 	// once per distinct run); normalize to unique nodes in (doc, Dewey)
@@ -102,14 +140,64 @@ func Build(col *store.Collection) *Index {
 	return ix
 }
 
-func (ix *Index) bumpPathTerm(term string, p pathdict.PathID) {
+// indexShard accumulates one worker's slice of the document scan.
+type indexShard struct {
+	postings    map[string][]Posting
+	pathTerms   map[string]map[pathdict.PathID]int
+	termDocFreq map[string]int
+	pathNodes   map[pathdict.PathID][]xmldoc.NodeRef
+}
+
+// buildShard runs the single-threaded scan over one contiguous document
+// range. Everything it touches outside its own maps (documents, the path
+// dictionary, the tokenizer) is read-only or internally synchronized.
+func buildShard(docs []*xmldoc.Document) *indexShard {
+	sh := &indexShard{
+		postings:    make(map[string][]Posting),
+		pathTerms:   make(map[string]map[pathdict.PathID]int),
+		termDocFreq: make(map[string]int),
+		pathNodes:   make(map[pathdict.PathID][]xmldoc.NodeRef),
+	}
+	lastDocForTerm := make(map[string]xmldoc.DocID)
+	for _, doc := range docs {
+		d := doc
+		d.Walk(func(n *xmldoc.Node) bool {
+			ref := store.RefOf(d, n)
+			sh.pathNodes[n.Path] = append(sh.pathNodes[n.Path], ref)
+			// Tag names are keywords in the context index.
+			sh.bumpPathTerm(fulltext.NormalizeTerm(n.Tag), n.Path)
+			if n.Text != "" {
+				toks := fulltext.Tokenize(n.Text)
+				var cur string
+				var curPost *Posting
+				for _, tk := range toks {
+					sh.bumpPathTerm(tk.Term, n.Path)
+					if tk.Term != cur || curPost == nil {
+						sh.postings[tk.Term] = append(sh.postings[tk.Term], Posting{Ref: ref, Path: n.Path})
+						curPost = &sh.postings[tk.Term][len(sh.postings[tk.Term])-1]
+						cur = tk.Term
+					}
+					curPost.Positions = append(curPost.Positions, int32(tk.Pos))
+					if last, ok := lastDocForTerm[tk.Term]; !ok || last != d.ID {
+						lastDocForTerm[tk.Term] = d.ID
+						sh.termDocFreq[tk.Term]++
+					}
+				}
+			}
+			return true
+		})
+	}
+	return sh
+}
+
+func (sh *indexShard) bumpPathTerm(term string, p pathdict.PathID) {
 	if term == "" {
 		return
 	}
-	m, ok := ix.pathTerms[term]
+	m, ok := sh.pathTerms[term]
 	if !ok {
 		m = make(map[pathdict.PathID]int)
-		ix.pathTerms[term] = m
+		sh.pathTerms[term] = m
 	}
 	m[p]++
 }

@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -183,4 +184,33 @@ func renderPaths(dict *pathdict.Dict, m map[pathdict.PathID]int) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// TestBuildParallelMatchesSequential: the sharded build must produce an
+// index indistinguishable from the sequential one — same postings (with
+// positions), path-term counts, doc frequencies, and node/path orderings.
+func TestBuildParallelMatchesSequential(t *testing.T) {
+	c, _ := buildFixture(t)
+	seq := BuildParallel(c, 1)
+	for _, p := range []int{2, 3, 8} {
+		par := BuildParallel(c, p)
+		if !reflect.DeepEqual(par.postings, seq.postings) {
+			t.Errorf("parallelism %d: postings differ", p)
+		}
+		if !reflect.DeepEqual(par.terms, seq.terms) {
+			t.Errorf("parallelism %d: term lists differ", p)
+		}
+		if !reflect.DeepEqual(par.pathTerms, seq.pathTerms) {
+			t.Errorf("parallelism %d: context index differs", p)
+		}
+		if !reflect.DeepEqual(par.termDocFreq, seq.termDocFreq) {
+			t.Errorf("parallelism %d: doc frequencies differ", p)
+		}
+		if !reflect.DeepEqual(par.pathNodes, seq.pathNodes) {
+			t.Errorf("parallelism %d: path-node lists differ", p)
+		}
+		if !reflect.DeepEqual(par.allPaths, seq.allPaths) {
+			t.Errorf("parallelism %d: path orders differ", p)
+		}
+	}
 }

@@ -3,7 +3,6 @@ package server
 import (
 	"container/list"
 	"fmt"
-	"strings"
 	"sync"
 
 	"seda/internal/topk"
@@ -14,6 +13,11 @@ import (
 // many sessions asking the identical question about the same corpus share
 // one search. Cached slices are shared read-only — Session.SetTopK and the
 // wire renderers never mutate them.
+//
+// There is no invalidation path: engines are immutable once built, and a
+// session refining its query changes the query string — and with it the
+// cache key — so entries can never serve stale results and die only by LRU
+// eviction.
 //
 // The cache is safe for concurrent use. Hit/miss counters feed
 // GET /debug/stats.
@@ -47,11 +51,6 @@ func newResultCache(max int) *resultCache {
 // sessions that refined to the same contexts share entries.
 func cacheKey(collection, query string, k int) string {
 	return fmt.Sprintf("%s\x1f%s\x1f%d", collection, query, k)
-}
-
-// cacheKeyPrefix is the (collection, query) prefix shared by all k.
-func cacheKeyPrefix(collection, query string) string {
-	return collection + "\x1f" + query + "\x1f"
 }
 
 // get returns the cached results for key, bumping recency, and counts the
@@ -88,23 +87,6 @@ func (c *resultCache) put(key string, rs []topk.Result) {
 		c.ll.Remove(last)
 		delete(c.items, last.Value.(*cacheItem).key)
 	}
-}
-
-// invalidatePrefix drops every entry whose key starts with prefix — all k
-// variants of one (collection, query). Called when a session refines or
-// chooses, making its previously-served results stale for that query.
-func (c *resultCache) invalidatePrefix(prefix string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
-	for key, el := range c.items {
-		if strings.HasPrefix(key, prefix) {
-			c.ll.Remove(el)
-			delete(c.items, key)
-			n++
-		}
-	}
-	return n
 }
 
 // cacheStats is a point-in-time snapshot for /debug/stats.

@@ -30,25 +30,6 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
-func TestCacheInvalidatePrefix(t *testing.T) {
-	c := newResultCache(10)
-	c.put(cacheKey("col", "q", 10), rs(1))
-	c.put(cacheKey("col", "q", 20), rs(2))
-	c.put(cacheKey("col", "other", 10), rs(3))
-	if n := c.invalidatePrefix(cacheKeyPrefix("col", "q")); n != 2 {
-		t.Fatalf("invalidated %d entries, want 2", n)
-	}
-	if _, ok := c.get(cacheKey("col", "q", 10)); ok {
-		t.Error("k=10 entry survived invalidation")
-	}
-	if _, ok := c.get(cacheKey("col", "q", 20)); ok {
-		t.Error("k=20 entry survived invalidation")
-	}
-	if _, ok := c.get(cacheKey("col", "other", 10)); !ok {
-		t.Error("unrelated query was invalidated")
-	}
-}
-
 func TestCacheKeyCollisionResistance(t *testing.T) {
 	// The separator keeps (collection, query) unambiguous: "a" + "bq" must
 	// not collide with "ab" + "q".

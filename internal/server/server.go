@@ -9,8 +9,9 @@
 //     max-count eviction, locking per session so one session's refinement
 //     never blocks another session's top-k;
 //   - a bounded LRU result cache on the hot top-k read path, keyed on
-//     (collection, query, k) and invalidated when a session refines or
-//     chooses connections.
+//     (collection, query, k). Engines are immutable once built and a
+//     refined query keys differently from its parent, so entries never go
+//     stale and are evicted only by LRU pressure.
 //
 // Endpoints:
 //
@@ -65,6 +66,10 @@ type Options struct {
 	// MaxCollections caps registered collections — built engines are
 	// pinned for the process lifetime (default 64; negative = unlimited).
 	MaxCollections int
+	// Parallelism is the worker-pool width for engine builds and top-k
+	// searches of collections registered over HTTP without their own
+	// setting (0 = runtime.GOMAXPROCS(0); 1 = sequential).
+	Parallelism int
 	// Clock overrides time.Now for eviction tests.
 	Clock func() time.Time
 }
@@ -242,7 +247,15 @@ func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, "collection name is required")
 		return
 	}
-	cfg := core.Config{DataguideThreshold: req.DataguideThreshold}
+	if req.Parallelism < 0 {
+		writeError(w, http.StatusBadRequest, "parallelism must be >= 0")
+		return
+	}
+	par := req.Parallelism
+	if par == 0 {
+		par = s.opts.Parallelism
+	}
+	cfg := core.Config{DataguideThreshold: req.DataguideThreshold, Parallelism: par}
 	var err error
 	switch {
 	case req.Builtin != "" && len(req.Documents) > 0:
@@ -414,10 +427,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case sess.lastTopK == key:
 		// The session already holds exactly these results — even if the
-		// shared cache entry is gone (choose invalidates it, LRU may
-		// evict it). Serve from session state and leave the downstream
-		// summaries (connections etc.) intact: a repeated GET is truly
-		// read-only.
+		// shared cache entry is gone (LRU may evict it). Serve from
+		// session state and leave the downstream summaries (connections
+		// etc.) intact: a repeated GET is truly read-only.
 		rs = sess.sess.TopKResults()
 	case cached:
 		sess.sess.SetTopK(rs)
@@ -464,17 +476,14 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	before := sess.queryString()
 	if err := sess.sess.RefineContexts(req.Term, req.Paths...); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// The query this session was serving from the cache is now stale for
-	// it; drop the entries so no session resurrects superseded results.
-	// This deliberately also evicts entries other sessions on the same
-	// query could still use — they repopulate on their next request; the
-	// conservative policy keeps refinement semantics simple.
-	s.cache.invalidatePrefix(cacheKeyPrefix(sess.collection, before))
+	// No cache eviction: the engine is immutable, so the cached entries for
+	// the pre-refinement query are still correct for every other session
+	// asking that query, and this session's refined query keys differently.
+	// Clearing lastTopK is what makes this session recompute.
 	sess.star = nil
 	sess.lastTopK = ""
 	writeJSON(w, http.StatusOK, sessionResponse{
@@ -524,10 +533,9 @@ func (s *Server) handleChoose(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// Choosing connections cannot change top-k results, so strictly this
-	// eviction is conservative; it is kept deliberately so a choice is a
-	// clean break — nothing computed before it is served after it.
-	s.cache.invalidatePrefix(cacheKeyPrefix(sess.collection, sess.queryString()))
+	// Choosing connections is per-session state and cannot change top-k
+	// results for this or any other session, so the shared cache is left
+	// alone.
 	sess.star = nil
 	writeJSON(w, http.StatusOK, map[string]any{
 		"session": sess.id,

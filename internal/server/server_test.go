@@ -230,8 +230,10 @@ func TestFullExplorationLoop(t *testing.T) {
 }
 
 // TestTopKCacheHit exercises the result cache: identical (collection,
-// query, k) requests from distinct sessions share one search, and
-// refinement invalidates the entries for the refined query.
+// query, k) requests from distinct sessions share one search, and one
+// session refining its query does not evict the entries other sessions on
+// the original query still use (the engine is immutable; a refined query
+// keys differently).
 func TestTopKCacheHit(t *testing.T) {
 	c := newTestClient(t, Options{})
 	col := c.setupWorldFactbook()
@@ -274,11 +276,22 @@ func TestTopKCacheHit(t *testing.T) {
 		t.Error("cache reports no entries")
 	}
 
-	// Refining session a drops the entries for the shared query…
+	// Refining session a must NOT evict session b's entry for the original
+	// query: the engine is immutable, so that entry can never go stale, and
+	// under concurrent users eviction here is pure hit-rate loss.
 	c.call("POST", "/sessions/"+a+"/refine", refineRequest{Term: 1, Paths: []string{tcP}}, http.StatusOK, nil)
 	c.call("GET", "/sessions/"+b+"/topk?k=10", nil, http.StatusOK, &tk)
+	if !tk.Cached {
+		t.Error("refine in one session evicted another session's cache entry")
+	}
+	if fmt.Sprint(tk.Results) != fmt.Sprint(first) {
+		t.Error("session b's post-refine results differ from the original")
+	}
+	// Session a itself runs a fresh search: its refined query keys
+	// differently and has no entry yet.
+	c.call("GET", "/sessions/"+a+"/topk?k=10", nil, http.StatusOK, &tk)
 	if tk.Cached {
-		t.Error("cache served results for an invalidated query")
+		t.Error("refined query hit the cache entry of its parent query")
 	}
 }
 
@@ -305,9 +318,9 @@ func TestRepeatedTopKIsReadOnly(t *testing.T) {
 	}
 	c.call("POST", "/sessions/"+id+"/choose", chooseRequest{Connections: []int{0}}, http.StatusOK, nil)
 
-	// Choose invalidated the cache entry; a repeated identical GET must
-	// STILL be read-only (served from session state, no recompute), so
-	// both the chosen connections and the summary survive.
+	// A repeated identical GET after the choose must STILL be read-only
+	// (served from session state, no recompute), so both the chosen
+	// connections and the summary survive.
 	c.call("GET", "/sessions/"+id+"/topk?k=10", nil, http.StatusOK, &tk)
 	if len(tk.Results) == 0 {
 		t.Fatal("no results from session-held top-k")

@@ -25,6 +25,9 @@ type collectionRequest struct {
 	Documents []documentPayload `json:"documents,omitempty"`
 	// DataguideThreshold overrides the 0.40 overlap merge default.
 	DataguideThreshold float64 `json:"dataguide_threshold,omitempty"`
+	// Parallelism overrides the server's worker-pool width for this
+	// collection's engine build and searches (0 = server default).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 type documentPayload struct {

@@ -1,0 +1,84 @@
+package topk
+
+import "sort"
+
+// better is the total order the top-k keeps: higher score first, ties broken
+// deterministically by node order. It is strict — two distinct tuples never
+// compare equal — which makes every bounded-heap selection below independent
+// of insertion order, and hence of worker scheduling.
+func better(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return lessTuple(a.Nodes, b.Nodes)
+}
+
+// topHeap keeps the best k results seen so far as a min-heap on the better
+// order: rs[0] is the worst kept result, so one comparison decides whether a
+// new tuple displaces it. It replaces the sort-after-every-unit frontier of
+// the original TA loop — offer is O(log k) instead of re-sorting O(n log n).
+// Not safe for concurrent use; each search worker owns one.
+type topHeap struct {
+	k  int
+	rs []Result
+}
+
+func newTopHeap(k int) *topHeap { return &topHeap{k: k, rs: make([]Result, 0, k)} }
+
+// offer inserts r if it belongs in the current top k.
+func (h *topHeap) offer(r Result) {
+	if len(h.rs) < h.k {
+		h.rs = append(h.rs, r)
+		h.siftUp(len(h.rs) - 1)
+		return
+	}
+	if better(r, h.rs[0]) {
+		h.rs[0] = r
+		h.siftDown(0)
+	}
+}
+
+// kth returns the score of the worst kept result; ok is false until the
+// heap holds k results (no threshold can fire before the top-k is full).
+func (h *topHeap) kth() (float64, bool) {
+	if len(h.rs) < h.k {
+		return 0, false
+	}
+	return h.rs[0].Score, true
+}
+
+// sorted drains the heap, best result first.
+func (h *topHeap) sorted() []Result {
+	out := h.rs
+	h.rs = nil
+	sort.Slice(out, func(i, j int) bool { return better(out[i], out[j]) })
+	return out
+}
+
+func (h *topHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !better(h.rs[p], h.rs[i]) {
+			break // parent is already worse-or-equal: heap property holds
+		}
+		h.rs[p], h.rs[i] = h.rs[i], h.rs[p]
+		i = p
+	}
+}
+
+func (h *topHeap) siftDown(i int) {
+	n := len(h.rs)
+	for {
+		worst := i
+		for c := 2*i + 1; c <= 2*i+2 && c < n; c++ {
+			if better(h.rs[worst], h.rs[c]) {
+				worst = c
+			}
+		}
+		if worst == i {
+			return
+		}
+		h.rs[i], h.rs[worst] = h.rs[worst], h.rs[i]
+		i = worst
+	}
+}

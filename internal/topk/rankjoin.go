@@ -62,13 +62,14 @@ func (s *Searcher) SearchRankJoin(q query.Query, opts Options) ([]Result, Stats,
 		top[i] = st[0].Score
 	}
 
-	var results []Result
+	results := newTopHeap(opts.K)
 	stats := Stats{UnitsCandidates: totalLen(streams)}
 	kth := func() float64 {
-		if len(results) < opts.K {
+		t, ok := results.kth()
+		if !ok {
 			return -1
 		}
-		return results[opts.K-1].Score
+		return t
 	}
 	threshold := func() float64 {
 		best := -1.0
@@ -116,9 +117,10 @@ func (s *Searcher) SearchRankJoin(q query.Query, opts Options) ([]Result, Stats,
 		var rec func(term int)
 		rec = func(term int) {
 			if term == m {
-				before := len(results)
-				s.scoreTuple(tuple, opts, &results)
-				stats.TuplesScored += len(results) - before
+				if r, ok := s.scoreTuple(tuple, opts); ok {
+					stats.TuplesScored++
+					results.offer(r)
+				}
 				return
 			}
 			if term == pick {
@@ -132,21 +134,8 @@ func (s *Searcher) SearchRankJoin(q query.Query, opts Options) ([]Result, Stats,
 		}
 		rec(0)
 		seen[pick][mt.Ref.Doc] = append(seen[pick][mt.Ref.Doc], mt)
-
-		sort.Slice(results, func(i, j int) bool {
-			if results[i].Score != results[j].Score {
-				return results[i].Score > results[j].Score
-			}
-			return lessTuple(results[i].Nodes, results[j].Nodes)
-		})
-		if len(results) > opts.K*4 {
-			results = results[:opts.K*4]
-		}
 	}
-	if len(results) > opts.K {
-		results = results[:opts.K]
-	}
-	return results, stats, nil
+	return results.sorted(), stats, nil
 }
 
 func totalLen(streams [][]index.Match) int {

@@ -8,18 +8,39 @@
 // being the compactness of the graph connecting the tuple (§1).
 //
 // The implementation is document-at-a-time: per-term match lists from the
-// index are grouped by document; candidate documents are visited in
-// decreasing order of an upper score bound (sum of the best per-term
-// content scores, times the maximum compactness of 1), and the scan stops
-// as soon as the k-th best materialized tuple meets the bound of the next
-// unvisited document — the TA termination condition. Tuples spanning two
-// documents joined by a link edge are also considered, honoring Definition
-// 4's connectivity-by-data-graph requirement.
+// index are fetched concurrently and grouped by document; candidate units
+// (documents, or pairs of link-joined documents per Definition 4) are
+// scanned in decreasing order of an upper score bound, in waves whose
+// boundaries double geometrically (1, 2, 4, 8, … units). Within a wave a
+// pool of workers claims units and scores their tuples into per-worker
+// bounded min-heaps of size K, merged into the running top-k at the wave
+// barrier; the scan stops at the first barrier where the k-th best score
+// reaches the next unit's bound — the TA termination condition.
+//
+// Checking the threshold only at wave barriers is what makes the output
+// schedule-independent: the set of scanned units is a function of the
+// sorted unit list alone (never of worker timing), and a bounded heap under
+// the strict (score, node-order) total ordering keeps the same K tuples
+// whatever order they arrive in. A parallel search therefore returns
+// byte-identical results to a sequential one, while early waves (sized 1-2
+// units) keep the termination check as eager as a classic unit-at-a-time
+// TA loop and late waves amortize it and feed the whole worker pool.
+//
+// As in any TA with a non-strict stop rule, exact score ties at the
+// termination threshold are resolved pragmatically: every returned tuple
+// scores at least as high as every unreturned one, but which of several
+// equally-scored boundary tuples fill the last slots follows the
+// deterministic scan order rather than the node-order tie-break (the
+// PerDocPerTerm beam makes the same latency-over-exactness trade within a
+// document).
 package topk
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"seda/internal/graph"
 	"seda/internal/index"
@@ -38,12 +59,17 @@ type Options struct {
 	// PerDocPerTerm beams the number of matches considered per term within
 	// one document (default 8). Raising it trades latency for exactness.
 	PerDocPerTerm int
-	// CrossDoc enables tuples spanning two link-connected documents
-	// (default true; set DisableCrossDoc to turn off).
+	// DisableCrossDoc turns off tuples spanning two link-connected
+	// documents; the zero value keeps them on (Definition 4's
+	// connectivity-by-data-graph requirement).
 	DisableCrossDoc bool
 	// ContentOnly ignores the compactness factor — the ablation the
 	// benchmarks compare against (score = content sum only).
 	ContentOnly bool
+	// Parallelism is the number of worker goroutines enumerating candidate
+	// units (default runtime.GOMAXPROCS(0); 1 forces a sequential scan).
+	// The result set is identical at every setting.
+	Parallelism int
 }
 
 func (o *Options) defaults() {
@@ -55,6 +81,9 @@ func (o *Options) defaults() {
 	}
 	if o.PerDocPerTerm <= 0 {
 		o.PerDocPerTerm = 8
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -68,7 +97,9 @@ type Result struct {
 }
 
 // Stats reports how much work the TA loop did; UnitsScanned <
-// UnitsCandidates demonstrates threshold-based early termination.
+// UnitsCandidates demonstrates threshold-based early termination. The
+// counters are deterministic at any parallelism: wave boundaries, not
+// worker timing, decide which units get scanned.
 type Stats struct {
 	// UnitsCandidates is the number of candidate units (documents or
 	// link-joined document pairs) with full term coverage.
@@ -108,22 +139,59 @@ func (s *Searcher) SearchStats(q query.Query, opts Options) ([]Result, Stats, er
 	if len(q.Terms) == 0 {
 		return nil, Stats{}, fmt.Errorf("topk: empty query")
 	}
-	matches := make([][]index.Match, len(q.Terms))
-	for i, t := range q.Terms {
-		ms, err := s.ix.MatchTerm(t)
-		if err != nil {
-			return nil, Stats{}, fmt.Errorf("topk: term %d: %w", i, err)
-		}
-		matches[i] = ms
+	matches, err := s.fetchMatches(q, opts.Parallelism)
+	if err != nil {
+		return nil, Stats{}, err
 	}
 	rs, st := s.rank(matches, opts)
 	return rs, st, nil
 }
 
-// docMatches groups one term's matches for one document.
+// fetchMatches evaluates every query term against the index, concurrently
+// when the worker budget allows (the index is immutable after Build, so
+// term evaluations share no mutable state). At most parallelism worker
+// goroutines run. Errors surface in term order so the reported failure is
+// deterministic.
+func (s *Searcher) fetchMatches(q query.Query, parallelism int) ([][]index.Match, error) {
+	matches := make([][]index.Match, len(q.Terms))
+	errs := make([]error, len(q.Terms))
+	workers := parallelism
+	if workers > len(q.Terms) {
+		workers = len(q.Terms)
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(q.Terms) {
+						return
+					}
+					matches[i], errs[i] = s.ix.MatchTerm(q.Terms[i])
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, t := range q.Terms {
+			matches[i], errs[i] = s.ix.MatchTerm(t)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("topk: term %d: %w", i, err)
+		}
+	}
+	return matches, nil
+}
+
+// docEntry groups one document's matches by term.
 type docEntry struct {
 	perTerm [][]index.Match // index by term; nil when the term has no match here
-	bound   float64         // upper bound on any tuple rooted in this doc
 }
 
 func (s *Searcher) rank(matches [][]index.Match, opts Options) ([]Result, Stats) {
@@ -131,7 +199,6 @@ func (s *Searcher) rank(matches [][]index.Match, opts Options) ([]Result, Stats)
 	// Group matches per document, keeping only the strongest
 	// opts.PerDocPerTerm per (doc, term).
 	docs := make(map[xmldoc.DocID]*docEntry)
-	globalBest := make([]float64, m)
 	for i, ms := range matches {
 		for _, match := range ms {
 			e, ok := docs[match.Ref.Doc]
@@ -140,9 +207,6 @@ func (s *Searcher) rank(matches [][]index.Match, opts Options) ([]Result, Stats)
 				docs[match.Ref.Doc] = e
 			}
 			e.perTerm[i] = append(e.perTerm[i], match)
-			if match.Score > globalBest[i] {
-				globalBest[i] = match.Score
-			}
 		}
 	}
 	for _, e := range docs {
@@ -175,41 +239,86 @@ func (s *Searcher) rank(matches [][]index.Match, opts Options) ([]Result, Stats)
 	if !opts.DisableCrossDoc && s.g != nil {
 		units = append(units, s.crossDocUnits(docs, m)...)
 	}
-	sort.Slice(units, func(i, j int) bool { return units[i].bound > units[j].bound })
+	// Bound-descending claim order; the id tie-break makes the scan order
+	// (and hence sequential stats) deterministic.
+	sort.Slice(units, func(i, j int) bool {
+		if units[i].bound != units[j].bound {
+			return units[i].bound > units[j].bound
+		}
+		return lessDocIDs(units[i].ids, units[j].ids)
+	})
 
-	// TA loop: materialize tuples unit by unit in bound order; stop when
-	// the k-th best score dominates the next unit's bound.
+	// TA loop over geometric waves: scan units[pos:end), merge, then test
+	// the threshold against the first unscanned unit's bound.
 	stats := Stats{UnitsCandidates: len(units)}
-	var results []Result
-	kth := func() float64 {
-		if len(results) < opts.K {
-			return -1
+	final := newTopHeap(opts.K)
+	for pos := 0; pos < len(units); {
+		if t, ok := final.kth(); ok && t >= units[pos].bound {
+			break // TA threshold: every remaining unit is bounded lower
 		}
-		return results[opts.K-1].Score
+		end := 2 * pos // wave boundaries at 1, 2, 4, 8, … scanned units
+		if pos == 0 {
+			end = 1
+		}
+		if end > len(units) {
+			end = len(units)
+		}
+		s.scanWave(units[pos:end], opts, final, &stats)
+		pos = end
 	}
-	before := 0
-	for _, u := range units {
-		if t := kth(); t >= 0 && t >= u.bound {
-			break // TA threshold reached
+	return final.sorted(), stats
+}
+
+// scanWave enumerates one wave of candidate units into final. Waves wider
+// than one unit fan out over opts.Parallelism workers with per-worker
+// heaps; since every unit of the wave is scanned and the heap order is a
+// strict total order, the merged outcome is independent of scheduling.
+func (s *Searcher) scanWave(wave []candUnit, opts Options, final *topHeap, stats *Stats) {
+	stats.UnitsScanned += len(wave)
+	workers := opts.Parallelism
+	if workers > len(wave) {
+		workers = len(wave)
+	}
+	if workers <= 1 {
+		for _, u := range wave {
+			s.enumerate(u, opts, func(r Result) {
+				stats.TuplesScored++
+				final.offer(r)
+			})
 		}
-		stats.UnitsScanned++
-		before = len(results)
-		s.enumerate(u.entries, u.ids, opts, &results)
-		stats.TuplesScored += len(results) - before
-		sort.Slice(results, func(i, j int) bool {
-			if results[i].Score != results[j].Score {
-				return results[i].Score > results[j].Score
+		return
+	}
+	var (
+		next         atomic.Int64
+		tuplesScored atomic.Int64
+		heaps        = make([]*topHeap, workers)
+		wg           sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := newTopHeap(opts.K)
+			heaps[w] = h
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(wave) {
+					return
+				}
+				s.enumerate(wave[i], opts, func(r Result) {
+					tuplesScored.Add(1)
+					h.offer(r)
+				})
 			}
-			return lessTuple(results[i].Nodes, results[j].Nodes)
-		})
-		if len(results) > opts.K*4 {
-			results = results[:opts.K*4] // keep the frontier small
+		}(w)
+	}
+	wg.Wait()
+	stats.TuplesScored += int(tuplesScored.Load())
+	for _, h := range heaps {
+		for _, r := range h.rs {
+			final.offer(r)
 		}
 	}
-	if len(results) > opts.K {
-		results = results[:opts.K]
-	}
-	return results, stats
 }
 
 // candUnit is a candidate unit for the TA loop: the documents whose
@@ -265,24 +374,34 @@ func (s *Searcher) crossDocUnits(docs map[xmldoc.DocID]*docEntry, m int) []candU
 	return units
 }
 
-// enumerate materializes all tuples of a candidate unit and appends scored,
-// connected ones to out.
-func (s *Searcher) enumerate(entries []*docEntry, ids []xmldoc.DocID, opts Options, out *[]Result) {
-	m := len(entries[0].perTerm)
+// enumerate materializes the tuples of a candidate unit and emits each
+// scored, connected one. In a two-document pair unit, tuples whose nodes
+// all live in one document are skipped: the single-document unit of that
+// document (which must exist, since such a tuple proves full term coverage
+// there) already enumerated them, and re-emitting duplicates would let one
+// tuple occupy several top-k slots and corrupt the k-th threshold.
+func (s *Searcher) enumerate(u candUnit, opts Options, emit func(Result)) {
+	m := len(u.entries[0].perTerm)
 	options := make([][]index.Match, m)
 	for i := 0; i < m; i++ {
-		for _, e := range entries {
+		for _, e := range u.entries {
 			options[i] = append(options[i], e.perTerm[i]...)
 		}
 		if len(options[i]) == 0 {
 			return
 		}
 	}
+	pairUnit := len(u.entries) == 2
 	tuple := make([]index.Match, m)
 	var rec func(i int)
 	rec = func(i int) {
 		if i == m {
-			s.scoreTuple(tuple, opts, out)
+			if pairUnit && singleDoc(tuple) {
+				return
+			}
+			if r, ok := s.scoreTuple(tuple, opts); ok {
+				emit(r)
+			}
 			return
 		}
 		for _, match := range options[i] {
@@ -293,7 +412,17 @@ func (s *Searcher) enumerate(entries []*docEntry, ids []xmldoc.DocID, opts Optio
 	rec(0)
 }
 
-func (s *Searcher) scoreTuple(tuple []index.Match, opts Options, out *[]Result) {
+// singleDoc reports whether every node of the tuple lives in one document.
+func singleDoc(tuple []index.Match) bool {
+	for _, m := range tuple[1:] {
+		if m.Ref.Doc != tuple[0].Ref.Doc {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Searcher) scoreTuple(tuple []index.Match, opts Options) (Result, bool) {
 	refs := make([]xmldoc.NodeRef, len(tuple))
 	paths := make([]pathdict.PathID, len(tuple))
 	content := 0.0
@@ -304,20 +433,20 @@ func (s *Searcher) scoreTuple(tuple []index.Match, opts Options, out *[]Result) 
 	}
 	w, connected := s.g.SteinerWeight(refs, opts.MaxLinkHops)
 	if !connected {
-		return // Definition 4: tuples must be connected
+		return Result{}, false // Definition 4: tuples must be connected
 	}
 	compact := graph.Compactness(w)
 	score := content
 	if !opts.ContentOnly {
 		score = content * compact
 	}
-	*out = append(*out, Result{
+	return Result{
 		Nodes:        refs,
 		Paths:        paths,
 		Score:        score,
 		ContentScore: content,
 		Compactness:  compact,
-	})
+	}, true
 }
 
 func lessTuple(a, b []xmldoc.NodeRef) bool {
@@ -327,4 +456,13 @@ func lessTuple(a, b []xmldoc.NodeRef) bool {
 		}
 	}
 	return false
+}
+
+func lessDocIDs(a, b []xmldoc.DocID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
 }

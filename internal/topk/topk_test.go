@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -258,6 +260,113 @@ func TestTAEarlyTermination(t *testing.T) {
 	for i := range top {
 		if top[i].Score != all[i].Score {
 			t.Errorf("rank %d: early %v vs exhaustive %v", i, top[i].Score, all[i].Score)
+		}
+	}
+}
+
+// linkedFixture builds a corpus of identical-content document pairs joined
+// by an IDREF edge, so every pair yields single-document tuples (from both
+// docs), a cross-document candidate unit, and genuine cross-document
+// tuples.
+func linkedFixture(t testing.TB, pairs int) (*index.Index, *graph.Graph) {
+	t.Helper()
+	c := store.NewCollection()
+	for i := 0; i < pairs; i++ {
+		reps := 1 + i%4 // vary scores so bounds are not all equal
+		gold := strings.TrimSpace(strings.Repeat("gold ", reps))
+		a := fmt.Sprintf(`<a id="a%d"><x>%s</x><y>silver</y></a>`, i, gold)
+		b := fmt.Sprintf(`<b ref="a%d"><x>%s</x><y>silver</y></b>`, i, gold)
+		if _, err := c.AddXML(fmt.Sprintf("a%d", i), []byte(a)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.AddXML(fmt.Sprintf("b%d", i), []byte(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := index.Build(c)
+	g := graph.New(c)
+	g.DiscoverLinks(graph.DiscoverOptions{IDRefAttrs: []string{"ref"}})
+	return ix, g
+}
+
+func tupleKey(nodes []xmldoc.NodeRef) string {
+	var sb strings.Builder
+	for _, n := range nodes {
+		fmt.Fprintf(&sb, "%v|", n)
+	}
+	return sb.String()
+}
+
+// TestNoDuplicateTuples is the regression test for the cross-document
+// duplicate bug: a pair unit used to re-enumerate tuples living wholly
+// inside one of its documents, so copies of a single tuple could fill
+// several top-k slots (and corrupt the k-th threshold).
+func TestNoDuplicateTuples(t *testing.T) {
+	ix, g := linkedFixture(t, 6)
+	s := New(ix, g)
+	q := query.MustParse(`(x, gold) AND (y, silver)`)
+	rs, err := s.Search(q, Options{K: 100, PerDocPerTerm: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no results")
+	}
+	seen := make(map[string]bool)
+	crossDoc := 0
+	for _, r := range rs {
+		key := tupleKey(r.Nodes)
+		if seen[key] {
+			t.Errorf("duplicate tuple in top-k: %s", key)
+		}
+		seen[key] = true
+		if r.Nodes[0].Doc != r.Nodes[1].Doc {
+			crossDoc++
+		}
+	}
+	// The dedup must not throw away genuine link-joined tuples.
+	if crossDoc == 0 {
+		t.Error("no cross-document tuples survived")
+	}
+	// Each pair contributes 2 single-doc tuples and 2 cross-doc tuples.
+	if want := 6 * 4; len(rs) != want {
+		t.Errorf("results = %d, want %d", len(rs), want)
+	}
+}
+
+// TestParallelSearchMatchesSequential: the acceptance bar for the worker
+// pool — at any parallelism, and under concurrent Search calls (run with
+// -race), the results must be byte-identical to a sequential scan.
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	ix, g := linkedFixture(t, 20)
+	s := New(ix, g)
+	queries := []query.Query{
+		query.MustParse(`(x, gold) AND (y, silver)`),
+		query.MustParse(`(*, gold) AND (*, silver)`),
+		query.MustParse(`(x, gold)`),
+	}
+	for qi, q := range queries {
+		for _, k := range []int{1, 3, 10, 1000} {
+			seq, err := s.Search(q, Options{K: k, Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for _, par := range []int{2, 3, 8, 16} {
+				wg.Add(1)
+				go func(par int) {
+					defer wg.Done()
+					got, err := s.Search(q, Options{K: k, Parallelism: par})
+					if err != nil {
+						t.Errorf("query %d parallelism %d: %v", qi, par, err)
+						return
+					}
+					if !reflect.DeepEqual(got, seq) {
+						t.Errorf("query %d k=%d parallelism %d: results differ from sequential", qi, k, par)
+					}
+				}(par)
+			}
+			wg.Wait()
 		}
 	}
 }

@@ -133,8 +133,8 @@ type (
 	// stateful endpoints, with an engine registry, a TTL/LRU-evicted
 	// session table, and a bounded top-k result cache.
 	Server = server.Server
-	// ServerOptions tunes session TTL, table capacity, cache size, and the
-	// default builtin corpus scale.
+	// ServerOptions tunes session TTL, table capacity, cache size, build
+	// and search parallelism, and the default builtin corpus scale.
 	ServerOptions = server.Options
 	// EngineRegistry maps collection names to lazily-built engines.
 	EngineRegistry = server.Registry
