@@ -1,7 +1,7 @@
 GO ?= go
 SCALE ?= 0.05
 
-.PHONY: build test bench bench-smoke serve vet
+.PHONY: build test bench bench-smoke bench-coldstart serve vet
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,18 @@ bench:
 	$(GO) run ./cmd/sedabench -scale $(SCALE)
 
 # Fast perf canary: one sedabench pass at a small scale so perf regressions
-# and BENCH-writer breakage surface on every PR. CI runs this on each push.
+# and BENCH-writer breakage surface on every PR (this includes the
+# coldstart build-vs-load comparison). CI runs this on each push.
 # BENCH files go to a temp dir — the checked-in BENCH_*.json trajectory is
 # recorded at scale 0.1 and must only be refreshed at that scale.
 bench-smoke:
 	$(GO) run ./cmd/sedabench -scale 0.05 -out "$$(mktemp -d)"
+
+# Cold-start benchmark: build-from-XML vs load-from-snapshot per builtin
+# corpus, refreshing the checked-in BENCH_coldstart.json (scale 0.1, like
+# the rest of the BENCH trajectory).
+bench-coldstart:
+	$(GO) run ./cmd/sedabench -exp coldstart -scale 0.1
 
 serve:
 	$(GO) run ./cmd/sedad -preload worldfactbook -scale $(SCALE)

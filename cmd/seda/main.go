@@ -23,6 +23,9 @@
 //	cube [fact...]         build the star schema (optionally adding facts)
 //	analyze <measure> <dim> [agg]  aggregate the cube (default SUM)
 //	stats                  collection and dataguide statistics
+//	\save <file>           write the engine as a snapshot (all indexes included)
+//	\load <file>           replace the engine from a snapshot (or a v1
+//	                       collection.gob, which rebuilds the indexes)
 //	help, quit
 package main
 
@@ -78,7 +81,7 @@ func main() {
 		st.NumDocs, st.NumNodes, st.NumPaths, len(eng.Dataguides().Guides), eng.Graph().NumEdges())
 	fmt.Println(`type "help" for commands`)
 
-	repl := &repl{eng: eng, k: *k, out: os.Stdout}
+	repl := &repl{eng: eng, cfg: cfg, k: *k, out: os.Stdout}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("seda> ")
@@ -99,6 +102,7 @@ func main() {
 
 type repl struct {
 	eng     *seda.Engine
+	cfg     seda.Config // fallback config for \load of v1 collection streams
 	session *seda.Session
 	conns   []seda.Connection
 	k       int
@@ -110,7 +114,39 @@ func (r *repl) dispatch(line string) error {
 	rest = strings.TrimSpace(rest)
 	switch cmd {
 	case "help":
-		fmt.Fprintln(r.out, "commands: query topk contexts refine connections choose dot complete deffact defdim cube analyze guides stats quit")
+		fmt.Fprintln(r.out, "commands: query topk contexts refine connections choose dot complete deffact defdim cube analyze guides stats \\save \\load quit")
+		return nil
+	case "\\save":
+		if rest == "" {
+			return fmt.Errorf(`usage: \save <file>`)
+		}
+		if err := seda.SaveEngineFile(rest, r.eng); err != nil {
+			return err
+		}
+		fi, err := os.Stat(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "saved engine snapshot to %s (%d bytes)\n", rest, fi.Size())
+		return nil
+	case "\\load":
+		if rest == "" {
+			return fmt.Errorf(`usage: \load <file>`)
+		}
+		le, err := seda.LoadEngineAuto(rest, r.cfg)
+		if err != nil {
+			return err
+		}
+		r.eng = le.Engine
+		r.session = nil
+		r.conns = nil
+		how := "loaded from snapshot"
+		if !le.FromSnapshot {
+			how = "rebuilt from v1 collection stream"
+		}
+		st := r.eng.Collection().Stats()
+		fmt.Fprintf(r.out, "%s: %d documents, %d nodes, %d distinct paths (%s)\n",
+			rest, st.NumDocs, st.NumNodes, st.NumPaths, how)
 		return nil
 	case "query":
 		s, err := r.eng.NewSession(rest)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -58,6 +59,57 @@ func TestReplFullSession(t *testing.T) {
 		if st.wantOut != "" && !strings.Contains(out.String(), st.wantOut) {
 			t.Errorf("dispatch(%q) output missing %q:\n%s", st.cmd, st.wantOut, out.String())
 		}
+	}
+}
+
+// TestReplSaveLoad snapshots the engine, reloads it, and verifies the
+// reloaded engine answers the same query identically; the session is
+// reset on load.
+func TestReplSaveLoad(t *testing.T) {
+	r, out := newTestRepl(t)
+	path := filepath.Join(t.TempDir(), "wf.snap")
+
+	if err := r.dispatch(`query (*, "United States")`); err != nil {
+		t.Fatal(err)
+	}
+	before := out.String()
+
+	out.Reset()
+	if err := r.dispatch(`\save ` + path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "saved engine snapshot") {
+		t.Errorf("save output: %q", out.String())
+	}
+
+	out.Reset()
+	if err := r.dispatch(`\load ` + path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "loaded from snapshot") {
+		t.Errorf("load output: %q", out.String())
+	}
+	if r.session != nil {
+		t.Error("session not reset by \\load")
+	}
+	if err := r.dispatch("topk 3"); err == nil {
+		t.Error("topk after \\load should require a fresh session")
+	}
+
+	out.Reset()
+	if err := r.dispatch(`query (*, "United States")`); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != before {
+		t.Errorf("loaded engine answers differently:\nbefore:\n%s\nafter:\n%s", before, out.String())
+	}
+
+	// Usage errors.
+	if err := r.dispatch(`\save`); err == nil {
+		t.Error("\\save without a path should fail")
+	}
+	if err := r.dispatch(`\load /nonexistent/nope.snap`); err == nil {
+		t.Error("\\load of a missing file should fail")
 	}
 }
 

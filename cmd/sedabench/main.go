@@ -19,6 +19,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|all")
+	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|coldstart|all")
 	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = paper size)")
 	out := flag.String("out", ".", "directory for BENCH_<name>.json result files (empty disables)")
 	par := flag.Int("parallelism", 0, "worker goroutines for engine builds and searches (0 = all cores, 1 = sequential)")
@@ -76,10 +77,22 @@ func main() {
 	run("figure3", figure3)
 	run("controlflow", controlFlow)
 	run("ablations", ablations)
+	// coldstart writes a richer per-corpus BENCH file (build vs load), so
+	// it manages its own result file instead of going through run().
+	if *exp == "all" || *exp == "coldstart" {
+		fmt.Println("==== coldstart ====")
+		start := time.Now()
+		res := coldstart(*scale)
+		res.NsPerOp = time.Since(start).Nanoseconds()
+		fmt.Printf("(coldstart in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			writeColdstartResult(*out, res)
+		}
+	}
 
 	if *exp != "all" {
 		switch *exp {
-		case "table1", "intext", "sweep", "figure3", "controlflow", "ablations":
+		case "table1", "intext", "sweep", "figure3", "controlflow", "ablations", "coldstart":
 		default:
 			fmt.Fprintf(os.Stderr, "sedabench: unknown experiment %q\n", *exp)
 			os.Exit(2)
@@ -330,6 +343,133 @@ func ablations(scale float64) {
 	}
 
 	fmt.Println("A2 join and A4 probe ablations: go test -bench 'BenchmarkAblationJoin|BenchmarkAblationContextProbe'")
+}
+
+// coldstart compares the two cold-start strategies per builtin corpus:
+// parse the XML and rebuild every derived layer (what a process restart
+// cost before engine snapshots) versus load one snapshot from disk. Both
+// paths start from bytes — rendered XML documents, or the snapshot file —
+// and end with a serving-ready engine.
+func coldstart(scale float64) *coldstartResult {
+	res := &coldstartResult{Name: "coldstart", Scale: scale}
+	tmp, err := os.MkdirTemp("", "seda-coldstart-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	fmt.Printf("%-16s %14s %14s %10s %14s\n", "corpus", "build-from-XML", "load-snapshot", "speedup", "snapshot bytes")
+	for _, c := range []struct {
+		name string
+		gen  func(float64) *seda.Collection
+		cfg  seda.Config
+	}{
+		{"worldfactbook", seda.WorldFactbook, seda.Config{}},
+		{"mondial", seda.Mondial, seda.MondialConfig()},
+		{"googlebase", seda.GoogleBase, seda.Config{}},
+		{"recipeml", seda.RecipeML, seda.Config{}},
+	} {
+		cfg := c.cfg
+		cfg.Parallelism = parallelism
+
+		// Setup (untimed): render the corpus to XML bytes and write the
+		// snapshot the load path will read.
+		source := c.gen(scale)
+		type rawDoc struct {
+			name string
+			xml  []byte
+		}
+		raw := make([]rawDoc, 0, source.NumDocs())
+		for _, doc := range source.Docs() {
+			var b bytes.Buffer
+			if err := doc.WriteXML(&b); err != nil {
+				fatal(err)
+			}
+			raw = append(raw, rawDoc{name: doc.Name, xml: b.Bytes()})
+		}
+		eng, err := seda.NewEngine(source, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		snap := filepath.Join(tmp, c.name+".snap")
+		if err := seda.SaveEngineFile(snap, eng); err != nil {
+			fatal(err)
+		}
+		fi, err := os.Stat(snap)
+		if err != nil {
+			fatal(err)
+		}
+
+		// Path 1: cold start from XML — parse plus full engine build.
+		start := time.Now()
+		col := seda.NewCollection()
+		for _, d := range raw {
+			if _, err := col.AddXML(d.name, d.xml); err != nil {
+				fatal(err)
+			}
+		}
+		built, err := seda.NewEngine(col, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		buildNs := time.Since(start).Nanoseconds()
+
+		// Path 2: cold start from the snapshot.
+		start = time.Now()
+		loaded, err := seda.LoadEngineAuto(snap, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		loadNs := time.Since(start).Nanoseconds()
+		if !loaded.FromSnapshot {
+			fatal(fmt.Errorf("coldstart: %s did not load from snapshot", c.name))
+		}
+		if loaded.Engine.Index().NumTerms() != built.Index().NumTerms() {
+			fatal(fmt.Errorf("coldstart: %s loaded engine differs from built engine", c.name))
+		}
+
+		speedup := float64(buildNs) / float64(loadNs)
+		fmt.Printf("%-16s %14v %14v %9.1fx %14d\n", c.name,
+			time.Duration(buildNs).Round(time.Microsecond),
+			time.Duration(loadNs).Round(time.Microsecond),
+			speedup, fi.Size())
+		res.Corpora = append(res.Corpora, coldstartCorpus{
+			Name: c.name, BuildNs: buildNs, LoadNs: loadNs,
+			Speedup: speedup, SnapshotBytes: fi.Size(),
+		})
+	}
+	return res
+}
+
+// coldstartCorpus is one corpus row of BENCH_coldstart.json.
+type coldstartCorpus struct {
+	Name          string  `json:"name"`
+	BuildNs       int64   `json:"build_ns"` // XML parse + full engine build
+	LoadNs        int64   `json:"load_ns"`  // snapshot load
+	Speedup       float64 `json:"speedup"`  // build_ns / load_ns
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+}
+
+// coldstartResult extends the benchResult shape with per-corpus
+// build-vs-load numbers.
+type coldstartResult struct {
+	Name    string            `json:"name"`
+	Scale   float64           `json:"scale"`
+	NsPerOp int64             `json:"ns_per_op"` // whole-experiment wall time
+	Corpora []coldstartCorpus `json:"corpora"`
+}
+
+func writeColdstartResult(dir string, r *coldstartResult) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_coldstart.json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sedabench: writing %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("wrote %s\n\n", path)
 }
 
 // benchResult is the machine-readable record one experiment run leaves

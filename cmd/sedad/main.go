@@ -10,6 +10,8 @@
 //	sedad -preload worldfactbook       # register (lazily build) a builtin
 //	sedad -addr :9000 -scale 0.2       # bigger generated corpora
 //	sedad -parallelism 1               # sequential builds and searches
+//	sedad -data ./data                 # disk-backed: engines persist as
+//	                                   # snapshots and survive restarts
 package main
 
 import (
@@ -35,6 +37,7 @@ func main() {
 	cacheSize := flag.Int("cache-size", 256, "top-k result cache entries (0 disables caching)")
 	preload := flag.String("preload", "", "comma-separated builtin corpora to register at startup (worldfactbook,mondial,googlebase,recipeml)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for engine builds and top-k searches (0 = all cores, 1 = sequential)")
+	data := flag.String("data", "", "snapshot directory: persist engines after first build and reload them at boot (empty = memory-only)")
 	flag.Parse()
 	if *parallelism < 0 {
 		log.Fatal("sedad: -parallelism must be >= 0")
@@ -57,6 +60,19 @@ func main() {
 		BuiltinScale: *scale,
 		Parallelism:  *parallelism,
 	})
+	// Snapshots load before preloads so a preload of a name already on
+	// disk upgrades the discovered entry: the snapshot then serves as that
+	// collection's validated build cache.
+	if *data != "" {
+		loaded, err := srv.Registry().EnableSnapshots(*data, *parallelism)
+		if err != nil {
+			logger.Fatalf("snapshot dir %s: %v", *data, err)
+		}
+		logger.Printf("disk-backed registry at %s (%d snapshot(s) found)", *data, len(loaded))
+		for _, name := range loaded {
+			logger.Printf("registered snapshot collection %q (loaded on first use)", name)
+		}
+	}
 	for _, name := range strings.Split(*preload, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {

@@ -28,7 +28,7 @@ func main() {
 	dataset := flag.String("dataset", "worldfactbook", "corpus to generate: worldfactbook|mondial|googlebase|recipeml|all")
 	scale := flag.Float64("scale", 0.1, "corpus scale (1.0 = paper size)")
 	out := flag.String("out", "corpus", "output directory")
-	snapshot := flag.Bool("snapshot", false, "also write a binary snapshot (collection.gob) loadable with seda.LoadCollection")
+	snapshot := flag.Bool("snapshot", false, "also write binary snapshots: engine.snap (full engine, loadable with seda.LoadEngineFile — no rebuild on load) and the v1 collection.gob (collection only, loadable with seda.LoadCollection)")
 	flag.Parse()
 
 	names := []string{*dataset}
@@ -77,6 +77,20 @@ func write(name string, col *seda.Collection, dir string, snapshot bool) error {
 		}
 		defer f.Close()
 		if err := col.Save(f); err != nil {
+			return err
+		}
+		// The engine snapshot persists every derived layer (indexes, data
+		// graph, dataguide summary), so loading it skips the rebuild the
+		// v1 collection.gob still pays.
+		cfg := seda.Config{}
+		if name == "mondial" {
+			cfg = seda.MondialConfig()
+		}
+		eng, err := seda.NewEngine(col, cfg)
+		if err != nil {
+			return err
+		}
+		if err := seda.SaveEngineFile(filepath.Join(dir, "engine.snap"), eng); err != nil {
 			return err
 		}
 	}

@@ -27,7 +27,7 @@ package core
 
 import (
 	"fmt"
-	"runtime"
+	"sync/atomic"
 	"time"
 
 	"seda/internal/cube"
@@ -88,6 +88,13 @@ type Engine struct {
 	// worker count for the engine's top-k searches.
 	parallelism int
 
+	// cfg is the resolved construction config (defaults applied). Engine
+	// snapshots persist it and compare its fingerprint on load.
+	cfg Config
+
+	// id is the process-local engine serial (see ID).
+	id uint64
+
 	// BuildTimings records how long each construction phase took. With
 	// Parallelism > 1 the index phase overlaps the graph and dataguide
 	// phases, so the entries are per-phase wall times, not a sum.
@@ -104,14 +111,9 @@ func NewEngine(col *store.Collection, cfg Config) (*Engine, error) {
 	if col == nil || col.NumDocs() == 0 {
 		return nil, fmt.Errorf("core: empty collection")
 	}
-	if cfg.DataguideThreshold == 0 {
-		cfg.DataguideThreshold = 0.40
-	}
-	par := cfg.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	e := &Engine{col: col, parallelism: par, BuildTimings: make(map[string]time.Duration)}
+	cfg = cfg.resolved()
+	par := resolveParallelism(cfg.Parallelism)
+	e := &Engine{col: col, cfg: cfg, parallelism: par, BuildTimings: make(map[string]time.Duration)}
 
 	// The worker budget is split across the overlapped phases — the index
 	// build gets half, the graph → dataguide chain the rest — so total
@@ -158,7 +160,6 @@ func NewEngine(col *store.Collection, cfg Config) (*Engine, error) {
 		}
 		e.dg = dg
 		e.BuildTimings["dataguide"] = time.Since(t0)
-		e.summz = summary.NewSummarizer(dg, e.g)
 	}
 
 	if indexDone != nil {
@@ -166,12 +167,44 @@ func NewEngine(col *store.Collection, cfg Config) (*Engine, error) {
 	}
 	e.BuildTimings["index"] = indexTime
 
+	e.finish()
+	return e, nil
+}
+
+// resolved returns cfg with the construction defaults applied; NewEngine
+// and the snapshot loader both work on resolved configs so snapshots
+// fingerprint identically however the defaults were spelled.
+func (cfg Config) resolved() Config {
+	if cfg.DataguideThreshold == 0 {
+		cfg.DataguideThreshold = 0.40
+	}
+	cfg.Discover = cfg.Discover.Resolved()
+	return cfg
+}
+
+// engineSerial issues process-unique engine ids.
+var engineSerial atomic.Uint64
+
+// ID returns a process-local serial distinguishing this engine from every
+// other engine ever constructed or loaded in this process. It is not
+// persisted: the same snapshot loaded twice yields two ids. Serving-tier
+// caches key on it so results computed against one engine can never be
+// served for a different engine registered under the same name.
+func (e *Engine) ID() uint64 { return e.id }
+
+// finish wires the cheap derived components — searcher, twig evaluator,
+// summarizer, catalog, entity registry — over col/ix/g/dg, which must
+// already be set. It is shared by NewEngine and the snapshot loader.
+func (e *Engine) finish() {
+	e.id = engineSerial.Add(1)
+	if e.dg != nil && e.summz == nil {
+		e.summz = summary.NewSummarizer(e.dg, e.g)
+	}
 	e.searcher = topk.New(e.ix, e.g)
 	e.eval = twig.New(e.ix, e.g)
 	e.catalog = cube.NewCatalog()
-	e.builder = cube.NewBuilder(col, e.catalog)
+	e.builder = cube.NewBuilder(e.col, e.catalog)
 	e.entities = summary.NewEntityRegistry()
-	return e, nil
 }
 
 // Collection returns the engine's collection.

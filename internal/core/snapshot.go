@@ -1,0 +1,439 @@
+// Engine snapshots (the persistence layer the paper's Figure 4 assumes):
+// every derived layer of an Engine — path dictionary, collection with its
+// corpus statistics, full-text indexes, link graph, dataguide summary —
+// serialized into one section-framed container so a process restart costs
+// O(read) instead of O(rebuild).
+//
+// The container (see internal/snapcodec for the framing) carries a "meta"
+// section first: the snapshot's construction Config, its canonical
+// fingerprint, and an optional opaque source tag. LoadEngine refuses a
+// snapshot whose fingerprint differs from the caller's config — a snapshot
+// built under one dataguide threshold or link-discovery setting silently
+// reloaded under another would serve wrong summaries, so the mismatch is
+// an error, not a warning. Callers who own no expectation (a REPL \load,
+// a registry booting from disk) use LoadEngineAuto, which adopts the
+// stored config instead.
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"seda/internal/dataguide"
+	"seda/internal/graph"
+	"seda/internal/index"
+	"seda/internal/pathdict"
+	"seda/internal/snapcodec"
+	"seda/internal/store"
+)
+
+// snapshotFormatVersion is the engine-container format version. Layer
+// payloads carry their own versions; this one gates the container shape
+// and the section roster.
+const snapshotFormatVersion = 1
+
+// Section names of the engine container, in write order.
+const (
+	secMeta       = "meta"
+	secPathdict   = "pathdict"
+	secCollection = "collection"
+	secGraph      = "graph"
+	secIndex      = "index"
+	secDataguide  = "dataguide" // absent when the engine skipped dataguides
+)
+
+// metaVersion versions the meta-section payload.
+const metaVersion = 1
+
+// Snapshot error classes. ErrNotSnapshot and corruption errors from
+// internal/snapcodec pass through and also match with errors.Is.
+var (
+	// ErrNotSnapshot aliases snapcodec.ErrNotSnapshot: the stream is not
+	// an engine snapshot (likely a v1 collection.gob or unrelated data).
+	ErrNotSnapshot = snapcodec.ErrNotSnapshot
+	// ErrConfigMismatch reports a snapshot whose recorded config
+	// fingerprint (or source tag) differs from what the caller expects.
+	ErrConfigMismatch = errors.New("core: snapshot config mismatch")
+)
+
+// Fingerprint returns the canonical identity of the engine-shaping parts
+// of a Config. Two configs with equal fingerprints build identical engines
+// from the same data. Parallelism is deliberately excluded: it changes
+// build scheduling, never the built artifact. Every string element is
+// %q-quoted so the encoding is injective — delimiter characters inside
+// attribute names or paths cannot make two different configs collide.
+func (cfg Config) Fingerprint() string {
+	r := cfg.resolved()
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1;threshold=%g", r.DataguideThreshold)
+	quoteList := func(key string, ss []string) {
+		fmt.Fprintf(&b, ";%s=[", key)
+		for i, s := range ss {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%q", s)
+		}
+		b.WriteByte(']')
+	}
+	quoteList("discover.id", r.Discover.IDAttrs)
+	quoteList("discover.idref", r.Discover.IDRefAttrs)
+	quoteList("discover.xlink", r.Discover.XLinkAttrs)
+	b.WriteString(";valuelinks=[")
+	for i, vl := range r.ValueLinks {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%q>%q:%q", vl.FromPath, vl.ToPath, vl.Label)
+	}
+	b.WriteByte(']')
+	fmt.Fprintf(&b, ";skipdataguides=%t", r.SkipDataguides)
+	return b.String()
+}
+
+// SaveEngine writes e as a versioned snapshot container to w. source is an
+// optional opaque origin tag (e.g. "builtin:worldfactbook@scale=0.1") that
+// LoadEngine verifies when the caller supplies an expectation; pass "" for
+// none.
+func SaveEngine(w io.Writer, e *Engine, source string) error {
+	var meta snapcodec.Writer
+	meta.Int(metaVersion)
+	meta.String(e.cfg.Fingerprint())
+	meta.String(source)
+	encodeConfig(&meta, e.cfg)
+
+	sections := make([]snapcodec.Section, 0, 6)
+	add := func(name string, enc func(*snapcodec.Writer)) {
+		var sw snapcodec.Writer
+		enc(&sw)
+		sections = append(sections, snapcodec.Section{Name: name, Payload: sw.Bytes()})
+	}
+	sections = append(sections, snapcodec.Section{Name: secMeta, Payload: meta.Bytes()})
+	add(secPathdict, e.col.Dict().Encode)
+	add(secCollection, e.col.Encode)
+	add(secGraph, e.g.Encode)
+	add(secIndex, e.ix.Encode)
+	if e.dg != nil {
+		add(secDataguide, e.dg.Encode)
+	}
+	if err := snapcodec.WriteContainer(w, snapshotFormatVersion, sections); err != nil {
+		return fmt.Errorf("core: save engine: %w", err)
+	}
+	return nil
+}
+
+// SaveEngineFile writes the snapshot atomically: the container goes to a
+// temp file in the target directory, is synced, and then renamed over
+// path, so readers never observe a half-written snapshot and a crash
+// leaves any previous snapshot intact.
+func SaveEngineFile(path string, e *Engine, source string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return fmt.Errorf("core: save engine: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := SaveEngine(tmp, e, source); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("core: save engine: sync: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("core: save engine: chmod: %w", err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(name)
+		return fmt.Errorf("core: save engine: close: %w", err)
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("core: save engine: %w", err)
+	}
+	return nil
+}
+
+// LoadEngine reads a snapshot from r and verifies it was built under cfg:
+// a fingerprint difference (or, when source is non-empty, a source-tag
+// difference) returns ErrConfigMismatch and the caller should rebuild.
+// cfg.Parallelism applies to the loaded engine's searches.
+func LoadEngine(r io.Reader, cfg Config, source string) (*Engine, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load engine: %w", err)
+	}
+	return loadEngine(data, &cfg, source)
+}
+
+// LoadEngineFile is LoadEngine over a file.
+func LoadEngineFile(path string, cfg Config, source string) (*Engine, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load engine: %w", err)
+	}
+	return loadEngine(data, &cfg, source)
+}
+
+// LoadedEngine is the result of LoadEngineAuto.
+type LoadedEngine struct {
+	Engine *Engine
+	// Config is the construction config the engine carries: the snapshot's
+	// stored config, or the caller's fallback when a v1 stream was rebuilt.
+	Config Config
+	// Source is the snapshot's stored origin tag ("" for v1 streams).
+	Source string
+	// FromSnapshot is false when the stream was a v1 collection.gob and
+	// every derived layer had to be rebuilt.
+	FromSnapshot bool
+}
+
+// LoadEngineAuto loads an engine from path without an expectation: an
+// engine snapshot is adopted together with its stored config (no
+// fingerprint check — the snapshot is the authority), while a v1
+// collection.gob stream falls back to store.Load plus a full NewEngine
+// rebuild under fallback. fallback.Parallelism applies in both cases.
+func LoadEngineAuto(path string, fallback Config) (*LoadedEngine, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load engine: %w", err)
+	}
+	if len(data) >= len(snapcodec.Magic) && string(data[:len(snapcodec.Magic)]) == snapcodec.Magic {
+		le := &LoadedEngine{FromSnapshot: true}
+		le.Engine, err = loadEngineInto(data, nil, "", le)
+		if err != nil {
+			return nil, err
+		}
+		le.Config.Parallelism = fallback.Parallelism
+		le.Engine.cfg.Parallelism = fallback.Parallelism
+		le.Engine.parallelism = resolveParallelism(fallback.Parallelism)
+		return le, nil
+	}
+	// v1 compatibility shim: a bare collection stream; derived layers are
+	// rebuilt, which is exactly the cost the snapshot format removes.
+	col, err := store.Load(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("core: load engine %q: %w (and not a v1 collection: %v)", path, ErrNotSnapshot, err)
+	}
+	eng, err := NewEngine(col, fallback)
+	if err != nil {
+		return nil, err
+	}
+	return &LoadedEngine{Engine: eng, Config: eng.cfg, FromSnapshot: false}, nil
+}
+
+// SniffSnapshotFile reports whether path begins with the engine-snapshot
+// magic: a cheap 8-byte format check distinguishing real snapshots from
+// v1 collection streams without paying a parse or a rebuild. Callers that
+// cannot supply a construction config (a registry discovering files at
+// boot) use it to refuse v1 streams instead of rebuilding under guessed
+// defaults.
+func SniffSnapshotFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("core: sniff snapshot: %w", err)
+	}
+	defer f.Close()
+	magic := make([]byte, len(snapcodec.Magic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return false, nil
+		}
+		return false, fmt.Errorf("core: sniff snapshot: %w", err)
+	}
+	return string(magic) == snapcodec.Magic, nil
+}
+
+func resolveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// loadEngine decodes a snapshot. When want is non-nil the stored config
+// fingerprint must match want's (and the stored source tag must match
+// source when source is non-empty); when nil the stored config is adopted.
+func loadEngine(data []byte, want *Config, source string) (*Engine, error) {
+	le := &LoadedEngine{}
+	eng, err := loadEngineInto(data, want, source, le)
+	if err != nil {
+		return nil, err
+	}
+	if want != nil {
+		eng.cfg.Parallelism = want.Parallelism
+		eng.parallelism = resolveParallelism(want.Parallelism)
+	}
+	return eng, nil
+}
+
+func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) (*Engine, error) {
+	t0 := time.Now()
+	_, sections, err := snapcodec.ReadContainer(data, snapshotFormatVersion)
+	if err != nil {
+		return nil, fmt.Errorf("core: load engine: %w", err)
+	}
+	byName := make(map[string][]byte, len(sections))
+	for _, s := range sections {
+		if _, dup := byName[s.Name]; dup {
+			return nil, fmt.Errorf("core: load engine: %w: duplicate section %q", snapcodec.ErrCorrupt, s.Name)
+		}
+		byName[s.Name] = s.Payload
+	}
+	need := func(name string) (*snapcodec.Reader, error) {
+		p, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("core: load engine: %w: missing section %q", snapcodec.ErrCorrupt, name)
+		}
+		return snapcodec.NewReader(p), nil
+	}
+
+	mr, err := need(secMeta)
+	if err != nil {
+		return nil, err
+	}
+	if v := mr.Int(); mr.Err() == nil && v != metaVersion {
+		return nil, fmt.Errorf("core: load engine: %w: meta version %d", snapcodec.ErrVersion, v)
+	}
+	storedFP := mr.String()
+	storedSource := mr.String()
+	storedCfg, err := decodeConfig(mr)
+	if err != nil {
+		return nil, fmt.Errorf("core: load engine: %w", err)
+	}
+	if fp := storedCfg.Fingerprint(); fp != storedFP {
+		return nil, fmt.Errorf("core: load engine: %w: stored fingerprint %q does not describe stored config %q", snapcodec.ErrCorrupt, storedFP, fp)
+	}
+	if want != nil {
+		if fp := want.Fingerprint(); fp != storedFP {
+			return nil, fmt.Errorf("%w: snapshot built with %q, caller wants %q", ErrConfigMismatch, storedFP, fp)
+		}
+		if source != "" && storedSource != source {
+			return nil, fmt.Errorf("%w: snapshot source %q, caller wants %q", ErrConfigMismatch, storedSource, source)
+		}
+	}
+	le.Config = storedCfg
+	le.Source = storedSource
+
+	pr, err := need(secPathdict)
+	if err != nil {
+		return nil, err
+	}
+	dict, err := pathdict.Decode(pr)
+	if err != nil {
+		return nil, fmt.Errorf("core: load engine: %w", err)
+	}
+	cr, err := need(secCollection)
+	if err != nil {
+		return nil, err
+	}
+	col, err := store.Decode(cr, dict)
+	if err != nil {
+		return nil, fmt.Errorf("core: load engine: %w", err)
+	}
+	gr, err := need(secGraph)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.Decode(gr, col)
+	if err != nil {
+		return nil, fmt.Errorf("core: load engine: %w", err)
+	}
+	ir, err := need(secIndex)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := index.Decode(ir, col)
+	if err != nil {
+		return nil, fmt.Errorf("core: load engine: %w", err)
+	}
+	var dg *dataguide.Set
+	if payload, ok := byName[secDataguide]; ok {
+		dg, err = dataguide.Decode(snapcodec.NewReader(payload), col)
+		if err != nil {
+			return nil, fmt.Errorf("core: load engine: %w", err)
+		}
+	} else if !storedCfg.SkipDataguides {
+		return nil, fmt.Errorf("core: load engine: %w: missing section %q", snapcodec.ErrCorrupt, secDataguide)
+	}
+
+	e := &Engine{
+		col:          col,
+		ix:           ix,
+		g:            g,
+		dg:           dg,
+		cfg:          storedCfg,
+		parallelism:  resolveParallelism(storedCfg.Parallelism),
+		BuildTimings: map[string]time.Duration{"load": time.Since(t0)},
+	}
+	e.finish()
+	le.Engine = e
+	return e, nil
+}
+
+// encodeConfig writes the engine-shaping Config fields (Parallelism is
+// environment, not identity, and is not persisted).
+func encodeConfig(w *snapcodec.Writer, cfg Config) {
+	w.F64(cfg.DataguideThreshold)
+	encodeStrings(w, cfg.Discover.IDAttrs)
+	encodeStrings(w, cfg.Discover.IDRefAttrs)
+	encodeStrings(w, cfg.Discover.XLinkAttrs)
+	w.Int(len(cfg.ValueLinks))
+	for _, vl := range cfg.ValueLinks {
+		w.String(vl.FromPath)
+		w.String(vl.ToPath)
+		w.String(vl.Label)
+	}
+	w.Bool(cfg.SkipDataguides)
+}
+
+func decodeConfig(r *snapcodec.Reader) (Config, error) {
+	var cfg Config
+	cfg.DataguideThreshold = r.F64()
+	cfg.Discover.IDAttrs = decodeStrings(r)
+	cfg.Discover.IDRefAttrs = decodeStrings(r)
+	cfg.Discover.XLinkAttrs = decodeStrings(r)
+	n := r.Count(3)
+	for i := 0; i < n; i++ {
+		cfg.ValueLinks = append(cfg.ValueLinks, ValueLink{
+			FromPath: r.String(),
+			ToPath:   r.String(),
+			Label:    r.String(),
+		})
+	}
+	cfg.SkipDataguides = r.Bool()
+	if err := r.Err(); err != nil {
+		return Config{}, fmt.Errorf("decoding config: %w", err)
+	}
+	return cfg, nil
+}
+
+func encodeStrings(w *snapcodec.Writer, ss []string) {
+	w.Int(len(ss))
+	for _, s := range ss {
+		w.String(s)
+	}
+}
+
+func decodeStrings(r *snapcodec.Reader) []string {
+	n := r.Count(1)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.String())
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seda/internal/snapcodec"
+)
+
+const snapQuery = `(*, "United States") AND (trade_country, *)`
+
+// searchFingerprint runs a query end to end and renders everything a
+// client could observe, so two engines can be compared behaviorally.
+func searchFingerprint(t *testing.T, e *Engine) string {
+	t.Helper()
+	s, err := e.NewSession(snapQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := s.TopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	dict := e.Collection().Dict()
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%.6f|%.6f", r.Score, r.Compactness)
+		for i, n := range r.Nodes {
+			fmt.Fprintf(&b, "|%s@%s", n, dict.Path(r.Paths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	for _, cb := range s.ContextSummary() {
+		for _, e := range cb.Entries {
+			fmt.Fprintf(&b, "ctx %s %d %d\n", e.PathString, e.DocFreq, e.Occurrences)
+		}
+	}
+	conns, err := s.ConnectionSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cn := range conns {
+		fmt.Fprintf(&b, "conn %d~%d %s len=%d sup=%d\n", cn.TermA, cn.TermB, cn.Describe(dict), cn.Length, cn.Support)
+	}
+	return b.String()
+}
+
+func saveToBytes(t *testing.T, e *Engine, source string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveEngine(&buf, e, source); err != nil {
+		t.Fatalf("SaveEngine: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	e := newEngine(t)
+	data := saveToBytes(t, e, "test-source")
+
+	got, err := LoadEngine(bytes.NewReader(data), Config{}, "test-source")
+	if err != nil {
+		t.Fatalf("LoadEngine: %v", err)
+	}
+	if got.Collection().NumDocs() != e.Collection().NumDocs() ||
+		got.Collection().NumNodes() != e.Collection().NumNodes() {
+		t.Fatal("collection shape differs")
+	}
+	if got.Index().NumTerms() != e.Index().NumTerms() {
+		t.Fatal("index vocabulary differs")
+	}
+	if got.Graph().NumEdges() != e.Graph().NumEdges() {
+		t.Fatal("graph differs")
+	}
+	if len(got.Dataguides().Guides) != len(e.Dataguides().Guides) {
+		t.Fatal("dataguide summary differs")
+	}
+	if want, have := searchFingerprint(t, e), searchFingerprint(t, got); want != have {
+		t.Errorf("behavior differs after load:\nbuilt:\n%s\nloaded:\n%s", want, have)
+	}
+	if got.BuildTimings["load"] == 0 {
+		t.Error("loaded engine should record a load timing")
+	}
+}
+
+// TestSnapshotDeterminism is the save→load→save contract: the snapshot of
+// a loaded engine is byte-identical to the snapshot it was loaded from.
+func TestSnapshotDeterminism(t *testing.T) {
+	e := newEngine(t)
+	data := saveToBytes(t, e, "s")
+	loaded, err := LoadEngine(bytes.NewReader(data), Config{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := saveToBytes(t, loaded, "s")
+	if !bytes.Equal(data, again) {
+		t.Errorf("save→load→save not byte-identical (%d vs %d bytes)", len(data), len(again))
+	}
+	// And a second save of the original engine is stable too.
+	if !bytes.Equal(data, saveToBytes(t, e, "s")) {
+		t.Error("re-saving the same engine produced different bytes")
+	}
+}
+
+func TestSnapshotConfigMismatch(t *testing.T) {
+	e := newEngine(t) // built with the default threshold 0.40
+	data := saveToBytes(t, e, "")
+
+	_, err := LoadEngine(bytes.NewReader(data), Config{DataguideThreshold: 0.8}, "")
+	if !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("threshold mismatch err = %v, want ErrConfigMismatch", err)
+	}
+	// An explicitly-spelled default must match the zero-value spelling.
+	if _, err := LoadEngine(bytes.NewReader(data), Config{DataguideThreshold: 0.40}, ""); err != nil {
+		t.Errorf("equivalent config rejected: %v", err)
+	}
+	// Parallelism is excluded from the fingerprint.
+	if _, err := LoadEngine(bytes.NewReader(data), Config{Parallelism: 3}, ""); err != nil {
+		t.Errorf("parallelism should not affect the fingerprint: %v", err)
+	}
+	// Discover options are part of the fingerprint.
+	cfg := Config{}
+	cfg.Discover.IDRefAttrs = []string{"custom_ref"}
+	if _, err := LoadEngine(bytes.NewReader(data), cfg, ""); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("discover mismatch err = %v, want ErrConfigMismatch", err)
+	}
+}
+
+// TestFingerprintInjective: configs that differ only by delimiter
+// characters inside list elements must not fingerprint identically.
+func TestFingerprintInjective(t *testing.T) {
+	a := Config{}
+	a.Discover.IDAttrs = []string{"a,b"}
+	b := Config{}
+	b.Discover.IDAttrs = []string{"a", "b"}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Errorf("list-element collision: %q", a.Fingerprint())
+	}
+	c := Config{ValueLinks: []ValueLink{{FromPath: "/x>y", ToPath: "/z", Label: "l"}}}
+	d := Config{ValueLinks: []ValueLink{{FromPath: "/x", ToPath: "y>/z", Label: "l"}}}
+	if c.Fingerprint() == d.Fingerprint() {
+		t.Errorf("value-link collision: %q", c.Fingerprint())
+	}
+	// Equal configs still agree, and resolution still normalizes defaults.
+	if (Config{}).Fingerprint() != (Config{DataguideThreshold: 0.40}).Fingerprint() {
+		t.Error("equivalent configs fingerprint differently")
+	}
+}
+
+func TestSnapshotSourceMismatch(t *testing.T) {
+	e := newEngine(t)
+	data := saveToBytes(t, e, "builtin:worldfactbook@scale=0.1")
+	_, err := LoadEngine(bytes.NewReader(data), Config{}, "builtin:worldfactbook@scale=0.2")
+	if !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("source mismatch err = %v, want ErrConfigMismatch", err)
+	}
+	// No expectation: the tag is informational.
+	if _, err := LoadEngine(bytes.NewReader(data), Config{}, ""); err != nil {
+		t.Errorf("load without source expectation: %v", err)
+	}
+}
+
+func TestSnapshotHostileInputs(t *testing.T) {
+	e := newEngine(t)
+	data := saveToBytes(t, e, "")
+
+	// Not a snapshot at all.
+	if _, err := LoadEngine(bytes.NewReader([]byte("<xml/>")), Config{}, ""); !errors.Is(err, ErrNotSnapshot) {
+		t.Errorf("bad magic err = %v, want ErrNotSnapshot", err)
+	}
+
+	// Unknown container version.
+	bad := append([]byte{}, data...)
+	bad[len(snapcodec.Magic)] = 0x63 // version varint 99
+	if _, err := LoadEngine(bytes.NewReader(bad), Config{}, ""); !errors.Is(err, snapcodec.ErrVersion) {
+		t.Errorf("future version err = %v, want ErrVersion", err)
+	}
+
+	// Corrupted payload byte: the section checksum must catch it.
+	bad = append([]byte{}, data...)
+	bad[len(bad)/2] ^= 0xFF
+	if _, err := LoadEngine(bytes.NewReader(bad), Config{}, ""); err == nil {
+		t.Error("corrupted byte should fail")
+	}
+
+	// Truncation sweep: every prefix errors, never panics. Stride through
+	// the body but hit every boundary of the first 512 bytes exactly.
+	for cut := 0; cut < len(data); cut += 1 + cut/512*31 {
+		if _, err := LoadEngine(bytes.NewReader(data[:cut]), Config{}, ""); err == nil {
+			t.Errorf("cut=%d: expected error", cut)
+		}
+	}
+}
+
+func TestSnapshotSkipDataguides(t *testing.T) {
+	e, err := NewEngine(corpus(t), Config{SkipDataguides: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := saveToBytes(t, e, "")
+	got, err := LoadEngine(bytes.NewReader(data), Config{SkipDataguides: true}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dataguides() != nil || got.Summarizer() != nil {
+		t.Error("skip-dataguides engine grew a summary on load")
+	}
+}
+
+func TestSaveEngineFileAtomic(t *testing.T) {
+	e := newEngine(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "col.snap")
+	if err := SaveEngineFile(path, e, "src"); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite in place: the rename replaces the old snapshot.
+	if err := SaveEngineFile(path, e, "src"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "col.snap" {
+		t.Errorf("directory not clean after save: %v", entries)
+	}
+	if _, err := LoadEngineFile(path, Config{}, "src"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadEngineAutoV1Compat(t *testing.T) {
+	e := newEngine(t)
+	dir := t.TempDir()
+
+	// A v1 collection.gob written by (*Collection).Save.
+	gobPath := filepath.Join(dir, "collection.gob")
+	f, err := os.Create(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Collection().Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	le, err := LoadEngineAuto(gobPath, Config{})
+	if err != nil {
+		t.Fatalf("LoadEngineAuto(v1): %v", err)
+	}
+	if le.FromSnapshot {
+		t.Error("v1 stream reported FromSnapshot")
+	}
+	if want, have := searchFingerprint(t, e), searchFingerprint(t, le.Engine); want != have {
+		t.Error("v1-rebuilt engine behaves differently")
+	}
+
+	// A real snapshot: adopted with its stored config, no rebuild.
+	snapPath := filepath.Join(dir, "col.snap")
+	if err := SaveEngineFile(snapPath, e, "tagged"); err != nil {
+		t.Fatal(err)
+	}
+	le2, err := LoadEngineAuto(snapPath, Config{Parallelism: 2})
+	if err != nil {
+		t.Fatalf("LoadEngineAuto(snapshot): %v", err)
+	}
+	if !le2.FromSnapshot || le2.Source != "tagged" {
+		t.Errorf("FromSnapshot=%v Source=%q", le2.FromSnapshot, le2.Source)
+	}
+	if le2.Config.Fingerprint() != e.cfg.Fingerprint() {
+		t.Error("stored config not adopted")
+	}
+
+	// Garbage that is neither format.
+	junk := filepath.Join(dir, "junk")
+	os.WriteFile(junk, []byte("not anything"), 0o644)
+	if _, err := LoadEngineAuto(junk, Config{}); !errors.Is(err, ErrNotSnapshot) {
+		t.Errorf("junk err = %v, want ErrNotSnapshot", err)
+	}
+}

@@ -3,6 +3,7 @@ package datagen
 import (
 	"fmt"
 
+	"seda/internal/graph"
 	"seda/internal/store"
 	"seda/internal/xmldoc"
 )
@@ -148,4 +149,18 @@ type MondialDiscoverOptions struct {
 // treat as ids and references for this corpus.
 func MondialLinkAttrs() (idAttrs, idrefAttrs []string) {
 	return []string{"id"}, []string{"bordering", "country", "insea", "members"}
+}
+
+// DiscoverOptionsFor returns the link-discovery options a builtin corpus
+// needs (the zero value when the dataset has no special requirements).
+// It is the single source of truth for the dataset→config mapping: the
+// serving registry, seda.MondialConfig, and the benchmark tools all
+// resolve through it, so their engines fingerprint identically and a
+// snapshot written by one validates under another.
+func DiscoverOptionsFor(dataset string) graph.DiscoverOptions {
+	if dataset != "mondial" {
+		return graph.DiscoverOptions{}
+	}
+	idAttrs, idrefAttrs := MondialLinkAttrs()
+	return graph.DiscoverOptions{IDAttrs: idAttrs, IDRefAttrs: idrefAttrs}
 }

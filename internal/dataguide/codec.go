@@ -1,0 +1,127 @@
+package dataguide
+
+import (
+	"fmt"
+	"sort"
+
+	"seda/internal/graph"
+	"seda/internal/pathdict"
+	"seda/internal/snapcodec"
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+)
+
+// Binary codec (engine snapshots). The summary persists in full — guides
+// with their path sets and repeatability marks, the document→guide
+// assignment, and the aggregated cross-guide links — because the merge
+// algorithm is order-sensitive: rebuilding from documents is the exact
+// cost a snapshot exists to avoid. Path sets and maps are written sorted
+// so identical summaries encode identically.
+
+// codecVersion is the layer format version written by Encode.
+const codecVersion = 1
+
+// Encode appends the dataguide summary to w in its versioned binary form.
+func (s *Set) Encode(w *snapcodec.Writer) {
+	w.Int(codecVersion)
+	w.F64(s.Threshold)
+	w.Int(len(s.Guides))
+	for _, g := range s.Guides {
+		w.Int(len(g.Docs))
+		for _, d := range g.Docs {
+			w.Int(int(d))
+		}
+		paths := g.Paths() // sorted
+		w.Int(len(paths))
+		for _, p := range paths {
+			w.Int(int(p))
+		}
+		rep := make([]pathdict.PathID, 0, len(g.repeatable))
+		for p, v := range g.repeatable {
+			if v {
+				rep = append(rep, p)
+			}
+		}
+		sort.Slice(rep, func(i, j int) bool { return rep[i] < rep[j] })
+		w.Int(len(rep))
+		for _, p := range rep {
+			w.Int(int(p))
+		}
+	}
+	w.Int(len(s.Links))
+	for _, l := range s.Links {
+		w.Int(l.FromGuide)
+		w.Int(l.ToGuide)
+		w.Int(int(l.FromPath))
+		w.Int(int(l.ToPath))
+		w.Byte(byte(l.Kind))
+		w.String(l.Label)
+		w.Int(l.Count)
+	}
+}
+
+// Decode reads a summary previously written by Encode, re-binding it to
+// col. The document→guide assignment is reconstructed from the guides'
+// document lists.
+func Decode(r *snapcodec.Reader, col *store.Collection) (*Set, error) {
+	if v := r.Int(); r.Err() == nil && v != codecVersion {
+		return nil, fmt.Errorf("dataguide: unsupported codec version %d", v)
+	}
+	s := &Set{col: col, Threshold: r.F64(), docGuide: make(map[xmldoc.DocID]int)}
+	numDocs := col.NumDocs()
+	numGuides := r.Count(3)
+	for i := 0; i < numGuides; i++ {
+		g := &Guide{
+			ID:         i,
+			paths:      make(map[pathdict.PathID]struct{}),
+			repeatable: make(map[pathdict.PathID]bool),
+		}
+		nDocs := r.Count(1)
+		for j := 0; j < nDocs; j++ {
+			d := r.Int()
+			if r.Err() != nil {
+				break
+			}
+			if d >= numDocs {
+				return nil, fmt.Errorf("dataguide: decode: guide %d names document %d of %d", i, d, numDocs)
+			}
+			if _, dup := s.docGuide[xmldoc.DocID(d)]; dup {
+				return nil, fmt.Errorf("dataguide: decode: document %d assigned to two guides", d)
+			}
+			s.docGuide[xmldoc.DocID(d)] = i
+			g.Docs = append(g.Docs, xmldoc.DocID(d))
+		}
+		nPaths := r.Count(1)
+		for j := 0; j < nPaths; j++ {
+			g.paths[pathdict.PathID(r.Int())] = struct{}{}
+		}
+		nRep := r.Count(1)
+		for j := 0; j < nRep; j++ {
+			g.repeatable[pathdict.PathID(r.Int())] = true
+		}
+		s.Guides = append(s.Guides, g)
+	}
+	numLinks := r.Count(7) // two guide ids, two path ids, kind, empty label, count
+	for i := 0; i < numLinks; i++ {
+		l := Link{
+			FromGuide: r.Int(),
+			ToGuide:   r.Int(),
+			FromPath:  pathdict.PathID(r.Int()),
+			ToPath:    pathdict.PathID(r.Int()),
+			Kind:      graph.EdgeKind(r.Byte()),
+			Label:     r.String(),
+			Count:     r.Int(),
+		}
+		if r.Err() != nil {
+			break
+		}
+		if l.FromGuide >= len(s.Guides) || l.ToGuide >= len(s.Guides) {
+			return nil, fmt.Errorf("dataguide: decode: link %d names guide %d/%d of %d", i, l.FromGuide, l.ToGuide, len(s.Guides))
+		}
+		s.Links = append(s.Links, l)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("dataguide: decode: %w", err)
+	}
+	return s, nil
+}

@@ -28,6 +28,11 @@ func DecodeBinary(buf []byte) (ID, int, error) {
 	if sz <= 0 {
 		return nil, 0, fmt.Errorf("%w: truncated length", ErrBadDewey)
 	}
+	// Each component occupies at least one byte, so a length exceeding the
+	// remaining input is hostile — reject it before allocating.
+	if n > uint64(len(buf)-sz) {
+		return nil, 0, fmt.Errorf("%w: length %d exceeds input", ErrBadDewey, n)
+	}
 	off := sz
 	id := make(ID, n)
 	for i := range id {

@@ -1,6 +1,7 @@
 package dewey
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -242,6 +243,12 @@ func TestDecodeBinaryErrors(t *testing.T) {
 	bad := []byte{1, 0}
 	if _, _, err := DecodeBinary(bad); err == nil {
 		t.Error("zero component should fail")
+	}
+	// A hostile length must be rejected before allocation, not OOM.
+	bomb := binary.AppendUvarint(nil, 1<<60)
+	bomb = append(bomb, 1)
+	if _, _, err := DecodeBinary(bomb); err == nil {
+		t.Error("oversized length should fail")
 	}
 }
 

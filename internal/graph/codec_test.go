@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"seda/internal/dewey"
+	"seda/internal/snapcodec"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	col, g := fixture(t)
+	g.DiscoverLinks(DiscoverOptions{IDRefAttrs: []string{"bordering"}})
+	if g.NumEdges() == 0 {
+		t.Fatal("fixture discovered no edges")
+	}
+
+	var w snapcodec.Writer
+	g.Encode(&w)
+	got, err := Decode(snapcodec.NewReader(w.Bytes()), col)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.Edges(), g.Edges()) {
+		t.Errorf("edges mismatch:\n got %v\nwant %v", got.Edges(), g.Edges())
+	}
+	// Adjacency is rebuilt, not copied — spot-check it.
+	for _, e := range g.Edges() {
+		if !reflect.DeepEqual(got.EdgesFrom(e.From), g.EdgesFrom(e.From)) {
+			t.Errorf("EdgesFrom(%v) mismatch", e.From)
+		}
+		if !reflect.DeepEqual(got.EdgesTo(e.To), g.EdgesTo(e.To)) {
+			t.Errorf("EdgesTo(%v) mismatch", e.To)
+		}
+	}
+
+	var w2 snapcodec.Writer
+	got.Encode(&w2)
+	if !bytes.Equal(w.Bytes(), w2.Bytes()) {
+		t.Error("re-encoded bytes differ")
+	}
+}
+
+func TestCodecHostileInputs(t *testing.T) {
+	col, g := fixture(t)
+	g.DiscoverLinks(DiscoverOptions{})
+	var w snapcodec.Writer
+	g.Encode(&w)
+	data := w.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Decode(snapcodec.NewReader(data[:cut]), col); err == nil {
+			t.Errorf("cut=%d: expected error", cut)
+		}
+	}
+
+	// An edge whose endpoint does not resolve must be rejected.
+	var wb snapcodec.Writer
+	wb.Int(codecVersion)
+	wb.Int(1)
+	wb.Int(7) // document 7 does not exist
+	wb.Dewey(dewey.Root())
+	wb.Int(0)
+	wb.Dewey(dewey.Root())
+	wb.Byte(0)
+	wb.String("label")
+	if _, err := Decode(snapcodec.NewReader(wb.Bytes()), col); err == nil {
+		t.Error("dangling endpoint should fail")
+	}
+}

@@ -26,6 +26,14 @@ type DiscoverOptions struct {
 	XLinkAttrs []string
 }
 
+// Resolved returns a copy of o with the defaults filled in. Snapshot
+// config fingerprints compare resolved options so that the zero value and
+// an explicit spelling of the defaults fingerprint identically.
+func (o DiscoverOptions) Resolved() DiscoverOptions {
+	o.defaults()
+	return o
+}
+
 func (o *DiscoverOptions) defaults() {
 	if len(o.IDAttrs) == 0 {
 		o.IDAttrs = []string{"id"}

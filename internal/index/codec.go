@@ -1,0 +1,213 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"seda/internal/pathdict"
+	"seda/internal/snapcodec"
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+)
+
+// Binary codec (engine snapshots). The index is the most expensive derived
+// layer to rebuild, so the codec persists both logical indexes in full:
+// node-index postings with positions, the Figure-8 context index, document
+// frequencies, and the per-path node lists. Map-backed structures are
+// written in sorted key order so identical indexes encode identically.
+
+// codecVersion is the layer format version written by Encode.
+const codecVersion = 1
+
+// Encode appends the index to w in its versioned binary form. The backing
+// collection is not included; Decode re-binds the index to it.
+func (ix *Index) Encode(w *snapcodec.Writer) {
+	w.Int(codecVersion)
+
+	// Node index: terms in sorted order with doc freq and postings.
+	w.Int(len(ix.terms))
+	for _, term := range ix.terms {
+		w.String(term)
+		w.Int(ix.termDocFreq[term])
+		ps := ix.postings[term]
+		w.Int(len(ps))
+		for _, p := range ps {
+			encodeRef(w, p.Ref)
+			w.Int(int(p.Path))
+			w.Int(len(p.Positions))
+			prev := int32(0) // positions are sorted; delta-encode them
+			for _, pos := range p.Positions {
+				w.Int(int(pos - prev))
+				prev = pos
+			}
+		}
+	}
+
+	// Context index: terms sorted (its vocabulary is a superset of the
+	// node index's — it also holds tag names).
+	ctxTerms := make([]string, 0, len(ix.pathTerms))
+	for t := range ix.pathTerms {
+		ctxTerms = append(ctxTerms, t)
+	}
+	sort.Strings(ctxTerms)
+	w.Int(len(ctxTerms))
+	for _, term := range ctxTerms {
+		w.String(term)
+		paths := ix.pathTerms[term]
+		ids := sortedPathIDs(paths)
+		w.Int(len(ids))
+		for _, id := range ids {
+			w.Int(int(id))
+			w.Int(paths[id])
+		}
+	}
+
+	// Per-path node lists, sorted by path id.
+	pathIDs := make([]pathdict.PathID, 0, len(ix.pathNodes))
+	for id := range ix.pathNodes {
+		pathIDs = append(pathIDs, id)
+	}
+	sort.Slice(pathIDs, func(i, j int) bool { return pathIDs[i] < pathIDs[j] })
+	w.Int(len(pathIDs))
+	for _, id := range pathIDs {
+		w.Int(int(id))
+		refs := ix.pathNodes[id]
+		w.Int(len(refs))
+		for _, ref := range refs {
+			encodeRef(w, ref)
+		}
+	}
+
+	// allPaths is ordered by path string — persist the order rather than
+	// re-deriving it against the dictionary on load.
+	w.Int(len(ix.allPaths))
+	for _, id := range ix.allPaths {
+		w.Int(int(id))
+	}
+}
+
+// Decode reads an index previously written by Encode, binding it to col.
+func Decode(r *snapcodec.Reader, col *store.Collection) (*Index, error) {
+	if v := r.Int(); r.Err() == nil && v != codecVersion {
+		return nil, fmt.Errorf("index: unsupported codec version %d", v)
+	}
+	ix := &Index{
+		col:         col,
+		postings:    make(map[string][]Posting),
+		pathTerms:   make(map[string]map[pathdict.PathID]int),
+		termDocFreq: make(map[string]int),
+		pathNodes:   make(map[pathdict.PathID][]xmldoc.NodeRef),
+	}
+	numDocs := col.NumDocs()
+
+	numTerms := r.Count(3)
+	ix.terms = make([]string, 0, numTerms)
+	for i := 0; i < numTerms; i++ {
+		term := r.String()
+		df := r.Int()
+		numPostings := r.Count(4)
+		if r.Err() != nil {
+			break
+		}
+		if _, dup := ix.postings[term]; dup {
+			return nil, fmt.Errorf("index: decode: duplicate term %q", term)
+		}
+		ps := make([]Posting, 0, numPostings)
+		for j := 0; j < numPostings; j++ {
+			ref, err := decodeRef(r, numDocs)
+			if err != nil {
+				return nil, fmt.Errorf("index: decode term %q: %w", term, err)
+			}
+			path := pathdict.PathID(r.Int())
+			numPos := r.Count(1)
+			positions := make([]int32, 0, numPos)
+			pos := int32(0)
+			for k := 0; k < numPos; k++ {
+				pos += int32(r.Int())
+				positions = append(positions, pos)
+			}
+			ps = append(ps, Posting{Ref: ref, Path: path, Positions: positions})
+		}
+		ix.terms = append(ix.terms, term)
+		ix.postings[term] = ps
+		ix.termDocFreq[term] = df
+	}
+
+	numCtx := r.Count(3)
+	for i := 0; i < numCtx; i++ {
+		term := r.String()
+		numPaths := r.Count(2)
+		if r.Err() != nil {
+			break
+		}
+		if _, dup := ix.pathTerms[term]; dup {
+			return nil, fmt.Errorf("index: decode: duplicate context term %q", term)
+		}
+		m := make(map[pathdict.PathID]int, numPaths)
+		for j := 0; j < numPaths; j++ {
+			m[pathdict.PathID(r.Int())] = r.Int()
+		}
+		ix.pathTerms[term] = m
+	}
+
+	numPathNodes := r.Count(3)
+	for i := 0; i < numPathNodes; i++ {
+		id := pathdict.PathID(r.Int())
+		numRefs := r.Count(2)
+		if r.Err() != nil {
+			break
+		}
+		if _, dup := ix.pathNodes[id]; dup {
+			return nil, fmt.Errorf("index: decode: duplicate path id %d", id)
+		}
+		refs := make([]xmldoc.NodeRef, 0, numRefs)
+		for j := 0; j < numRefs; j++ {
+			ref, err := decodeRef(r, numDocs)
+			if err != nil {
+				return nil, fmt.Errorf("index: decode path %d: %w", id, err)
+			}
+			refs = append(refs, ref)
+		}
+		ix.pathNodes[id] = refs
+	}
+
+	numAll := r.Count(1)
+	ix.allPaths = make([]pathdict.PathID, 0, numAll)
+	for i := 0; i < numAll; i++ {
+		ix.allPaths = append(ix.allPaths, pathdict.PathID(r.Int()))
+	}
+
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("index: decode: %w", err)
+	}
+	if !sort.StringsAreSorted(ix.terms) {
+		return nil, fmt.Errorf("index: decode: term list not sorted")
+	}
+	return ix, nil
+}
+
+func encodeRef(w *snapcodec.Writer, ref xmldoc.NodeRef) {
+	w.Int(int(ref.Doc))
+	w.Dewey(ref.Dewey)
+}
+
+func decodeRef(r *snapcodec.Reader, numDocs int) (xmldoc.NodeRef, error) {
+	doc := r.Int()
+	id := r.Dewey()
+	if err := r.Err(); err != nil {
+		return xmldoc.NodeRef{}, err
+	}
+	if doc >= numDocs {
+		return xmldoc.NodeRef{}, fmt.Errorf("node ref names document %d of %d", doc, numDocs)
+	}
+	return xmldoc.NodeRef{Doc: xmldoc.DocID(doc), Dewey: id}, nil
+}
+
+func sortedPathIDs(m map[pathdict.PathID]int) []pathdict.PathID {
+	ids := make([]pathdict.PathID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

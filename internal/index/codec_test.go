@@ -1,0 +1,88 @@
+package index
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"seda/internal/snapcodec"
+	"seda/internal/store"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	col, ix := buildFixture(t)
+
+	var w snapcodec.Writer
+	ix.Encode(&w)
+	got, err := Decode(snapcodec.NewReader(w.Bytes()), col)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+
+	if got.NumTerms() != ix.NumTerms() {
+		t.Fatalf("NumTerms = %d, want %d", got.NumTerms(), ix.NumTerms())
+	}
+	for _, term := range ix.terms {
+		if !reflect.DeepEqual(got.Lookup(term), ix.Lookup(term)) {
+			t.Errorf("postings mismatch for %q", term)
+		}
+		if got.DocFreq(term) != ix.DocFreq(term) {
+			t.Errorf("DocFreq mismatch for %q", term)
+		}
+	}
+	for term := range ix.pathTerms {
+		if !reflect.DeepEqual(got.PathsForTerm(term), ix.PathsForTerm(term)) {
+			t.Errorf("context index mismatch for %q", term)
+		}
+	}
+	if !reflect.DeepEqual(got.AllPaths(), ix.AllPaths()) {
+		t.Error("AllPaths mismatch")
+	}
+	for _, p := range ix.AllPaths() {
+		if !reflect.DeepEqual(got.NodesAtPath(p), ix.NodesAtPath(p)) {
+			t.Errorf("NodesAtPath mismatch for %d", p)
+		}
+	}
+
+	// Phrase evaluation exercises positions, which are delta-encoded.
+	if !reflect.DeepEqual(
+		got.PhrasePostings([]string{"united", "states"}),
+		ix.PhrasePostings([]string{"united", "states"})) {
+		t.Error("phrase postings mismatch")
+	}
+
+	// Deterministic re-encode.
+	var w2 snapcodec.Writer
+	got.Encode(&w2)
+	if !bytes.Equal(w.Bytes(), w2.Bytes()) {
+		t.Error("re-encoded bytes differ")
+	}
+}
+
+func TestCodecHostileInputs(t *testing.T) {
+	col := store.NewCollection()
+	if _, err := col.AddXML("doc0", []byte(`<a><b>hello world</b></a>`)); err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(col)
+	var w snapcodec.Writer
+	ix.Encode(&w)
+	data := w.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Decode(snapcodec.NewReader(data[:cut]), col); err == nil {
+			t.Errorf("cut=%d: expected error", cut)
+		}
+	}
+
+	// A posting naming a document beyond the collection must be rejected.
+	var wb snapcodec.Writer
+	wb.Int(codecVersion)
+	wb.Int(1) // one term
+	wb.String("hello")
+	wb.Int(1) // doc freq
+	wb.Int(1) // one posting
+	wb.Int(99)
+	if _, err := Decode(snapcodec.NewReader(wb.Bytes()), col); err == nil {
+		t.Error("out-of-range document should fail")
+	}
+}

@@ -1,0 +1,85 @@
+package pathdict
+
+import (
+	"fmt"
+
+	"seda/internal/snapcodec"
+)
+
+// Binary codec (engine snapshots). The dictionary is the first layer of a
+// snapshot: every other layer refers to paths and tags by the integer ids
+// interned here, so those ids must survive a save/load round trip exactly.
+// The encoding therefore writes tags and path nodes in id order — the trie
+// children maps and string cache are derived state, rebuilt on decode.
+
+// codecVersion is the layer format version written by Encode.
+const codecVersion = 1
+
+// Encode appends the dictionary to w in its versioned binary form.
+func (d *Dict) Encode(w *snapcodec.Writer) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	w.Int(codecVersion)
+	w.Int(len(d.tagNames) - 1)
+	for _, name := range d.tagNames[1:] {
+		w.String(name)
+	}
+	w.Int(len(d.nodes) - 1)
+	for _, n := range d.nodes[1:] {
+		// parent is -1..len-1; shift by one to keep it unsigned.
+		w.Int(int(n.parent) + 1)
+		w.Int(int(n.tag))
+	}
+}
+
+// Decode reads a dictionary previously written by Encode. Ids are
+// preserved: the i-th interned tag/path of the encoder is the i-th of the
+// decoded dictionary.
+func Decode(r *snapcodec.Reader) (*Dict, error) {
+	if v := r.Int(); r.Err() == nil && v != codecVersion {
+		return nil, fmt.Errorf("pathdict: unsupported codec version %d", v)
+	}
+	d := New()
+	numTags := r.Count(1)
+	for i := 0; i < numTags; i++ {
+		name := r.String()
+		if r.Err() != nil {
+			break
+		}
+		if _, dup := d.tags[name]; dup {
+			return nil, fmt.Errorf("pathdict: decode: duplicate tag %q", name)
+		}
+		d.tags[name] = TagID(len(d.tagNames))
+		d.tagNames = append(d.tagNames, name)
+	}
+	numNodes := r.Count(2)
+	for i := 0; i < numNodes; i++ {
+		parent := PathID(r.Int() - 1)
+		tag := TagID(r.Int())
+		if r.Err() != nil {
+			break
+		}
+		id := PathID(len(d.nodes))
+		if parent < InvalidPath || parent >= id {
+			return nil, fmt.Errorf("pathdict: decode: node %d has forward parent %d", id, parent)
+		}
+		if int(tag) <= 0 || int(tag) >= len(d.tagNames) {
+			return nil, fmt.Errorf("pathdict: decode: node %d has unknown tag %d", id, tag)
+		}
+		m, ok := d.children[parent]
+		if !ok {
+			m = make(map[TagID]PathID)
+			d.children[parent] = m
+		}
+		if _, dup := m[tag]; dup {
+			return nil, fmt.Errorf("pathdict: decode: duplicate child %d under %d", tag, parent)
+		}
+		m[tag] = id
+		d.nodes = append(d.nodes, pathNode{parent: parent, tag: tag, depth: d.nodes[parent].depth + 1})
+		d.strCache = append(d.strCache, "")
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("pathdict: decode: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,77 @@
+package pathdict
+
+import (
+	"bytes"
+	"testing"
+
+	"seda/internal/snapcodec"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	d := New()
+	paths := []string{
+		"/country",
+		"/country/name",
+		"/country/economy/GDP",
+		"/country/economy/import_partners/item/trade_country",
+		"/sea/name",
+	}
+	ids := make([]PathID, len(paths))
+	for i, p := range paths {
+		id, err := d.InternPath(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	var w snapcodec.Writer
+	d.Encode(&w)
+	got, err := Decode(snapcodec.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+
+	if got.NumPaths() != d.NumPaths() || got.NumTags() != d.NumTags() {
+		t.Fatalf("sizes: paths %d/%d tags %d/%d", got.NumPaths(), d.NumPaths(), got.NumTags(), d.NumTags())
+	}
+	for i, p := range paths {
+		if got.Path(ids[i]) != p {
+			t.Errorf("Path(%d) = %q, want %q", ids[i], got.Path(ids[i]), p)
+		}
+		if got.LookupPath(p) != ids[i] {
+			t.Errorf("LookupPath(%q) = %d, want %d", p, got.LookupPath(p), ids[i])
+		}
+		if got.Depth(ids[i]) != d.Depth(ids[i]) || got.Parent(ids[i]) != d.Parent(ids[i]) {
+			t.Errorf("structure mismatch for %q", p)
+		}
+	}
+
+	// Deterministic: re-encoding the decoded dictionary is byte-identical.
+	var w2 snapcodec.Writer
+	got.Encode(&w2)
+	if !bytes.Equal(w.Bytes(), w2.Bytes()) {
+		t.Error("re-encoded bytes differ")
+	}
+}
+
+func TestDecodeRejectsCorruptStructure(t *testing.T) {
+	// A node whose tag id was never interned.
+	var w snapcodec.Writer
+	w.Int(codecVersion)
+	w.Int(1) // one tag
+	w.String("a")
+	w.Int(1) // one node
+	w.Int(0) // parent = root
+	w.Int(9) // unknown tag id
+	if _, err := Decode(snapcodec.NewReader(w.Bytes())); err == nil {
+		t.Error("unknown tag id should fail")
+	}
+
+	// Unsupported layer version.
+	var w2 snapcodec.Writer
+	w2.Int(codecVersion + 7)
+	if _, err := Decode(snapcodec.NewReader(w2.Bytes())); err == nil {
+		t.Error("future codec version should fail")
+	}
+}

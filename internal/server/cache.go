@@ -9,15 +9,18 @@ import (
 )
 
 // resultCache is a bounded LRU over top-k result slices, keyed on
-// (collection, query, k). It serves the hot read path of the serving tier:
+// (engine id, query, k). It serves the hot read path of the serving tier:
 // many sessions asking the identical question about the same corpus share
 // one search. Cached slices are shared read-only — Session.SetTopK and the
 // wire renderers never mutate them.
 //
-// There is no invalidation path: engines are immutable once built, and a
+// There is no invalidation path: engines are immutable once built, a
 // session refining its query changes the query string — and with it the
-// cache key — so entries can never serve stale results and die only by LRU
-// eviction.
+// cache key — and the key's engine id (process-unique, never reused) makes
+// entries computed against a replaced engine unreachable when a collection
+// name is rebound (e.g. a disk-discovered snapshot entry upgraded by a
+// re-registration). Entries can never serve stale results and die only by
+// LRU eviction.
 //
 // The cache is safe for concurrent use. Hit/miss counters feed
 // GET /debug/stats.
@@ -45,12 +48,12 @@ func newResultCache(max int) *resultCache {
 	}
 }
 
-// cacheKey builds the (collection, query, k) key. The query's rendered
+// cacheKey builds the (engine id, query, k) key. The query's rendered
 // string is canonical for search purposes: refinement rewrites term
 // contexts, so a refined query keys differently from its parent, and two
 // sessions that refined to the same contexts share entries.
-func cacheKey(collection, query string, k int) string {
-	return fmt.Sprintf("%s\x1f%s\x1f%d", collection, query, k)
+func cacheKey(engineID uint64, query string, k int) string {
+	return fmt.Sprintf("%d\x1f%s\x1f%d", engineID, query, k)
 }
 
 // get returns the cached results for key, bumping recency, and counts the

@@ -12,29 +12,35 @@ func rs(score float64) []topk.Result { return []topk.Result{{Score: score}} }
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := newResultCache(2)
-	c.put(cacheKey("col", "q1", 10), rs(1))
-	c.put(cacheKey("col", "q2", 10), rs(2))
+	c.put(cacheKey(1, "q1", 10), rs(1))
+	c.put(cacheKey(1, "q2", 10), rs(2))
 	// Touch q1 so q2 is the eviction victim.
-	if _, ok := c.get(cacheKey("col", "q1", 10)); !ok {
+	if _, ok := c.get(cacheKey(1, "q1", 10)); !ok {
 		t.Fatal("q1 missing")
 	}
-	c.put(cacheKey("col", "q3", 10), rs(3))
-	if _, ok := c.get(cacheKey("col", "q2", 10)); ok {
+	c.put(cacheKey(1, "q3", 10), rs(3))
+	if _, ok := c.get(cacheKey(1, "q2", 10)); ok {
 		t.Error("q2 survived past capacity (not LRU-evicted)")
 	}
-	if _, ok := c.get(cacheKey("col", "q1", 10)); !ok {
+	if _, ok := c.get(cacheKey(1, "q1", 10)); !ok {
 		t.Error("recently-used q1 was evicted")
 	}
-	if _, ok := c.get(cacheKey("col", "q3", 10)); !ok {
+	if _, ok := c.get(cacheKey(1, "q3", 10)); !ok {
 		t.Error("just-inserted q3 missing")
 	}
 }
 
 func TestCacheKeyCollisionResistance(t *testing.T) {
-	// The separator keeps (collection, query) unambiguous: "a" + "bq" must
-	// not collide with "ab" + "q".
-	if cacheKey("a", "bq", 1) == cacheKey("ab", "q", 1) {
-		t.Error("cache keys collide across collection/query boundary")
+	// The separator keeps (engine, query) unambiguous: engine 1 + "2q"
+	// must not collide with engine 12 + "q".
+	if cacheKey(1, "2q", 1) == cacheKey(12, "q", 1) {
+		t.Error("cache keys collide across engine/query boundary")
+	}
+	// Distinct engines never share entries, even for identical queries —
+	// this is what makes a rebound collection name safe without explicit
+	// invalidation.
+	if cacheKey(1, "q", 1) == cacheKey(2, "q", 1) {
+		t.Error("cache keys collide across engines")
 	}
 }
 
@@ -54,7 +60,7 @@ func TestCacheStatsAndConcurrency(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			for j := 0; j < 100; j++ {
-				key := cacheKey("col", fmt.Sprintf("q%d", j%10), 10)
+				key := cacheKey(1, fmt.Sprintf("q%d", j%10), 10)
 				if _, ok := c.get(key); !ok {
 					c.put(key, rs(float64(j)))
 				}

@@ -1,9 +1,13 @@
 package server
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -20,35 +24,128 @@ var ErrAlreadyRegistered = errors.New("collection already registered")
 // name. Builders run at most once, on first use.
 type engineBuilder func() (*core.Engine, error)
 
+// Build states reported per collection (GET /debug/stats, GET /collections).
+const (
+	// StateCold: registered but not built yet — the first request pays
+	// either a snapshot load or a full build.
+	StateCold = "cold"
+	// StateBuilt: built from source (generator, uploaded XML) in this
+	// process.
+	StateBuilt = "built"
+	// StateLoaded: restored from a disk snapshot — no XML was parsed and
+	// no index was rebuilt.
+	StateLoaded = "loaded-from-snapshot"
+)
+
+// snapExt is the filename extension of engine snapshots in the data dir.
+const snapExt = ".snap"
+
 // regEntry is one named collection in the registry. The engine is built
 // lazily, exactly once, by whichever request needs it first; concurrent
 // first users block on the same per-entry mutex and then share the
 // result. A failed build is NOT cached — the next request retries, so a
 // transiently-broken collection does not brick its name for the life of
 // the process.
+//
+// When the registry has a data directory, the entry's snapshot file acts
+// as a build cache: engine() first tries to load it (validated against
+// the entry's config fingerprint and source tag), falls back to the
+// source build on any mismatch or corruption, and persists the result
+// for the next process.
 type regEntry struct {
 	name    string
 	builtin string // generator name for builtins, "" for uploads
+
+	// snapshotPath is where this entry's engine persists ("" = no disk
+	// backing). source tags the snapshot's origin so a cached file built
+	// from different inputs (another scale, other documents) is rejected.
+	snapshotPath string
+	source       string
+	// discovered marks entries registered from a boot-time directory scan
+	// only — they have no source builder (build is nil; the engine comes
+	// from the snapshot file) and may be upgraded by a later
+	// RegisterBuiltin/RegisterCollection of the same name.
+	discovered bool
+	// cfg is the construction config: fingerprint validation of the
+	// snapshot cache for source entries, and the parallelism fallback for
+	// discovered entries.
+	cfg core.Config
 
 	buildMu sync.Mutex
 	done    atomic.Bool // set after a successful build; gates lock-free peeks
 	build   engineBuilder
 	eng     *core.Engine
+	// fromSnapshot records whether eng was loaded from snapshotPath
+	// (written before done is set, read only after done reports true).
+	fromSnapshot bool
+	// snapshotBytes is the engine's size on disk, 0 when not persisted.
+	snapshotBytes atomic.Int64
+	// persistErr holds the last snapshot-write failure as a string ("" =
+	// none): persistence is best-effort, but its failures must be
+	// observable (GET /debug/stats), not silent.
+	persistErr atomic.Value
 }
 
-func (e *regEntry) engine() (*core.Engine, error) {
+func (e *regEntry) engine(r *Registry) (*core.Engine, error) {
 	e.buildMu.Lock()
 	defer e.buildMu.Unlock()
 	if e.eng != nil {
 		return e.eng, nil
 	}
+	if e.discovered {
+		// Boot-discovered entry: the snapshot file IS the source, and a
+		// real snapshot is required. A v1 collection stream carries no
+		// construction config, so rebuilding it here would silently guess
+		// (wrong link discovery for corpora like mondial) and then persist
+		// that guess — refuse instead; re-registering the name from its
+		// source, or converting the file, recovers.
+		if ok, serr := core.SniffSnapshotFile(e.snapshotPath); serr != nil {
+			return nil, serr
+		} else if !ok {
+			return nil, fmt.Errorf("server: %s is not an engine snapshot (v1 collection streams carry no construction config); re-register collection %q from its source, or convert the file with `sedagen -snapshot` or the REPL's \\save", e.snapshotPath, e.name)
+		}
+		le, err := core.LoadEngineAuto(e.snapshotPath, e.cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.adopt(le.Engine, true)
+		return le.Engine, nil
+	}
+	if e.snapshotPath != "" {
+		// Snapshot-as-cache: adopt a matching snapshot, otherwise rebuild.
+		// Every failure mode — missing file, corruption, config or source
+		// mismatch — lands on the source build, and the rebuild's snapshot
+		// then replaces the stale file.
+		if eng, err := core.LoadEngineFile(e.snapshotPath, e.cfg, e.source); err == nil {
+			e.adopt(eng, true)
+			return eng, nil
+		}
+	}
 	eng, err := e.build()
 	if err != nil {
 		return nil, err
 	}
-	e.eng = eng
-	e.done.Store(true)
+	if e.snapshotPath != "" {
+		r.persist(e, eng)
+	}
+	e.adopt(eng, false)
 	return eng, nil
+}
+
+// adopt installs a built or loaded engine; callers hold buildMu.
+func (e *regEntry) adopt(eng *core.Engine, fromSnapshot bool) {
+	e.eng = eng
+	e.fromSnapshot = fromSnapshot
+	if fromSnapshot {
+		e.statSnapshot()
+	}
+	e.done.Store(true)
+}
+
+func (e *regEntry) statSnapshot() {
+	if fi, err := os.Stat(e.snapshotPath); err == nil {
+		e.snapshotBytes.Store(fi.Size())
+	}
 }
 
 // builtEngine returns the engine if the build has completed successfully,
@@ -58,6 +155,17 @@ func (e *regEntry) builtEngine() *core.Engine {
 		return nil
 	}
 	return e.eng
+}
+
+// state reports the entry's build state for the wire.
+func (e *regEntry) state() string {
+	if !e.done.Load() {
+		return StateCold
+	}
+	if e.fromSnapshot {
+		return StateLoaded
+	}
+	return StateBuilt
 }
 
 // Registry maps collection names to lazily-built engines. It is safe for
@@ -70,11 +178,64 @@ type Registry struct {
 
 	mu      sync.RWMutex
 	entries map[string]*regEntry
+
+	// dataDir is the snapshot directory ("" = persistence disabled).
+	dataDir string
+
+	// persistMu serializes snapshot writes. Entries under one name can
+	// persist from different build mutexes (an upgraded-away discovered
+	// entry finishing a slow rebuild races the replacement's build), and
+	// the atomic renames would otherwise land in either order.
+	persistMu sync.Mutex
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*regEntry)}
+}
+
+// EnableSnapshots makes the registry disk-backed: every engine persists to
+// dir after its first build, and `<name>.snap` files already in dir are
+// registered immediately (their engines load lazily, on first use, with
+// the config stored in the snapshot). parallelism is the worker width for
+// loaded engines' searches (0 = all cores). It returns the names
+// registered from disk, sorted.
+//
+// Call it once, before serving; it is not safe to race with registration
+// or request traffic.
+func (r *Registry) EnableSnapshots(dir string, parallelism int) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: snapshot dir: %w", err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: snapshot dir: %w", err)
+	}
+	r.mu.Lock()
+	r.dataDir = dir
+	r.mu.Unlock()
+	var loaded []string
+	for _, f := range files {
+		name, ok := strings.CutSuffix(f.Name(), snapExt)
+		if f.IsDir() || !ok || !validName(name) {
+			continue
+		}
+		e := &regEntry{
+			name:         name,
+			snapshotPath: filepath.Join(dir, f.Name()),
+			discovered:   true,
+			cfg:          core.Config{Parallelism: parallelism},
+		}
+		if fi, err := f.Info(); err == nil {
+			e.snapshotBytes.Store(fi.Size())
+		}
+		if err := r.register(e); err != nil {
+			return nil, err
+		}
+		loaded = append(loaded, name)
+	}
+	sort.Strings(loaded)
+	return loaded, nil
 }
 
 // maxBuiltinScale caps generated-corpus size: 1.0 is the paper's full
@@ -109,14 +270,26 @@ func (r *Registry) RegisterBuiltin(name, builtin string, scale float64, cfg core
 	if scale <= 0 || scale > maxBuiltinScale {
 		return fmt.Errorf("server: builtin scale must be in (0, %g], got %v", maxBuiltinScale, scale)
 	}
-	if builtin == "mondial" {
-		idAttrs, refAttrs := datagen.MondialLinkAttrs()
-		cfg.Discover.IDAttrs = idAttrs
-		cfg.Discover.IDRefAttrs = refAttrs
+	// Datasets with special link-discovery needs resolve through the one
+	// shared mapping, so engines built here fingerprint identically to
+	// snapshots written by sedagen or the benchmarks. Only the fields the
+	// mapping specifies are overridden — caller-supplied options for the
+	// other attribute classes survive.
+	d := datagen.DiscoverOptionsFor(builtin)
+	if len(d.IDAttrs) > 0 {
+		cfg.Discover.IDAttrs = d.IDAttrs
+	}
+	if len(d.IDRefAttrs) > 0 {
+		cfg.Discover.IDRefAttrs = d.IDRefAttrs
+	}
+	if len(d.XLinkAttrs) > 0 {
+		cfg.Discover.XLinkAttrs = d.XLinkAttrs
 	}
 	return r.register(&regEntry{
 		name:    name,
 		builtin: builtin,
+		source:  fmt.Sprintf("builtin:%s@scale=%g", builtin, scale),
+		cfg:     cfg,
 		build: func() (*core.Engine, error) {
 			return core.NewEngine(gen(scale), cfg)
 		},
@@ -124,12 +297,34 @@ func (r *Registry) RegisterBuiltin(name, builtin string, scale float64, cfg core
 }
 
 // RegisterCollection registers an already-materialized collection (e.g.
-// assembled from uploaded XML documents).
-func (r *Registry) RegisterCollection(name string, col *store.Collection, cfg core.Config) error {
+// assembled from uploaded XML documents). source optionally identifies
+// the collection's inputs (the upload handler passes a content hash); it
+// keys snapshot-cache validation so a stale snapshot persisted from
+// different documents under the same name is rebuilt, not served. Pass ""
+// when no such identity exists — the snapshot then validates on config
+// alone.
+func (r *Registry) RegisterCollection(name string, col *store.Collection, cfg core.Config, source string) error {
 	return r.register(&regEntry{
-		name:  name,
-		build: func() (*core.Engine, error) { return core.NewEngine(col, cfg) },
+		name:   name,
+		source: source,
+		cfg:    cfg,
+		build:  func() (*core.Engine, error) { return core.NewEngine(col, cfg) },
 	})
+}
+
+// uploadSource derives a snapshot source tag from uploaded documents: a
+// content hash, so a re-upload of identical documents revalidates a
+// persisted snapshot and anything else rebuilds it. The hash gates which
+// data a name serves, so it must be collision-resistant — a client able
+// to craft a second document set with the same tag could revalidate a
+// stale snapshot under fresh inputs.
+func uploadSource(docs []documentPayload) string {
+	h := sha256.New()
+	for _, d := range docs {
+		fmt.Fprintf(h, "%d:%s:%d:", len(d.Name), d.Name, len(d.XML))
+		h.Write([]byte(d.XML))
+	}
+	return fmt.Sprintf("upload:sha256=%x", h.Sum(nil))
 }
 
 // validName restricts collection names to a URL- and cache-key-safe
@@ -158,14 +353,54 @@ func (r *Registry) register(e *regEntry) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.entries[e.name]; dup {
-		return fmt.Errorf("server: collection %q: %w", e.name, ErrAlreadyRegistered)
+	if r.dataDir != "" && e.snapshotPath == "" {
+		e.snapshotPath = filepath.Join(r.dataDir, e.name+snapExt)
+	}
+	if prev, dup := r.entries[e.name]; dup {
+		// A source registration upgrades a boot-discovered snapshot entry
+		// that nobody has built yet: the new entry keeps the snapshot as
+		// its build cache, so a matching file still loads in O(read) while
+		// a config or source change rebuilds and replaces it. (A request
+		// racing this swap may still build the discovered entry's engine;
+		// that engine is dropped — its snapshot write is skipped because
+		// the entry is no longer current (see persist), and the top-k
+		// cache keys on engine id, so nothing it computed leaks into the
+		// replacement.)
+		if !prev.discovered || prev.done.Load() {
+			return fmt.Errorf("server: collection %q: %w", e.name, ErrAlreadyRegistered)
+		}
+		e.snapshotBytes.Store(prev.snapshotBytes.Load())
+		r.entries[e.name] = e
+		return nil
 	}
 	if r.MaxEntries > 0 && len(r.entries) >= r.MaxEntries {
 		return fmt.Errorf("server: collection limit reached (%d)", r.MaxEntries)
 	}
 	r.entries[e.name] = e
 	return nil
+}
+
+// persist writes e's engine snapshot best-effort: a full disk must not
+// take down serving, but the failure is recorded for /stats. Only the
+// entry currently registered under the name may write — a superseded
+// entry finishing a slow build skips its persist, and concurrent persists
+// serialize on persistMu — so a stale engine can never clobber the live
+// entry's snapshot on disk. Callers hold e.buildMu.
+func (r *Registry) persist(e *regEntry, eng *core.Engine) {
+	r.persistMu.Lock()
+	defer r.persistMu.Unlock()
+	r.mu.RLock()
+	current := r.entries[e.name] == e
+	r.mu.RUnlock()
+	if !current {
+		return
+	}
+	if err := core.SaveEngineFile(e.snapshotPath, eng, e.source); err != nil {
+		e.persistErr.Store(err.Error())
+		return
+	}
+	e.persistErr.Store("")
+	e.statSnapshot()
 }
 
 // Engine returns the engine for name, building it on first use. Every
@@ -177,16 +412,26 @@ func (r *Registry) Engine(name string) (*core.Engine, error) {
 	if e == nil {
 		return nil, fmt.Errorf("server: unknown collection %q", name)
 	}
-	return e.engine()
+	return e.engine(r)
 }
 
-// Info describes one registered collection for the wire.
+// RegistryInfo describes one registered collection for the wire.
 type RegistryInfo struct {
 	Name    string `json:"name"`
 	Builtin string `json:"builtin,omitempty"`
 	Built   bool   `json:"built"`
-	Docs    int    `json:"docs,omitempty"`
-	Nodes   int    `json:"nodes,omitempty"`
+	// State is the build state: "cold", "built" (from source this
+	// process), or "loaded-from-snapshot".
+	State string `json:"state"`
+	// SnapshotBytes is the engine snapshot's size on disk (0 when the
+	// registry is not disk-backed or the engine has not persisted yet).
+	SnapshotBytes int64 `json:"snapshot_bytes,omitempty"`
+	// SnapshotError surfaces the last failed snapshot write — persistence
+	// is best-effort, so "uploads survive restarts" degrading (disk full,
+	// permissions) must be visible to operators.
+	SnapshotError string `json:"snapshot_error,omitempty"`
+	Docs          int    `json:"docs,omitempty"`
+	Nodes         int    `json:"nodes,omitempty"`
 }
 
 // List reports every registered collection, sorted by name. Docs/Nodes are
@@ -200,7 +445,15 @@ func (r *Registry) List() []RegistryInfo {
 	r.mu.RUnlock()
 	out := make([]RegistryInfo, 0, len(entries))
 	for _, e := range entries {
-		info := RegistryInfo{Name: e.name, Builtin: e.builtin}
+		info := RegistryInfo{
+			Name:          e.name,
+			Builtin:       e.builtin,
+			State:         e.state(),
+			SnapshotBytes: e.snapshotBytes.Load(),
+		}
+		if s, _ := e.persistErr.Load().(string); s != "" {
+			info.SnapshotError = s
+		}
 		if eng := e.builtEngine(); eng != nil {
 			info.Built = true
 			info.Docs = eng.Collection().NumDocs()

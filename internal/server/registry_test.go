@@ -22,7 +22,7 @@ func testCollection(t *testing.T) *store.Collection {
 // every caller observes the identical engine — the sync.Once contract.
 func TestRegistryBuildsOnce(t *testing.T) {
 	r := NewRegistry()
-	if err := r.RegisterCollection("c", testCollection(t), core.Config{}); err != nil {
+	if err := r.RegisterCollection("c", testCollection(t), core.Config{}, ""); err != nil {
 		t.Fatal(err)
 	}
 	const n = 16
@@ -112,27 +112,27 @@ func TestRegistryErrors(t *testing.T) {
 		t.Error("absurd scale accepted")
 	}
 	r.MaxEntries = 1
-	if err := r.RegisterCollection("one", testCollection(t), core.Config{}); err != nil {
+	if err := r.RegisterCollection("one", testCollection(t), core.Config{}, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.RegisterCollection("two", testCollection(t), core.Config{}); err == nil {
+	if err := r.RegisterCollection("two", testCollection(t), core.Config{}, ""); err == nil {
 		t.Error("registration beyond MaxEntries accepted")
 	}
 	r.MaxEntries = 0
-	if err := r.RegisterCollection("", testCollection(t), core.Config{}); err == nil {
+	if err := r.RegisterCollection("", testCollection(t), core.Config{}, ""); err == nil {
 		t.Error("empty name accepted")
 	}
 	// Names land in URLs and cache keys; the separator byte and slashes
 	// must be rejected.
 	for _, bad := range []string{"a\x1fb", "a/b", "a b", "ä"} {
-		if err := r.RegisterCollection(bad, testCollection(t), core.Config{}); err == nil {
+		if err := r.RegisterCollection(bad, testCollection(t), core.Config{}, ""); err == nil {
 			t.Errorf("invalid name %q accepted", bad)
 		}
 	}
-	if err := r.RegisterCollection("dup", testCollection(t), core.Config{}); err != nil {
+	if err := r.RegisterCollection("dup", testCollection(t), core.Config{}, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.RegisterCollection("dup", testCollection(t), core.Config{}); err == nil {
+	if err := r.RegisterCollection("dup", testCollection(t), core.Config{}, ""); err == nil {
 		t.Error("duplicate name accepted")
 	}
 	if _, err := r.Engine("ghost"); err == nil {

@@ -4,7 +4,12 @@
 // Three layers sit between the HTTP surface and the core engine:
 //
 //   - a Registry of named collections whose engines build lazily, exactly
-//     once on success, shared by every request (failed builds retry);
+//     once on success, shared by every request (failed builds retry).
+//     With Registry.EnableSnapshots the registry is disk-backed: engines
+//     persist as versioned snapshots after their first build, snapshots
+//     found at boot serve collections from previous runs (uploads survive
+//     restarts), and a snapshot whose config fingerprint or source tag no
+//     longer matches is rebuilt, never silently served;
 //   - a session manager: a concurrent session table with TTL and
 //     max-count eviction, locking per session so one session's refinement
 //     never blocks another session's top-k;
@@ -275,7 +280,7 @@ func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) 
 				return
 			}
 		}
-		err = s.registry.RegisterCollection(req.Name, col, cfg)
+		err = s.registry.RegisterCollection(req.Name, col, cfg, uploadSource(req.Documents))
 	default:
 		writeError(w, http.StatusBadRequest, "specify a builtin corpus or upload documents")
 		return
@@ -288,7 +293,7 @@ func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) 
 		writeError(w, status, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, RegistryInfo{Name: req.Name, Builtin: req.Builtin})
+	writeJSON(w, http.StatusCreated, RegistryInfo{Name: req.Name, Builtin: req.Builtin, State: StateCold})
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
@@ -422,7 +427,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	q := sess.queryString()
-	key := cacheKey(sess.collection, q, k)
+	key := cacheKey(sess.eng.ID(), q, k)
 	rs, cached := s.cache.get(key)
 	switch {
 	case sess.lastTopK == key:

@@ -1,0 +1,322 @@
+// Package snapcodec is the binary substrate of SEDA's engine snapshots:
+// error-sticky primitive writers/readers plus the section-framed container
+// that core.SaveEngine/LoadEngine wrap every derived layer in.
+//
+// Design constraints, in order:
+//
+//   - Determinism. The same in-memory state must always encode to the same
+//     bytes (snapshots are content-compared across save→load→save), so
+//     encoders never iterate Go maps directly — callers sort first.
+//   - Hostility. Decoders consume attacker-controllable files. Every length
+//     read from the wire is validated against the bytes actually remaining
+//     before anything is allocated, and all failures surface as wrapped
+//     errors — never a panic, never an unbounded allocation.
+//   - Simplicity. Varint-heavy, no reflection, no interning tables beyond
+//     what the layers themselves encode.
+//
+// The container format (written by WriteContainer, read by ReadContainer):
+//
+//	magic   "SEDASNAP"                       8 bytes
+//	version uvarint                          container format version
+//	count   uvarint                          number of sections
+//	per section:
+//	  name    string (uvarint length + bytes)
+//	  length  uvarint                        payload bytes
+//	  crc32c  4 bytes big-endian             Castagnoli checksum of payload
+//	  payload bytes
+//
+// Section payloads are layer-owned; each layer starts its payload with its
+// own version uvarint so layers can evolve independently of the container.
+package snapcodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"seda/internal/dewey"
+)
+
+// Magic identifies an engine snapshot stream.
+const Magic = "SEDASNAP"
+
+// Errors returned by readers. Decoders wrap these so callers can classify
+// failures with errors.Is.
+var (
+	// ErrNotSnapshot reports a stream that does not start with Magic —
+	// likely a v1 collection.gob or an unrelated file.
+	ErrNotSnapshot = errors.New("snapcodec: not an engine snapshot (bad magic)")
+	// ErrVersion reports a container format version newer than this build
+	// understands.
+	ErrVersion = errors.New("snapcodec: unsupported snapshot format version")
+	// ErrCorrupt reports a truncated stream, an invalid length, or a
+	// checksum mismatch.
+	ErrCorrupt = errors.New("snapcodec: corrupt snapshot")
+)
+
+// castagnoli is the CRC-32C table shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// --- Writer ---
+
+// Writer accumulates a section payload. The zero value is ready to use.
+// Writes cannot fail (memory-backed), so encoding has no error paths; the
+// container write at the end is the single fallible step.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Int appends a non-negative int as a uvarint. Negative values panic: they
+// indicate a programming error in an encoder, not a data condition.
+func (w *Writer) Int(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("snapcodec: negative int %d", v))
+	}
+	w.Uvarint(uint64(v))
+}
+
+// Byte appends a single byte.
+func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+}
+
+// F64 appends a float64 as 8 fixed big-endian bytes of its IEEE-754 bits.
+func (w *Writer) F64(v float64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Int(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+// Dewey appends a Dewey identifier in its standard binary form.
+func (w *Writer) Dewey(id dewey.ID) { w.buf = dewey.AppendBinary(w.buf, id) }
+
+// --- Reader ---
+
+// Reader consumes a section payload. All getters are error-sticky: after
+// the first failure they return zero values, and Err reports the failure.
+// Callers typically decode an entire structure and check Err once (plus
+// any semantic validation).
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, fmt.Sprintf(format, args...), r.off)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("truncated uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a uvarint and reports it as an int, failing on overflow.
+func (r *Reader) Int() int {
+	v := r.Uvarint()
+	if v > math.MaxInt32 { // no layer legitimately exceeds int32 counts
+		r.fail("count %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Count reads an element count and validates it against the bytes that
+// remain, assuming each element occupies at least elemMin bytes. This is
+// the allocation guard: a hostile length can never make a decoder allocate
+// more than O(remaining input).
+func (r *Reader) Count(elemMin int) int {
+	n := r.Int()
+	if r.err != nil {
+		return 0
+	}
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	if n > r.Remaining()/elemMin+1 {
+		r.fail("count %d exceeds remaining %d bytes", n, r.Remaining())
+		return 0
+	}
+	return n
+}
+
+// Byte reads a single byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("truncated byte")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Bool reads a boolean byte, failing on values other than 0 or 1.
+func (r *Reader) Bool() bool {
+	b := r.Byte()
+	if r.err == nil && b > 1 {
+		r.fail("invalid bool byte %d", b)
+		return false
+	}
+	return b == 1
+}
+
+// F64 reads a fixed 8-byte float64.
+func (r *Reader) F64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 8 {
+		r.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Int()
+	if r.err != nil {
+		return ""
+	}
+	if n > r.Remaining() {
+		r.fail("string length %d exceeds remaining %d bytes", n, r.Remaining())
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// Dewey reads a Dewey identifier.
+func (r *Reader) Dewey() dewey.ID {
+	if r.err != nil {
+		return nil
+	}
+	id, n, err := dewey.DecodeBinary(r.buf[r.off:])
+	if err != nil {
+		r.fail("bad dewey id: %v", err)
+		return nil
+	}
+	r.off += n
+	return id
+}
+
+// --- container ---
+
+// Section is one named, checksummed payload of a snapshot container.
+type Section struct {
+	Name    string
+	Payload []byte
+}
+
+// WriteContainer frames the sections and writes the whole container to w.
+func WriteContainer(w io.Writer, formatVersion int, sections []Section) error {
+	var hdr Writer
+	hdr.buf = append(hdr.buf, Magic...)
+	hdr.Int(formatVersion)
+	hdr.Int(len(sections))
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return fmt.Errorf("snapcodec: writing header: %w", err)
+	}
+	for _, s := range sections {
+		var sh Writer
+		sh.String(s.Name)
+		sh.Int(len(s.Payload))
+		sh.buf = binary.BigEndian.AppendUint32(sh.buf, crc32.Checksum(s.Payload, castagnoli))
+		if _, err := w.Write(sh.Bytes()); err != nil {
+			return fmt.Errorf("snapcodec: writing section %q header: %w", s.Name, err)
+		}
+		if _, err := w.Write(s.Payload); err != nil {
+			return fmt.Errorf("snapcodec: writing section %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// ReadContainer parses a container from data, verifying the magic, the
+// format version against maxVersion, and every section checksum.
+func ReadContainer(data []byte, maxVersion int) (version int, sections []Section, err error) {
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		return 0, nil, ErrNotSnapshot
+	}
+	r := NewReader(data[len(Magic):])
+	version = r.Int()
+	if r.Err() == nil && (version < 1 || version > maxVersion) {
+		return 0, nil, fmt.Errorf("%w: have %d, support <= %d", ErrVersion, version, maxVersion)
+	}
+	count := r.Count(6) // minimal section: 1-byte name len + 1-byte payload len + 4-byte crc
+	for i := 0; i < count; i++ {
+		name := r.String()
+		plen := r.Int()
+		if r.Err() != nil {
+			break
+		}
+		if r.Remaining() < 4+plen {
+			return 0, nil, fmt.Errorf("%w: section %q claims %d bytes, %d remain", ErrCorrupt, name, plen, r.Remaining()-4)
+		}
+		sum := binary.BigEndian.Uint32(r.buf[r.off:])
+		r.off += 4
+		payload := r.buf[r.off : r.off+plen]
+		r.off += plen
+		if got := crc32.Checksum(payload, castagnoli); got != sum {
+			return 0, nil, fmt.Errorf("%w: section %q checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, name, sum, got)
+		}
+		sections = append(sections, Section{Name: name, Payload: payload})
+	}
+	if err := r.Err(); err != nil {
+		return 0, nil, fmt.Errorf("reading container: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after last section", ErrCorrupt, r.Remaining())
+	}
+	return version, sections, nil
+}

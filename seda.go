@@ -26,7 +26,8 @@
 // Dewey identifiers, the full-text and context indexes, the data graph with
 // IDREF/XLink/value edges, dataguide summaries with overlap merging, the
 // TA-style top-k search, holistic twig joins, relative XML keys, star
-// schema construction, and an OLAP substrate.
+// schema construction, an OLAP substrate, and versioned engine snapshots
+// (SaveEngine/LoadEngine) that persist every derived layer to disk.
 package seda
 
 import (
@@ -157,6 +158,44 @@ func NewCollection() *Collection { return store.NewCollection() }
 // LoadCollection reads a collection saved with (*Collection).Save.
 func LoadCollection(r io.Reader) (*Collection, error) { return store.Load(r) }
 
+// Engine snapshots: every derived layer of an engine — path dictionary,
+// collection with statistics, full-text indexes, link graph, dataguide
+// summary — persisted as one versioned, checksummed container, so a
+// process restart costs O(read) instead of O(rebuild).
+
+// LoadedEngine is the result of LoadEngineAuto: the engine plus where it
+// came from (snapshot vs a rebuilt v1 collection stream).
+type LoadedEngine = core.LoadedEngine
+
+// ErrSnapshotConfigMismatch reports an engine snapshot built under a
+// different Config than the caller's (dataguide threshold, link
+// discovery, value links); the caller should rebuild instead of loading.
+var ErrSnapshotConfigMismatch = core.ErrConfigMismatch
+
+// SaveEngine writes an engine snapshot to w.
+func SaveEngine(w io.Writer, e *Engine) error { return core.SaveEngine(w, e, "") }
+
+// SaveEngineFile writes an engine snapshot to path atomically (temp file
+// plus rename): readers never observe a partial snapshot.
+func SaveEngineFile(path string, e *Engine) error { return core.SaveEngineFile(path, e, "") }
+
+// LoadEngine reads an engine snapshot, verifying it was built under cfg;
+// a mismatch returns ErrSnapshotConfigMismatch. cfg.Parallelism applies
+// to the loaded engine's searches.
+func LoadEngine(r io.Reader, cfg Config) (*Engine, error) { return core.LoadEngine(r, cfg, "") }
+
+// LoadEngineFile is LoadEngine over a file.
+func LoadEngineFile(path string, cfg Config) (*Engine, error) {
+	return core.LoadEngineFile(path, cfg, "")
+}
+
+// LoadEngineAuto loads an engine from path adopting the snapshot's stored
+// config; a v1 collection stream (written by (*Collection).Save) is
+// rebuilt under fallback instead.
+func LoadEngineAuto(path string, fallback Config) (*LoadedEngine, error) {
+	return core.LoadEngineAuto(path, fallback)
+}
+
 // LoadXMLDir loads every *.xml file under dir (sorted for determinism)
 // into a fresh collection.
 func LoadXMLDir(dir string) (*Collection, error) {
@@ -214,10 +253,11 @@ func WorldFactbook(scale float64) *Collection { return datagen.WorldFactbook(sca
 func Mondial(scale float64) *Collection { return datagen.Mondial(scale) }
 
 // MondialConfig returns the engine Config whose link discovery resolves
-// Mondial's reference attributes.
+// Mondial's reference attributes. It shares the dataset→config mapping
+// with the serving registry, so engines built through either fingerprint
+// identically and can exchange snapshots.
 func MondialConfig() Config {
-	idAttrs, refAttrs := datagen.MondialLinkAttrs()
-	return Config{Discover: DiscoverOptions{IDAttrs: idAttrs, IDRefAttrs: refAttrs}}
+	return Config{Discover: datagen.DiscoverOptionsFor("mondial")}
 }
 
 // GoogleBase generates the flat, regular product-listing corpus (scale
