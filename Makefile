@@ -1,7 +1,7 @@
 GO ?= go
 SCALE ?= 0.05
 
-.PHONY: build test bench bench-smoke bench-coldstart serve vet
+.PHONY: build test bench bench-smoke bench-coldstart bench-ingest serve vet
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,12 @@ bench-smoke:
 # the rest of the BENCH trajectory).
 bench-coldstart:
 	$(GO) run ./cmd/sedabench -exp coldstart -scale 0.1
+
+# Ingest benchmark: incremental single-document add vs full engine rebuild
+# per builtin corpus, refreshing the checked-in BENCH_ingest.json (scale
+# 0.1, like the rest of the BENCH trajectory).
+bench-ingest:
+	$(GO) run ./cmd/sedabench -exp ingest -scale 0.1
 
 serve:
 	$(GO) run ./cmd/sedad -preload worldfactbook -scale $(SCALE)

@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|coldstart|all")
+	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|coldstart|ingest|all")
 	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = paper size)")
 	out := flag.String("out", ".", "directory for BENCH_<name>.json result files (empty disables)")
 	par := flag.Int("parallelism", 0, "worker goroutines for engine builds and searches (0 = all cores, 1 = sequential)")
@@ -90,9 +90,22 @@ func main() {
 		}
 	}
 
+	// ingest writes a richer per-corpus BENCH file (incremental add vs full
+	// rebuild), so it manages its own result file too.
+	if *exp == "all" || *exp == "ingest" {
+		fmt.Println("==== ingest ====")
+		start := time.Now()
+		res := ingest(*scale)
+		res.NsPerOp = time.Since(start).Nanoseconds()
+		fmt.Printf("(ingest in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			writeIngestResult(*out, res)
+		}
+	}
+
 	if *exp != "all" {
 		switch *exp {
-		case "table1", "intext", "sweep", "figure3", "controlflow", "ablations", "coldstart":
+		case "table1", "intext", "sweep", "figure3", "controlflow", "ablations", "coldstart", "ingest":
 		default:
 			fmt.Fprintf(os.Stderr, "sedabench: unknown experiment %q\n", *exp)
 			os.Exit(2)
@@ -439,6 +452,126 @@ func coldstart(scale float64) *coldstartResult {
 		})
 	}
 	return res
+}
+
+// ingest compares appending a single document to a live engine
+// (core.Engine.AddDocuments, the incremental path the serving tier's
+// POST /collections/{name}/documents takes) against rebuilding the whole
+// engine from an in-memory collection — what an append cost before
+// incremental ingest. Both paths start from the same parsed base corpus;
+// the incremental side additionally pays the XML parse of the new
+// document, which is the serving tier's real workload.
+func ingest(scale float64) *ingestResult {
+	res := &ingestResult{Name: "ingest", Scale: scale}
+	fmt.Printf("%-16s %8s %14s %14s %10s\n", "corpus", "docs", "add-one-doc", "full-rebuild", "speedup")
+	for _, c := range []struct {
+		name string
+		gen  func(float64) *seda.Collection
+		cfg  seda.Config
+	}{
+		{"worldfactbook", seda.WorldFactbook, seda.Config{}},
+		{"mondial", seda.Mondial, seda.MondialConfig()},
+		{"googlebase", seda.GoogleBase, seda.Config{}},
+		{"recipeml", seda.RecipeML, seda.Config{}},
+	} {
+		cfg := c.cfg
+		cfg.Parallelism = parallelism
+
+		// Setup (untimed): render the corpus to XML and build the base
+		// engine over all but the last document, plus the full collection
+		// the rebuild path starts from.
+		source := c.gen(scale)
+		docs := source.Docs()
+		if len(docs) < 2 {
+			fatal(fmt.Errorf("ingest: corpus %s too small at scale %g", c.name, scale))
+		}
+		raw := make([][]byte, 0, len(docs))
+		names := make([]string, 0, len(docs))
+		for _, doc := range docs {
+			var b bytes.Buffer
+			if err := doc.WriteXML(&b); err != nil {
+				fatal(err)
+			}
+			raw = append(raw, b.Bytes())
+			names = append(names, doc.Name)
+		}
+		parse := func(n int) *seda.Collection {
+			col := seda.NewCollection()
+			for i := 0; i < n; i++ {
+				if _, err := col.AddXML(names[i], raw[i]); err != nil {
+					fatal(err)
+				}
+			}
+			return col
+		}
+		base, err := seda.NewEngine(parse(len(raw)-1), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fullCol := parse(len(raw))
+
+		// Path 1: incremental — parse and append the one new document.
+		start := time.Now()
+		extended, err := base.AddDocumentsXML([]seda.IngestDoc{{Name: names[len(raw)-1], XML: raw[len(raw)-1]}})
+		if err != nil {
+			fatal(err)
+		}
+		ingestNs := time.Since(start).Nanoseconds()
+
+		// Path 2: full rebuild over the extended corpus.
+		start = time.Now()
+		rebuilt, err := seda.NewEngine(fullCol, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		rebuildNs := time.Since(start).Nanoseconds()
+
+		if extended.Index().NumTerms() != rebuilt.Index().NumTerms() ||
+			extended.Collection().NumNodes() != rebuilt.Collection().NumNodes() {
+			fatal(fmt.Errorf("ingest: %s incremental engine differs from rebuilt engine", c.name))
+		}
+
+		speedup := float64(rebuildNs) / float64(ingestNs)
+		fmt.Printf("%-16s %8d %14v %14v %9.1fx\n", c.name, len(raw),
+			time.Duration(ingestNs).Round(time.Microsecond),
+			time.Duration(rebuildNs).Round(time.Microsecond), speedup)
+		res.Corpora = append(res.Corpora, ingestCorpus{
+			Name: c.name, Docs: len(raw), IngestNs: ingestNs,
+			RebuildNs: rebuildNs, Speedup: speedup,
+		})
+	}
+	return res
+}
+
+// ingestCorpus is one corpus row of BENCH_ingest.json.
+type ingestCorpus struct {
+	Name      string  `json:"name"`
+	Docs      int     `json:"docs"`
+	IngestNs  int64   `json:"ingest_ns"`  // parse + incremental add of one document
+	RebuildNs int64   `json:"rebuild_ns"` // full engine rebuild over the same corpus
+	Speedup   float64 `json:"speedup"`    // rebuild_ns / ingest_ns
+}
+
+// ingestResult extends the benchResult shape with per-corpus
+// incremental-vs-rebuild numbers.
+type ingestResult struct {
+	Name    string         `json:"name"`
+	Scale   float64        `json:"scale"`
+	NsPerOp int64          `json:"ns_per_op"` // whole-experiment wall time
+	Corpora []ingestCorpus `json:"corpora"`
+}
+
+func writeIngestResult(dir string, r *ingestResult) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_ingest.json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sedabench: writing %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("wrote %s\n\n", path)
 }
 
 // coldstartCorpus is one corpus row of BENCH_coldstart.json.

@@ -1,0 +1,161 @@
+package seda_test
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Documentation guards, compiled and run by `go test` (and CI's docs
+// job): every internal package must carry a package comment, and every
+// relative link or intra-document anchor in the top-level markdown docs
+// must resolve. They keep the docs pass from rotting the way the
+// pre-PR-4 README did.
+
+// docFiles are the markdown documents whose links are checked.
+var docFiles = []string{"README.md", "ARCHITECTURE.md", "ROADMAP.md"}
+
+// TestInternalPackageComments fails if any internal/ package lacks a
+// gofmt-style package comment ("Package <name> …" directly above the
+// package clause in at least one file).
+func TestInternalPackageComments(t *testing.T) {
+	pkgs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no internal packages found (run from the repo root)")
+	}
+	for _, dir := range pkgs {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue
+		}
+		name := filepath.Base(dir)
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc string
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			fset := token.NewFileSet()
+			parsed, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Errorf("%s: %v", f, err)
+				continue
+			}
+			if parsed.Doc != nil {
+				doc = parsed.Doc.Text()
+				break
+			}
+		}
+		if doc == "" {
+			t.Errorf("package internal/%s has no package comment", name)
+			continue
+		}
+		if !strings.HasPrefix(doc, "Package "+name) {
+			t.Errorf("package internal/%s: package comment must start with %q, got %q",
+				name, "Package "+name, firstLine(doc))
+		}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks checks every markdown link in the top-level docs:
+// http(s) URLs are accepted as-is (no network in tests), relative paths
+// must exist on disk, and #anchors must match a heading in the target
+// document (GitHub slug rules: lowercase, punctuation stripped, spaces
+// to dashes).
+func TestMarkdownLinks(t *testing.T) {
+	for _, doc := range docFiles {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v (docs moved? update docFiles)", doc, err)
+		}
+		content := string(raw)
+		for _, m := range mdLink.FindAllStringSubmatch(content, -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			if path != "" {
+				if _, err := os.Stat(path); err != nil {
+					t.Errorf("%s: broken link %q: %v", doc, target, err)
+					continue
+				}
+			}
+			if frag != "" {
+				fragDoc := content
+				if path != "" && path != doc {
+					b, err := os.ReadFile(path)
+					if err != nil || !strings.HasSuffix(path, ".md") {
+						continue // anchor into a non-markdown target: nothing to check
+					}
+					fragDoc = string(b)
+				}
+				if !hasAnchor(fragDoc, frag) {
+					t.Errorf("%s: anchor %q not found in %s", doc, "#"+frag, orSelf(path, doc))
+				}
+			}
+		}
+	}
+}
+
+func orSelf(path, self string) string {
+	if path == "" {
+		return self
+	}
+	return path
+}
+
+// hasAnchor reports whether any heading of the markdown document slugs to
+// frag under GitHub's rules.
+func hasAnchor(content, frag string) bool {
+	for _, line := range strings.Split(content, "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(line, "#")
+		heading = strings.TrimSpace(heading)
+		if githubSlug(heading) == frag {
+			return true
+		}
+	}
+	return false
+}
+
+// githubSlug approximates GitHub's heading-to-anchor slug: lowercase,
+// markdown emphasis/code markers and punctuation removed, spaces and
+// dashes kept as dashes.
+func githubSlug(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		case r > 127: // non-ASCII letters survive slugging
+			fmt.Fprintf(&b, "%c", r)
+		}
+	}
+	return b.String()
+}

@@ -27,6 +27,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -94,6 +95,10 @@ type Engine struct {
 
 	// id is the process-local engine serial (see ID).
 	id uint64
+
+	// ingestMu serializes AddDocuments calls against this engine (each call
+	// derives a new generation; see ingest.go).
+	ingestMu sync.Mutex
 
 	// BuildTimings records how long each construction phase took. With
 	// Parallelism > 1 the index phase overlaps the graph and dataguide

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seda/internal/datagen"
+	"seda/internal/store"
+)
+
+// The tentpole invariant of incremental ingest: an engine produced by any
+// sequence of AddDocuments calls answers top-k, context summaries, and
+// connection summaries byte-identically to an engine built from scratch
+// over the same documents in the same order. The tests render all three
+// answer surfaces to strings and compare them exactly; run them under
+// -race (make test does) to also exercise the generation-isolation
+// claims.
+
+// renderXML serializes every document of col so scratch and incremental
+// engines can be built from the identical byte streams.
+func renderXML(t *testing.T, col *store.Collection) []IngestDoc {
+	t.Helper()
+	out := make([]IngestDoc, 0, col.NumDocs())
+	for _, doc := range col.Docs() {
+		var b bytes.Buffer
+		if err := doc.WriteXML(&b); err != nil {
+			t.Fatalf("rendering %s: %v", doc.Name, err)
+		}
+		out = append(out, IngestDoc{Name: doc.Name, XML: b.Bytes()})
+	}
+	return out
+}
+
+// scratchEngine parses raw into a fresh collection and builds the engine
+// in one shot.
+func scratchEngine(t *testing.T, raw []IngestDoc, cfg Config) *Engine {
+	t.Helper()
+	col := store.NewCollection()
+	for _, d := range raw {
+		if _, err := col.AddXML(d.Name, d.XML); err != nil {
+			t.Fatalf("adding %s: %v", d.Name, err)
+		}
+	}
+	eng, err := NewEngine(col, cfg)
+	if err != nil {
+		t.Fatalf("scratch engine: %v", err)
+	}
+	return eng
+}
+
+// incrementalEngine builds a base engine over raw[:base] and ingests the
+// rest in batches batches.
+func incrementalEngine(t *testing.T, raw []IngestDoc, cfg Config, base, batches int) *Engine {
+	t.Helper()
+	eng := scratchEngine(t, raw[:base], cfg)
+	rest := raw[base:]
+	for i := 0; i < batches; i++ {
+		lo, hi := i*len(rest)/batches, (i+1)*len(rest)/batches
+		if lo == hi {
+			continue
+		}
+		next, err := eng.AddDocumentsXML(rest[lo:hi])
+		if err != nil {
+			t.Fatalf("ingest batch %d: %v", i, err)
+		}
+		eng = next
+	}
+	return eng
+}
+
+// pickQueries derives corpus-agnostic queries from the engine's own
+// vocabulary: a couple of mid-frequency terms combined into one- and
+// two-term queries, so every corpus exercises tuples, contexts, and
+// connections without hand-picked keywords.
+func pickQueries(eng *Engine) []string {
+	var terms []string
+	numDocs := eng.Collection().NumDocs()
+	for _, term := range eng.Index().Terms() {
+		df := eng.Index().DocFreq(term)
+		if df >= 2 && df <= numDocs/2+1 && len(term) >= 3 {
+			terms = append(terms, term)
+			if len(terms) == 3 {
+				break
+			}
+		}
+	}
+	var qs []string
+	for _, term := range terms {
+		qs = append(qs, fmt.Sprintf("(*, %s)", term))
+	}
+	if len(terms) >= 2 {
+		qs = append(qs, fmt.Sprintf("(*, %s) AND (*, %s)", terms[0], terms[1]))
+	}
+	if len(terms) >= 3 {
+		qs = append(qs, fmt.Sprintf("(*, %s) AND (*, %s)", terms[1], terms[2]))
+	}
+	return qs
+}
+
+// renderAnswers runs the three answer surfaces for each query and renders
+// them deterministically.
+func renderAnswers(t *testing.T, eng *Engine, queries []string) string {
+	t.Helper()
+	dict := eng.Collection().Dict()
+	var b strings.Builder
+	for _, q := range queries {
+		fmt.Fprintf(&b, "== %s\n", q)
+		s, err := eng.NewSession(q)
+		if err != nil {
+			t.Fatalf("session %q: %v", q, err)
+		}
+		rs, err := s.TopK(10)
+		if err != nil {
+			t.Fatalf("topk %q: %v", q, err)
+		}
+		for i, r := range rs {
+			fmt.Fprintf(&b, "topk[%d] score=%v content=%v compact=%v", i, r.Score, r.ContentScore, r.Compactness)
+			for j, ref := range r.Nodes {
+				fmt.Fprintf(&b, " %v:%s", ref, dict.Path(r.Paths[j]))
+			}
+			b.WriteByte('\n')
+		}
+		for _, ctx := range s.ContextSummary() {
+			fmt.Fprintf(&b, "ctx %v\n", ctx.Term)
+			for _, e := range ctx.Entries {
+				fmt.Fprintf(&b, "  %s df=%d occ=%d\n", e.PathString, e.DocFreq, e.Occurrences)
+			}
+		}
+		if eng.Dataguides() != nil && len(rs) > 0 {
+			conns, err := s.ConnectionSummary()
+			if err != nil {
+				t.Fatalf("connections %q: %v", q, err)
+			}
+			for _, c := range conns {
+				fmt.Fprintf(&b, "conn %d-%d len=%d sup=%d fp=%t %s link=%+v\n",
+					c.TermA, c.TermB, c.Length, c.Support, c.FalsePositive, c.Describe(dict), c.Link)
+			}
+		}
+	}
+	return b.String()
+}
+
+func corpusConfigs() []struct {
+	name  string
+	gen   func(float64) *store.Collection
+	scale float64
+	cfg   Config
+} {
+	return []struct {
+		name  string
+		gen   func(float64) *store.Collection
+		scale float64
+		cfg   Config
+	}{
+		{"worldfactbook", datagen.WorldFactbook, 0.05, Config{}},
+		{"mondial", datagen.Mondial, 0.05, Config{Discover: datagen.DiscoverOptionsFor("mondial")}},
+		{"googlebase", datagen.GoogleBase, 0.04, Config{}},
+		{"recipeml", datagen.RecipeML, 0.04, Config{}},
+	}
+}
+
+// TestIngestEquivalence is the acceptance criterion: incremental adds
+// across every corpus answer byte-identically to a from-scratch build.
+func TestIngestEquivalence(t *testing.T) {
+	for _, c := range corpusConfigs() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			raw := renderXML(t, c.gen(c.scale))
+			if len(raw) < 5 {
+				t.Fatalf("corpus too small: %d docs", len(raw))
+			}
+			scratch := scratchEngine(t, raw, c.cfg)
+			base := len(raw) * 3 / 5
+			incr := incrementalEngine(t, raw, c.cfg, base, 2)
+
+			if got, want := incr.Collection().Stats(), scratch.Collection().Stats(); got != want {
+				t.Fatalf("collection stats diverge: incremental %+v, scratch %+v", got, want)
+			}
+			if got, want := incr.Graph().NumEdges(), scratch.Graph().NumEdges(); got != want {
+				t.Fatalf("edge count diverges: incremental %d, scratch %d", got, want)
+			}
+			if dg := incr.Dataguides(); dg != nil {
+				if err := dg.CoverageInvariant(); err != nil {
+					t.Fatalf("incremental dataguide: %v", err)
+				}
+				if got, want := len(dg.Guides), len(scratch.Dataguides().Guides); got != want {
+					t.Fatalf("guide count diverges: incremental %d, scratch %d", got, want)
+				}
+			}
+
+			queries := pickQueries(scratch)
+			if len(queries) == 0 {
+				t.Fatal("no queries derived from vocabulary")
+			}
+			want := renderAnswers(t, scratch, queries)
+			got := renderAnswers(t, incr, queries)
+			if got != want {
+				t.Errorf("answers diverge for %s\n--- scratch ---\n%s\n--- incremental ---\n%s", c.name, want, got)
+			}
+		})
+	}
+}
+
+// TestIngestAfterSnapshotLoad exercises the retained-state rebuild path: a
+// snapshot carries no discovery state, so the first ingest after a load
+// reconstructs it from the old documents — and must still produce
+// byte-identical answers.
+func TestIngestAfterSnapshotLoad(t *testing.T) {
+	c := corpusConfigs()[1] // mondial: the link-heavy corpus
+	raw := renderXML(t, c.gen(c.scale))
+	scratch := scratchEngine(t, raw, c.cfg)
+	base := len(raw) * 3 / 5
+
+	baseEng := scratchEngine(t, raw[:base], c.cfg)
+	path := filepath.Join(t.TempDir(), "base.snap")
+	if err := SaveEngineFile(path, baseEng, ""); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngineFile(path, c.cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := loaded.AddDocumentsXML(raw[base:])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := pickQueries(scratch)
+	want := renderAnswers(t, scratch, queries)
+	got := renderAnswers(t, incr, queries)
+	if got != want {
+		t.Errorf("answers diverge after snapshot-load ingest\n--- scratch ---\n%s\n--- incremental ---\n%s", want, got)
+	}
+}
+
+// TestIngestGenerationIsolation: deriving a new generation must leave the
+// old engine's answers untouched (in-flight sessions keep reading the old
+// corpus), and the generations must not share mutable layer state.
+func TestIngestGenerationIsolation(t *testing.T) {
+	c := corpusConfigs()[0]
+	raw := renderXML(t, c.gen(c.scale))
+	base := len(raw) - 2
+	old := scratchEngine(t, raw[:base], c.cfg)
+	queries := pickQueries(old)
+	before := renderAnswers(t, old, queries)
+	oldDocs, oldEdges := old.Collection().NumDocs(), old.Graph().NumEdges()
+
+	next, err := old.AddDocumentsXML(raw[base:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID() == old.ID() {
+		t.Fatal("new generation reuses the old engine id")
+	}
+	if next.Collection().NumDocs() != base+2 {
+		t.Fatalf("new generation has %d docs, want %d", next.Collection().NumDocs(), base+2)
+	}
+	if old.Collection().NumDocs() != oldDocs || old.Graph().NumEdges() != oldEdges {
+		t.Fatal("ingest mutated the old generation's layers")
+	}
+	if after := renderAnswers(t, old, queries); after != before {
+		t.Errorf("old generation's answers changed after ingest\n--- before ---\n%s\n--- after ---\n%s", before, after)
+	}
+	if next.Catalog() != old.Catalog() {
+		t.Error("catalog should carry across generations")
+	}
+	if next.Entities() != old.Entities() {
+		t.Error("entity registry should carry across generations")
+	}
+}
+
+// TestIngestValueLinks: value-based (PK/FK) edges must extend in both
+// directions — new sources joining old targets and old sources joining
+// new targets.
+func TestIngestValueLinks(t *testing.T) {
+	mk := func(n int) IngestDoc {
+		return IngestDoc{
+			Name: fmt.Sprintf("d%d.xml", n),
+			XML: []byte(fmt.Sprintf(
+				`<order><customer>c%d</customer><account><owner>c%d</owner></account></order>`, n%3, (n+1)%3)),
+		}
+	}
+	var raw []IngestDoc
+	for i := 0; i < 6; i++ {
+		raw = append(raw, mk(i))
+	}
+	cfg := Config{ValueLinks: []ValueLink{{FromPath: "/order/customer", ToPath: "/order/account/owner", Label: "owns"}}}
+
+	scratch := scratchEngine(t, raw, cfg)
+	incr := incrementalEngine(t, raw, cfg, 3, 2)
+	if got, want := incr.Graph().NumEdges(), scratch.Graph().NumEdges(); got != want {
+		t.Fatalf("value-link edge count diverges: incremental %d, scratch %d", got, want)
+	}
+	// The edge SETS must match (order may differ for late-resolved pairs).
+	toSet := func(e *Engine) map[string]int {
+		out := make(map[string]int)
+		for _, ed := range e.Graph().Edges() {
+			out[fmt.Sprintf("%v->%v %v %s", ed.From, ed.To, ed.Kind, ed.Label)]++
+		}
+		return out
+	}
+	got, want := toSet(incr), toSet(scratch)
+	if len(got) != len(want) {
+		t.Fatalf("edge sets diverge: %d vs %d distinct", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("edge %q: incremental %d, scratch %d", k, got[k], n)
+		}
+	}
+}
+
+// TestIngestLateLinkResolution: a dangling IDREF in an old document must
+// become an edge when a new document defines the id (equivalence with a
+// full rescan in the old→new direction).
+func TestIngestLateLinkResolution(t *testing.T) {
+	raw := []IngestDoc{
+		{Name: "a.xml", XML: []byte(`<lab id="lab1"><member ref="lab2">alice</member></lab>`)},
+		{Name: "b.xml", XML: []byte(`<lab id="lab3"><member ref="lab1">bob</member></lab>`)},
+	}
+	late := IngestDoc{Name: "c.xml", XML: []byte(`<lab id="lab2"><member ref="lab3">carol</member></lab>`)}
+
+	scratch := scratchEngine(t, append(append([]IngestDoc(nil), raw...), late), Config{})
+	base := scratchEngine(t, raw, Config{})
+	if base.Graph().NumEdges() != 1 {
+		t.Fatalf("base should have 1 edge (a->nothing dangling, b->a), got %d", base.Graph().NumEdges())
+	}
+	incr, err := base.AddDocumentsXML([]IngestDoc{late})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := incr.Graph().NumEdges(), scratch.Graph().NumEdges(); got != want {
+		t.Fatalf("edge count diverges: incremental %d, scratch %d (the a.xml->lab2 reference must resolve)", got, want)
+	}
+	if incr.Graph().NumEdges() != 3 {
+		t.Fatalf("want 3 edges after ingest, got %d", incr.Graph().NumEdges())
+	}
+}
+
+func TestAddDocumentsRejectsEmpty(t *testing.T) {
+	eng := scratchEngine(t, []IngestDoc{{Name: "a.xml", XML: []byte(`<a><b>x</b></a>`)}}, Config{})
+	if _, err := eng.AddDocuments(nil); err == nil {
+		t.Error("want error for empty batch")
+	}
+	if _, err := eng.AddDocumentsXML([]IngestDoc{{Name: "bad.xml", XML: []byte(`<a>`)}}); err == nil {
+		t.Error("want error for malformed XML")
+	}
+}

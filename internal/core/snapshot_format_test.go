@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// TestSnapshotFrameLayout decodes an engine snapshot with a hand-rolled
+// reader that follows the wire-format specification in ARCHITECTURE.md
+// ("The SEDASNAP container") literally — independent of internal/snapcodec
+// — so a codec change that silently diverges from the documented frame
+// layout fails here. If this test needs editing, ARCHITECTURE.md needs the
+// same edit.
+func TestSnapshotFrameLayout(t *testing.T) {
+	eng := scratchEngine(t, []IngestDoc{
+		{Name: "a.xml", XML: []byte(`<lab id="l1"><name>alpha</name><member ref="l2">ann</member></lab>`)},
+		{Name: "b.xml", XML: []byte(`<lab id="l2"><name>beta</name></lab>`)},
+	}, Config{})
+	var buf bytes.Buffer
+	if err := SaveEngine(&buf, eng, "spec-check"); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	off := 0
+
+	// Per spec, a uvarint is Go's encoding/binary unsigned varint.
+	uvarint := func(what string) uint64 {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			t.Fatalf("truncated uvarint (%s) at offset %d", what, off)
+		}
+		off += n
+		return v
+	}
+	// Per spec, a string is a uvarint byte length followed by the bytes.
+	str := func(what string) string {
+		n := int(uvarint(what + " length"))
+		if off+n > len(data) {
+			t.Fatalf("string (%s) of %d bytes overruns input at offset %d", what, n, off)
+		}
+		s := string(data[off : off+n])
+		off += n
+		return s
+	}
+
+	// Frame 1: the 8-byte magic.
+	if string(data[:8]) != "SEDASNAP" {
+		t.Fatalf("magic = %q, want %q", data[:8], "SEDASNAP")
+	}
+	off = 8
+	// Frame 2: container format version (currently 1).
+	if v := uvarint("container version"); v != 1 {
+		t.Fatalf("container version = %d, want 1", v)
+	}
+	// Frame 3: section count. A full engine (dataguides enabled) carries
+	// the six documented sections in write order.
+	count := uvarint("section count")
+	wantSections := []string{"meta", "pathdict", "collection", "graph", "index", "dataguide"}
+	if int(count) != len(wantSections) {
+		t.Fatalf("section count = %d, want %d", count, len(wantSections))
+	}
+
+	// Per section: name (string), payload length (uvarint), CRC-32C of the
+	// payload (4 bytes big-endian, Castagnoli), payload bytes.
+	castagnoli := crc32.MakeTable(crc32.Castagnoli)
+	payloads := make(map[string][]byte, count)
+	for i := 0; i < int(count); i++ {
+		name := str("section name")
+		if name != wantSections[i] {
+			t.Fatalf("section %d = %q, want %q", i, name, wantSections[i])
+		}
+		plen := int(uvarint("payload length"))
+		if off+4+plen > len(data) {
+			t.Fatalf("section %q claims %d payload bytes, only %d remain", name, plen, len(data)-off-4)
+		}
+		storedCRC := binary.BigEndian.Uint32(data[off:])
+		off += 4
+		payload := data[off : off+plen]
+		off += plen
+		if got := crc32.Checksum(payload, castagnoli); got != storedCRC {
+			t.Fatalf("section %q: stored CRC %08x, computed %08x", name, storedCRC, got)
+		}
+		payloads[name] = payload
+	}
+	if off != len(data) {
+		t.Fatalf("%d trailing bytes after the last section", len(data)-off)
+	}
+
+	// The meta payload starts with its own version uvarint (currently 1),
+	// then the config fingerprint and the source tag as strings.
+	meta := payloads["meta"]
+	data, off = meta, 0
+	if v := uvarint("meta version"); v != 1 {
+		t.Fatalf("meta version = %d, want 1", v)
+	}
+	if fp := str("fingerprint"); fp != (Config{}).Fingerprint() {
+		t.Fatalf("stored fingerprint %q does not match Config.Fingerprint() %q", fp, (Config{}).Fingerprint())
+	}
+	if src := str("source tag"); src != "spec-check" {
+		t.Fatalf("stored source tag %q, want %q", src, "spec-check")
+	}
+}

@@ -1,16 +1,3 @@
-// Package cube implements SEDA's data cube construction (paper §7): the
-// catalog of known facts F and dimensions D, the three-step pipeline that
-// turns a complete query result R(q) into a star schema — (1) matching
-// result columns to facts/dimensions, (2) augmenting the result with key
-// columns, (3) extracting values into fact and dimension tables — and the
-// SQL/XML statements the paper's Step 3 would run against DB2.
-//
-// "The set of facts F is defined as a nested relation with the schema
-// <name, ContextList>, where ContextList has the schema <context, key>...
-// The reason why ContextList is a relation is because the underlying data
-// collection may be heterogeneous" — e.g. the GDP fact is defined by both
-// /country/economy/GDP and /country/economy/GDP_ppp after the 2005 schema
-// evolution.
 package cube
 
 import (

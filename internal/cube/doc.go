@@ -1,0 +1,26 @@
+// Package cube implements SEDA's data cube construction (paper §7): the
+// catalog of known facts F and dimensions D, the three-step pipeline that
+// turns a complete query result R(q) into a star schema — (1) matching
+// result columns to facts/dimensions, (2) augmenting the result with key
+// columns, (3) extracting values into fact and dimension tables — and the
+// SQL/XML statements the paper's Step 3 would run against DB2.
+//
+// "The set of facts F is defined as a nested relation with the schema
+// <name, ContextList>, where ContextList has the schema <context, key>...
+// The reason why ContextList is a relation is because the underlying data
+// collection may be heterogeneous" — e.g. the GDP fact is defined by both
+// /country/economy/GDP and /country/economy/GDP_ppp after the 2005 schema
+// evolution.
+//
+// # Concurrency
+//
+// The Catalog is the one piece of engine state users mutate while
+// exploring (AddFact/AddDimension/Remove); it synchronizes internally
+// with a read-write mutex and is safe for concurrent use. It is also
+// shared across engine generations by incremental ingest — definitions
+// added before an append keep working after it. A Builder is stateless
+// between Build calls (it reads the collection and catalog), so distinct
+// goroutines may build concurrently; the catalog's own locking arbitrates
+// the definitions Build registers as a side effect. Star and the tables
+// it holds are plain results owned by the caller.
+package cube

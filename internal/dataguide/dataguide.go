@@ -1,24 +1,3 @@
-// Package dataguide implements SEDA's dataguide summaries (paper §6.1),
-// following Goldman & Widom's dataguides and Nestorov et al.'s
-// representative objects.
-//
-// A dataguide is represented, as in the paper, by its set of paths: "We
-// represent a dataguide dg as a list of full root-to-leaf paths such that
-// every full root-to-leaf path in G maps onto a full root-to-leaf path in
-// one dg ∈ DG." Path sets here are prefix-closed (every node's
-// root-to-node path), which carries the same information and lets the
-// connection machinery reason about interior join nodes directly.
-//
-// Building the summary processes documents one at a time and merges each
-// document's guide into the accumulated collection using the paper's
-// overlap metric:
-//
-//	overlap(dg1,dg2) = min(|common|/|paths(dg1)|, |common|/|paths(dg2)|)
-//
-// A document guide that is a subset of (or equal to) an existing guide is
-// absorbed without changes; otherwise it merges with the best guide whose
-// overlap meets the threshold, or starts a new guide. Table 1 of the paper
-// reports the resulting guide counts at threshold 40% for four corpora.
 package dataguide
 
 import (
@@ -347,11 +326,31 @@ func (s *Set) buildLinks(g *graph.Graph) {
 	for _, l := range agg {
 		s.Links = append(s.Links, *l)
 	}
+	// The sort is a total order: the input comes off a map, so any tie left
+	// to the aggregation order would make Links — and the connection
+	// summaries derived from them — nondeterministic across builds (and
+	// break the incremental-vs-scratch equivalence invariant).
 	sort.Slice(s.Links, func(i, j int) bool {
-		if s.Links[i].Count != s.Links[j].Count {
-			return s.Links[i].Count > s.Links[j].Count
+		a, b := s.Links[i], s.Links[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
 		}
-		return s.Links[i].Label < s.Links[j].Label
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.FromGuide != b.FromGuide {
+			return a.FromGuide < b.FromGuide
+		}
+		if a.ToGuide != b.ToGuide {
+			return a.ToGuide < b.ToGuide
+		}
+		if a.FromPath != b.FromPath {
+			return a.FromPath < b.FromPath
+		}
+		if a.ToPath != b.ToPath {
+			return a.ToPath < b.ToPath
+		}
+		return a.Kind < b.Kind
 	})
 }
 

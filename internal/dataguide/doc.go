@@ -1,0 +1,38 @@
+// Package dataguide implements SEDA's dataguide summaries (paper §6.1),
+// following Goldman & Widom's dataguides and Nestorov et al.'s
+// representative objects.
+//
+// A dataguide is represented, as in the paper, by its set of paths: "We
+// represent a dataguide dg as a list of full root-to-leaf paths such that
+// every full root-to-leaf path in G maps onto a full root-to-leaf path in
+// one dg ∈ DG." Path sets here are prefix-closed (every node's
+// root-to-node path), which carries the same information and lets the
+// connection machinery reason about interior join nodes directly.
+//
+// Building the summary processes documents one at a time and merges each
+// document's guide into the accumulated collection using the paper's
+// overlap metric:
+//
+//	overlap(dg1,dg2) = min(|common|/|paths(dg1)|, |common|/|paths(dg2)|)
+//
+// A document guide that is a subset of (or equal to) an existing guide is
+// absorbed without changes; otherwise it merges with the best guide whose
+// overlap meets the threshold, or starts a new guide. Table 1 of the paper
+// reports the resulting guide counts at threshold 40% for four corpora.
+//
+// Because the merge is a left fold over documents in id order, the
+// summary extends incrementally: Set.Extend continues the fold over
+// appended documents against a deep copy of the guide set, producing
+// exactly the summary a from-scratch build over the extended collection
+// would (the ingest equivalence invariant; see internal/core/ingest.go).
+//
+// # Concurrency
+//
+// A Set is immutable once Build/BuildParallel (or Extend) returns, and
+// all read methods are then safe for concurrent use. Extend never
+// modifies its receiver — it returns a new Set for the new engine
+// generation, leaving readers of the old one undisturbed. The
+// construction-time parallelism (BuildParallel's worker pool) is
+// internal; absorption stays sequential in document order because merge
+// results are order-sensitive.
+package dataguide

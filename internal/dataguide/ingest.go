@@ -1,0 +1,58 @@
+package dataguide
+
+import (
+	"seda/internal/graph"
+	"seda/internal/pathdict"
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+)
+
+// Incremental extension: the §6.1 merge algorithm is a left fold over
+// documents in id order, so continuing the fold from the existing guide
+// set over the appended documents yields exactly the summary a
+// from-scratch build over the extended collection would — no
+// re-profiling of old documents. Only the cross-guide links are
+// recomputed (an O(edges) aggregation over the already-extended graph),
+// because a new document can both add link edges and change its guide
+// assignment's endpoints.
+
+// Extend returns a new Set summarizing col, which must be the receiver's
+// collection extended with newDocs (see store.Extend), using g as the
+// already-extended data graph (nil to skip links). The receiver is
+// deep-copied first — guides, repeatability marks, and document
+// assignments — so the old generation keeps serving concurrent readers
+// unchanged while the new documents are absorbed.
+func (s *Set) Extend(col *store.Collection, g *graph.Graph, newDocs []*xmldoc.Document) (*Set, error) {
+	ns := &Set{
+		col:       col,
+		Threshold: s.Threshold,
+		docGuide:  make(map[xmldoc.DocID]int, len(s.docGuide)+len(newDocs)),
+	}
+	for d, i := range s.docGuide {
+		ns.docGuide[d] = i
+	}
+	ns.Guides = make([]*Guide, len(s.Guides))
+	for i, gd := range s.Guides {
+		ng := &Guide{
+			ID:         gd.ID,
+			Docs:       append([]xmldoc.DocID(nil), gd.Docs...),
+			paths:      make(map[pathdict.PathID]struct{}, len(gd.paths)),
+			repeatable: make(map[pathdict.PathID]bool, len(gd.repeatable)),
+		}
+		for p := range gd.paths {
+			ng.paths[p] = struct{}{}
+		}
+		for p, v := range gd.repeatable {
+			ng.repeatable[p] = v
+		}
+		ns.Guides[i] = ng
+	}
+	for _, doc := range newDocs {
+		paths, rep := docProfile(doc)
+		ns.absorb(doc.ID, paths, rep)
+	}
+	if g != nil {
+		ns.buildLinks(g)
+	}
+	return ns, nil
+}

@@ -59,118 +59,141 @@ type DiscoverStats struct {
 // adds the corresponding edges. IDs are collection-global (the paper's
 // collections interlink documents). The edge label is the tag of the
 // referencing element.
+//
+// The id table and the unresolved references are retained on the graph so
+// a later incremental extension (DiscoverIncremental) can resolve links
+// incident to newly added documents — in either direction — without
+// rescanning the whole collection. Retaining at build time is a
+// deliberate memory-for-latency trade: it keeps even a collection's
+// FIRST append O(new documents) — the serving tier's workload — where
+// the lazy rebuild that snapshot-loaded graphs use would put an
+// O(corpus) rescan inside that first append.
 func (g *Graph) DiscoverLinks(opts DiscoverOptions) DiscoverStats {
 	opts.defaults()
+	st := &discoveryState{opts: opts, ids: make(map[string]xmldoc.NodeRef)}
 	var stats DiscoverStats
 
-	isOneOf := func(name string, set []string) bool {
-		l := strings.ToLower(name)
-		for _, s := range set {
-			if l == s {
-				return true
-			}
-		}
-		return false
-	}
-
 	// Pass 1: collect ids.
-	ids := make(map[string]xmldoc.NodeRef)
 	g.col.EachNode(func(d *xmldoc.Document, n *xmldoc.Node) {
-		if n.Kind != xmldoc.Attribute || !isOneOf(n.Tag, opts.IDAttrs) {
-			return
-		}
-		v := strings.TrimSpace(n.Text)
-		if v == "" {
-			return
-		}
-		stats.IDs++
-		// The edge target is the element owning the attribute.
-		owner := store.RefOf(d, n.Parent)
-		if _, dup := ids[v]; dup {
-			stats.Duplicate++
-			return
-		}
-		ids[v] = owner
+		st.collectID(d, n, &stats)
 	})
 
 	// Pass 2: resolve references.
 	g.col.EachNode(func(d *xmldoc.Document, n *xmldoc.Node) {
-		if n.Kind != xmldoc.Attribute {
+		g.resolveNode(st, d, n, true, &stats)
+	})
+	g.disc = st
+	return stats
+}
+
+func isOneOf(name string, set []string) bool {
+	l := strings.ToLower(name)
+	for _, s := range set {
+		if l == s {
+			return true
+		}
+	}
+	return false
+}
+
+// collectID records an ID attribute node into the state (first occurrence
+// wins, matching a full document-order scan). stats may be nil when the
+// state is being rebuilt rather than discovered.
+func (st *discoveryState) collectID(d *xmldoc.Document, n *xmldoc.Node, stats *DiscoverStats) {
+	if n.Kind != xmldoc.Attribute || !isOneOf(n.Tag, st.opts.IDAttrs) {
+		return
+	}
+	v := strings.TrimSpace(n.Text)
+	if v == "" {
+		return
+	}
+	if stats != nil {
+		stats.IDs++
+	}
+	// The edge target is the element owning the attribute.
+	owner := store.RefOf(d, n.Parent)
+	if _, dup := st.ids[v]; dup {
+		if stats != nil {
+			stats.Duplicate++
+		}
+		return
+	}
+	st.ids[v] = owner
+}
+
+// resolveNode handles one node of the reference pass: resolvable
+// references become edges (when addEdges is set; the state-rebuild pass
+// clears it because the edges already exist), unresolvable ones are
+// recorded as dangling so a later ingest can revisit them.
+func (g *Graph) resolveNode(st *discoveryState, d *xmldoc.Document, n *xmldoc.Node, addEdges bool, stats *DiscoverStats) {
+	if n.Kind != xmldoc.Attribute {
+		return
+	}
+	switch {
+	case isOneOf(n.Tag, st.opts.IDRefAttrs):
+		for _, v := range strings.Fields(n.Text) {
+			src := store.RefOf(d, n.Parent)
+			target, ok := st.ids[v]
+			if !ok {
+				if stats != nil {
+					stats.Dangling++
+				}
+				st.dangling = append(st.dangling, danglingRef{src: src, value: v, kind: IDRef, label: n.Parent.Tag})
+				continue
+			}
+			if !addEdges {
+				continue
+			}
+			if err := g.AddEdge(src, target, IDRef, n.Parent.Tag); err == nil && stats != nil {
+				stats.IDRefs++
+			}
+		}
+	case isOneOf(n.Tag, st.opts.XLinkAttrs):
+		v := strings.TrimSpace(n.Text)
+		if !strings.HasPrefix(v, "#") {
+			return // external URI; not resolvable inside the collection
+		}
+		src := store.RefOf(d, n.Parent)
+		target, ok := st.ids[v[1:]]
+		if !ok {
+			if stats != nil {
+				stats.Dangling++
+			}
+			st.dangling = append(st.dangling, danglingRef{src: src, value: v[1:], kind: XLink, label: n.Parent.Tag})
 			return
 		}
-		switch {
-		case isOneOf(n.Tag, opts.IDRefAttrs):
-			for _, v := range strings.Fields(n.Text) {
-				target, ok := ids[v]
-				if !ok {
-					stats.Dangling++
-					continue
-				}
-				src := store.RefOf(d, n.Parent)
-				if err := g.AddEdge(src, target, IDRef, n.Parent.Tag); err == nil {
-					stats.IDRefs++
-				}
-			}
-		case isOneOf(n.Tag, opts.XLinkAttrs):
-			v := strings.TrimSpace(n.Text)
-			if !strings.HasPrefix(v, "#") {
-				return // external URI; not resolvable inside the collection
-			}
-			target, ok := ids[v[1:]]
-			if !ok {
-				stats.Dangling++
-				return
-			}
-			src := store.RefOf(d, n.Parent)
-			if err := g.AddEdge(src, target, XLink, n.Parent.Tag); err == nil {
-				stats.XLinks++
-			}
+		if !addEdges {
+			return
 		}
-	})
-	return stats
+		if err := g.AddEdge(src, target, XLink, n.Parent.Tag); err == nil && stats != nil {
+			stats.XLinks++
+		}
+	}
 }
 
 // AddValueLinks joins nodes at fromPath to nodes at toPath on equal content
 // (a primary key/foreign key relationship) and adds a Value edge per pair,
 // labeled label. It returns the number of edges added. Nodes with empty
 // content never join.
+//
+// The per-value source and target tables are retained on the graph so an
+// incremental extension (ExtendValueLinks) can join newly added documents
+// against the existing ones without rescanning them.
 func (g *Graph) AddValueLinks(fromPath, toPath, label string) int {
-	dict := g.col.Dict()
-	fp := dict.LookupPath(fromPath)
-	tp := dict.LookupPath(toPath)
-	if fp == 0 || tp == 0 {
-		return 0
-	}
-	// Index target values.
-	targets := make(map[string][]xmldoc.NodeRef)
-	g.col.EachNode(func(d *xmldoc.Document, n *xmldoc.Node) {
-		if n.Path != tp {
-			return
-		}
-		v := strings.TrimSpace(n.Content())
-		if v == "" {
-			return
-		}
-		targets[v] = append(targets[v], store.RefOf(d, n))
-	})
+	st := &valueLinkState{fromPath: fromPath, toPath: toPath, label: label}
+	srcs, tgts := st.collect(g.col, g.col.Docs())
+	st.srcs, st.targets = srcs, tgts
 	added := 0
-	g.col.EachNode(func(d *xmldoc.Document, n *xmldoc.Node) {
-		if n.Path != fp {
-			return
-		}
-		v := strings.TrimSpace(n.Content())
-		if v == "" {
-			return
-		}
-		src := store.RefOf(d, n)
-		for _, t := range targets[v] {
-			if src.Equal(t) {
+	for _, s := range st.srcs {
+		for _, t := range st.targets[s.value] {
+			if s.ref.Equal(t) {
 				continue
 			}
-			if err := g.AddEdge(src, t, Value, label); err == nil {
+			if err := g.AddEdge(s.ref, t, Value, label); err == nil {
 				added++
 			}
 		}
-	})
+	}
+	g.vls = append(g.vls, st)
 	return added
 }

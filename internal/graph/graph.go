@@ -66,6 +66,15 @@ type Graph struct {
 	// distances.
 	outByDoc map[xmldoc.DocID][]int
 	inByDoc  map[xmldoc.DocID][]int
+
+	// disc is the retained link-discovery state (ids seen, references that
+	// did not resolve) enabling incremental extension. DiscoverLinks
+	// populates it; decoded snapshots carry none, so the first incremental
+	// ingest after a load rebuilds it by rescanning (see ingest.go).
+	disc *discoveryState
+	// vls retains per-call value-link join state, in AddValueLinks call
+	// order, for the same purpose.
+	vls []*valueLinkState
 }
 
 // New returns an empty overlay for col.

@@ -1,0 +1,104 @@
+package index
+
+import (
+	"sort"
+
+	"seda/internal/pathdict"
+	"seda/internal/store"
+	"seda/internal/xmldoc"
+)
+
+// Incremental extension: a delta segment over newly added documents is
+// merged into copies of the posting lists instead of re-scanning the whole
+// collection. This reuses the shard machinery of BuildParallel — the new
+// documents are scanned exactly like one more contiguous shard — and the
+// same merge identity makes the result byte-identical to a from-scratch
+// build: new documents carry strictly larger doc ids, so their normalized
+// postings concatenate after the existing (already normalized) lists in
+// global (doc, Dewey) order.
+
+// Extend returns a new Index over col covering the receiver's documents
+// plus newDocs. col must be the extended collection (see store.Extend)
+// and newDocs its appended suffix, in order. The receiver is not
+// modified and remains valid for concurrent readers: every changed
+// posting list, context-index entry, and per-path node list is a fresh
+// slice or map, while unchanged ones are shared.
+func (ix *Index) Extend(col *store.Collection, newDocs []*xmldoc.Document) *Index {
+	sh := buildShard(newDocs)
+	nix := &Index{
+		col:         col,
+		postings:    make(map[string][]Posting, len(ix.postings)+len(sh.postings)),
+		pathTerms:   make(map[string]map[pathdict.PathID]int, len(ix.pathTerms)),
+		termDocFreq: make(map[string]int, len(ix.termDocFreq)+len(sh.termDocFreq)),
+		pathNodes:   make(map[pathdict.PathID][]xmldoc.NodeRef, len(ix.pathNodes)),
+	}
+	for t, ps := range ix.postings {
+		nix.postings[t] = ps
+	}
+	for t, m := range ix.pathTerms {
+		nix.pathTerms[t] = m
+	}
+	for t, n := range ix.termDocFreq {
+		nix.termDocFreq[t] = n
+	}
+	for p, refs := range ix.pathNodes {
+		nix.pathNodes[p] = refs
+	}
+
+	for term, ps := range sh.postings {
+		delta := normalizePostings(ps)
+		if old, ok := nix.postings[term]; ok {
+			merged := make([]Posting, 0, len(old)+len(delta))
+			merged = append(merged, old...)
+			merged = append(merged, delta...)
+			nix.postings[term] = merged
+		} else {
+			nix.postings[term] = delta
+		}
+	}
+	for term, paths := range sh.pathTerms {
+		old, ok := nix.pathTerms[term]
+		if !ok {
+			nix.pathTerms[term] = paths
+			continue
+		}
+		m := make(map[pathdict.PathID]int, len(old)+len(paths))
+		for p, n := range old {
+			m[p] = n
+		}
+		for p, n := range paths {
+			m[p] += n
+		}
+		nix.pathTerms[term] = m
+	}
+	for term, n := range sh.termDocFreq {
+		nix.termDocFreq[term] += n // new documents are disjoint from old ones
+	}
+	for p, refs := range sh.pathNodes {
+		if old, ok := nix.pathNodes[p]; ok {
+			merged := make([]xmldoc.NodeRef, 0, len(old)+len(refs))
+			merged = append(merged, old...)
+			merged = append(merged, refs...)
+			nix.pathNodes[p] = merged
+		} else {
+			nix.pathNodes[p] = refs
+		}
+	}
+
+	nix.terms = make([]string, 0, len(nix.postings))
+	for t := range nix.postings {
+		nix.terms = append(nix.terms, t)
+	}
+	sort.Strings(nix.terms)
+	dict := col.Dict()
+	nix.allPaths = make([]pathdict.PathID, 0, len(nix.pathNodes))
+	for p := range nix.pathNodes {
+		nix.allPaths = append(nix.allPaths, p)
+	}
+	sort.Slice(nix.allPaths, func(i, j int) bool { return dict.Path(nix.allPaths[i]) < dict.Path(nix.allPaths[j]) })
+	return nix
+}
+
+// Terms returns the node index's vocabulary in sorted order. The returned
+// slice must not be modified.
+func (ix *Index) Terms() []string { return ix.terms }

@@ -75,9 +75,15 @@ type regEntry struct {
 	done    atomic.Bool // set after a successful build; gates lock-free peeks
 	build   engineBuilder
 	eng     *core.Engine
-	// fromSnapshot records whether eng was loaded from snapshotPath
-	// (written before done is set, read only after done reports true).
-	fromSnapshot bool
+	// live mirrors eng for lock-free reads: generation checks by the async
+	// snapshot writer (which must not take buildMu — see persistGeneration)
+	// and the stats listing. Written under buildMu.
+	live atomic.Pointer[core.Engine]
+	// fromSnapshot records whether the served engine came from snapshotPath
+	// unmodified; an ingest clears it (the generation in memory is newer
+	// than any snapshot until the re-persist lands). Atomic because the
+	// stats listing reads it lock-free while ingests rewrite it.
+	fromSnapshot atomic.Bool
 	// snapshotBytes is the engine's size on disk, 0 when not persisted.
 	snapshotBytes atomic.Int64
 	// persistErr holds the last snapshot-write failure as a string ("" =
@@ -89,6 +95,12 @@ type regEntry struct {
 func (e *regEntry) engine(r *Registry) (*core.Engine, error) {
 	e.buildMu.Lock()
 	defer e.buildMu.Unlock()
+	return e.engineLocked(r)
+}
+
+// engineLocked is engine's body for callers already holding buildMu (the
+// ingest path builds and then swaps under one critical section).
+func (e *regEntry) engineLocked(r *Registry) (*core.Engine, error) {
 	if e.eng != nil {
 		return e.eng, nil
 	}
@@ -135,7 +147,8 @@ func (e *regEntry) engine(r *Registry) (*core.Engine, error) {
 // adopt installs a built or loaded engine; callers hold buildMu.
 func (e *regEntry) adopt(eng *core.Engine, fromSnapshot bool) {
 	e.eng = eng
-	e.fromSnapshot = fromSnapshot
+	e.live.Store(eng)
+	e.fromSnapshot.Store(fromSnapshot)
 	if fromSnapshot {
 		e.statSnapshot()
 	}
@@ -149,12 +162,13 @@ func (e *regEntry) statSnapshot() {
 }
 
 // builtEngine returns the engine if the build has completed successfully,
-// else nil. It never triggers or waits for a build.
+// else nil. It never triggers or waits for a build (and reads the atomic
+// generation mirror, since an ingest may swap the engine at any time).
 func (e *regEntry) builtEngine() *core.Engine {
 	if !e.done.Load() {
 		return nil
 	}
-	return e.eng
+	return e.live.Load()
 }
 
 // state reports the entry's build state for the wire.
@@ -162,7 +176,7 @@ func (e *regEntry) state() string {
 	if !e.done.Load() {
 		return StateCold
 	}
-	if e.fromSnapshot {
+	if e.fromSnapshot.Load() {
 		return StateLoaded
 	}
 	return StateBuilt
@@ -410,9 +424,105 @@ func (r *Registry) Engine(name string) (*core.Engine, error) {
 	e := r.entries[name]
 	r.mu.RUnlock()
 	if e == nil {
-		return nil, fmt.Errorf("server: unknown collection %q", name)
+		return nil, fmt.Errorf("server: %w %q", ErrUnknownCollection, name)
 	}
 	return e.engine(r)
+}
+
+// ErrUnknownCollection reports an ingest or lookup against a name that was
+// never registered; handlers map it to 404.
+var ErrUnknownCollection = errors.New("unknown collection")
+
+// errColdBuildFailed marks an ingest that failed before the append even
+// started, in the entry's own lazy build/load — a server-side condition
+// (corrupt snapshot, generator failure), not a problem with the uploaded
+// documents; the handler maps it to 500 instead of 400.
+var errColdBuildFailed = errors.New("building collection before ingest")
+
+// Ingest appends documents to a live collection: the current engine (built
+// or loaded on the spot if the entry is still cold) derives a new
+// generation via core's incremental AddDocuments, and the registry swaps
+// the entry to it atomically. In-flight sessions keep reading the old
+// generation (they hold the engine pointer), the shared top-k cache
+// self-invalidates (it keys on the engine id, and the new generation has a
+// new id), and — when the registry is disk-backed — the new generation
+// re-snapshots asynchronously so the append survives a restart without
+// stalling the request.
+//
+// The entry's source tag is re-derived from the previous tag plus the
+// ingested documents, so a later re-registration of the name from its
+// original source (builtin or upload) detects the drift and rebuilds from
+// that source — re-registering is an explicit reset, while boot discovery
+// adopts the ingested snapshot as-is.
+func (r *Registry) Ingest(name string, docs []documentPayload) (*core.Engine, error) {
+	r.mu.RLock()
+	e := r.entries[name]
+	r.mu.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("server: %w %q", ErrUnknownCollection, name)
+	}
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	eng, err := e.engineLocked(r)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w %q: %v", errColdBuildFailed, name, err)
+	}
+	batch := make([]core.IngestDoc, len(docs))
+	for i, d := range docs {
+		batch[i] = core.IngestDoc{Name: d.Name, XML: []byte(d.XML)}
+	}
+	next, err := eng.AddDocumentsXML(batch)
+	if err != nil {
+		return nil, err
+	}
+	// Generation swap. state() now reports "built": the served engine no
+	// longer equals what any snapshot holds until the re-persist lands.
+	e.eng = next
+	e.live.Store(next)
+	e.fromSnapshot.Store(false)
+	e.source = ingestSource(e.source, docs)
+	if e.snapshotPath != "" {
+		go r.persistGeneration(e, next, e.source)
+	}
+	return next, nil
+}
+
+// ingestSource chains the entry's source tag with a content hash of the
+// ingested documents. The chain is deterministic and collision-resistant,
+// so snapshot-cache validation keeps working: the same base registration
+// plus the same ingest sequence revalidates, anything else rebuilds.
+func ingestSource(prev string, docs []documentPayload) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d:%s:", len(prev), prev)
+	for _, d := range docs {
+		fmt.Fprintf(h, "%d:%s:%d:", len(d.Name), d.Name, len(d.XML))
+		h.Write([]byte(d.XML))
+	}
+	return fmt.Sprintf("ingest:sha256=%x", h.Sum(nil))
+}
+
+// persistGeneration is the asynchronous re-snapshot after an ingest. It
+// deliberately avoids buildMu (a sync persist inside engineLocked may hold
+// it while waiting on persistMu; taking them in the other order here would
+// deadlock) and instead checks the lock-free generation mirror under
+// persistMu: if the entry has been superseded, or a newer generation has
+// already been swapped in, this write is skipped — the newest generation's
+// own persist is (or was) responsible for the file.
+func (r *Registry) persistGeneration(e *regEntry, eng *core.Engine, source string) {
+	r.persistMu.Lock()
+	defer r.persistMu.Unlock()
+	r.mu.RLock()
+	current := r.entries[e.name] == e
+	r.mu.RUnlock()
+	if !current || e.live.Load() != eng {
+		return
+	}
+	if err := core.SaveEngineFile(e.snapshotPath, eng, source); err != nil {
+		e.persistErr.Store(err.Error())
+		return
+	}
+	e.persistErr.Store("")
+	e.statSnapshot()
 }
 
 // RegistryInfo describes one registered collection for the wire.

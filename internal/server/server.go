@@ -24,6 +24,7 @@
 //	GET    /debug/stats                     registry + session + cache counters
 //	GET    /collections                     list registered collections
 //	POST   /collections                     register a builtin or uploaded corpus
+//	POST   /collections/{name}/documents    append documents to a live collection
 //	POST   /collections/{name}/catalog      add fact/dimension definitions
 //	POST   /sessions                        parse a query, start an exploration
 //	GET    /sessions/{id}                   session info
@@ -144,6 +145,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /debug/stats", s.handleStats)
 	s.mux.HandleFunc("GET /collections", s.handleListCollections)
 	s.mux.HandleFunc("POST /collections", s.handleCreateCollection)
+	s.mux.HandleFunc("POST /collections/{name}/documents", s.handleIngestDocuments)
 	s.mux.HandleFunc("POST /collections/{name}/catalog", s.handleCatalog)
 	s.mux.HandleFunc("POST /sessions", s.handleCreateSession)
 	s.mux.HandleFunc("GET /sessions/{id}", s.handleSessionInfo)
@@ -294,6 +296,42 @@ func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	writeJSON(w, http.StatusCreated, RegistryInfo{Name: req.Name, Builtin: req.Builtin, State: StateCold})
+}
+
+// handleIngestDocuments appends uploaded documents to a live collection.
+// The registry swaps in a new engine generation built by incremental
+// ingest (core.Engine.AddDocuments): sessions created before the swap keep
+// reading the old generation, new sessions see the extended corpus, and
+// the top-k cache needs no eviction because its keys include the engine id.
+func (s *Server) handleIngestDocuments(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req ingestRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Documents) == 0 {
+		writeError(w, http.StatusBadRequest, "at least one document is required")
+		return
+	}
+	eng, err := s.registry.Ingest(name, req.Documents)
+	if err != nil {
+		status := http.StatusBadRequest // the documents themselves were rejected
+		switch {
+		case errors.Is(err, ErrUnknownCollection):
+			status = http.StatusNotFound
+		case errors.Is(err, errColdBuildFailed):
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Collection: name,
+		DocsAdded:  len(req.Documents),
+		Docs:       eng.Collection().NumDocs(),
+		Nodes:      eng.Collection().NumNodes(),
+		State:      StateBuilt,
+	})
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {

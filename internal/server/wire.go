@@ -35,6 +35,12 @@ type documentPayload struct {
 	XML  string `json:"xml"`
 }
 
+type ingestRequest struct {
+	// Documents are appended to the collection in order (incremental
+	// ingest; see POST /collections/{name}/documents).
+	Documents []documentPayload `json:"documents"`
+}
+
 type catalogRequest struct {
 	Facts      []defPayload `json:"facts,omitempty"`
 	Dimensions []defPayload `json:"dimensions,omitempty"`
@@ -95,6 +101,14 @@ type analyzeRequest struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+type ingestResponse struct {
+	Collection string `json:"collection"`
+	DocsAdded  int    `json:"docs_added"`
+	Docs       int    `json:"docs"`  // total documents after the append
+	Nodes      int    `json:"nodes"` // total nodes after the append
+	State      string `json:"state"`
 }
 
 type sessionResponse struct {

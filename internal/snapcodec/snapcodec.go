@@ -1,32 +1,3 @@
-// Package snapcodec is the binary substrate of SEDA's engine snapshots:
-// error-sticky primitive writers/readers plus the section-framed container
-// that core.SaveEngine/LoadEngine wrap every derived layer in.
-//
-// Design constraints, in order:
-//
-//   - Determinism. The same in-memory state must always encode to the same
-//     bytes (snapshots are content-compared across save→load→save), so
-//     encoders never iterate Go maps directly — callers sort first.
-//   - Hostility. Decoders consume attacker-controllable files. Every length
-//     read from the wire is validated against the bytes actually remaining
-//     before anything is allocated, and all failures surface as wrapped
-//     errors — never a panic, never an unbounded allocation.
-//   - Simplicity. Varint-heavy, no reflection, no interning tables beyond
-//     what the layers themselves encode.
-//
-// The container format (written by WriteContainer, read by ReadContainer):
-//
-//	magic   "SEDASNAP"                       8 bytes
-//	version uvarint                          container format version
-//	count   uvarint                          number of sections
-//	per section:
-//	  name    string (uvarint length + bytes)
-//	  length  uvarint                        payload bytes
-//	  crc32c  4 bytes big-endian             Castagnoli checksum of payload
-//	  payload bytes
-//
-// Section payloads are layer-owned; each layer starts its payload with its
-// own version uvarint so layers can evolve independently of the container.
 package snapcodec
 
 import (

@@ -69,6 +69,39 @@ func (c *Collection) AddDocument(doc *xmldoc.Document) xmldoc.DocID {
 	return id
 }
 
+// Extend returns a new collection holding the receiver's documents plus
+// docs, appended in order. The new collection shares the receiver's path
+// dictionary (append-only, internally synchronized) and document objects,
+// but carries its own copies of the per-path statistics, so the receiver
+// is never modified: readers of the old generation keep a fully
+// consistent view while the new one is assembled (the
+// immutability-per-generation contract, see ARCHITECTURE.md).
+//
+// docs must already be finalized against the receiver's dictionary
+// (xmldoc.Parse with c.Dict(), or xmldoc.Finalize); they are assigned the
+// next document ids, exactly as if they had been added to a from-scratch
+// collection after the existing documents.
+func (c *Collection) Extend(docs []*xmldoc.Document) *Collection {
+	nc := &Collection{
+		dict:        c.dict,
+		docs:        make([]*xmldoc.Document, len(c.docs), len(c.docs)+len(docs)),
+		pathDocFreq: make(map[pathdict.PathID]int, len(c.pathDocFreq)),
+		pathOcc:     make(map[pathdict.PathID]int, len(c.pathOcc)),
+		nodeCount:   c.nodeCount,
+	}
+	copy(nc.docs, c.docs)
+	for p, n := range c.pathDocFreq {
+		nc.pathDocFreq[p] = n
+	}
+	for p, n := range c.pathOcc {
+		nc.pathOcc[p] = n
+	}
+	for _, d := range docs {
+		nc.AddDocument(d)
+	}
+	return nc
+}
+
 // NumDocs returns the number of documents.
 func (c *Collection) NumDocs() int { return len(c.docs) }
 

@@ -26,8 +26,10 @@
 // Dewey identifiers, the full-text and context indexes, the data graph with
 // IDREF/XLink/value edges, dataguide summaries with overlap merging, the
 // TA-style top-k search, holistic twig joins, relative XML keys, star
-// schema construction, an OLAP substrate, and versioned engine snapshots
-// (SaveEngine/LoadEngine) that persist every derived layer to disk.
+// schema construction, an OLAP substrate, versioned engine snapshots
+// (SaveEngine/LoadEngine) that persist every derived layer to disk, and
+// incremental ingest ((*Engine).AddDocuments) that appends documents to a
+// live engine by deriving a new generation instead of rebuilding.
 package seda
 
 import (
@@ -65,6 +67,10 @@ type (
 	Config = core.Config
 	// ValueLink declares a value-based (PK/FK) edge for the data graph.
 	ValueLink = core.ValueLink
+	// IngestDoc is one raw XML document for (*Engine).AddDocumentsXML —
+	// the incremental ingest path that derives a new engine generation
+	// without a full rebuild.
+	IngestDoc = core.IngestDoc
 )
 
 // Storage and model types.
