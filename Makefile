@@ -1,7 +1,7 @@
 GO ?= go
 SCALE ?= 0.05
 
-.PHONY: build test bench bench-smoke bench-coldstart bench-ingest serve vet
+.PHONY: build test bench bench-smoke bench-coldstart bench-ingest bench-shards serve vet fmt-check
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet
+# Fails if any file is not gofmt-clean (CI gates on this too).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+test: vet fmt-check
 	$(GO) test -race ./...
 
 # Micro-benchmarks plus the paper-experiment harness; the harness leaves
@@ -37,6 +41,13 @@ bench-coldstart:
 # 0.1, like the rest of the BENCH trajectory).
 bench-ingest:
 	$(GO) run ./cmd/sedabench -exp ingest -scale 0.1
+
+# Sharding benchmark: 1-shard vs multi-shard engine build and snapshot
+# load per builtin corpus, refreshing the checked-in BENCH_shards.json
+# (scale 0.1, like the rest of the BENCH trajectory). The multi-shard
+# columns improve with GOMAXPROCS; single-core boxes record parity.
+bench-shards:
+	$(GO) run ./cmd/sedabench -exp shards -scale 0.1
 
 serve:
 	$(GO) run ./cmd/sedad -preload worldfactbook -scale $(SCALE)

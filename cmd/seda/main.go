@@ -47,6 +47,7 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "generator scale")
 	data := flag.String("data", "", "directory of .xml files to load")
 	k := flag.Int("k", 10, "default top-k")
+	shards := flag.Int("shards", 0, "horizontal index shards (0 = single shard; answers are identical at any setting)")
 	flag.Parse()
 
 	var col *seda.Collection
@@ -72,6 +73,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *shards < 0 {
+		fail(fmt.Errorf("-shards must be >= 0"))
+	}
+	cfg.Shards = *shards
 	eng, err := seda.NewEngine(col, cfg)
 	if err != nil {
 		fail(err)

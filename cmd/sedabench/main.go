@@ -38,16 +38,22 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|coldstart|ingest|all")
+	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|coldstart|ingest|shards|all")
 	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = paper size)")
 	out := flag.String("out", ".", "directory for BENCH_<name>.json result files (empty disables)")
 	par := flag.Int("parallelism", 0, "worker goroutines for engine builds and searches (0 = all cores, 1 = sequential)")
+	shardsFlag := flag.Int("shards", 0, "horizontal index shards per engine (0 = single shard); the shards experiment compares 1 against max(this, 4)")
 	flag.Parse()
 	if *par < 0 {
 		fmt.Fprintln(os.Stderr, "sedabench: -parallelism must be >= 0")
 		os.Exit(2)
 	}
+	if *shardsFlag < 0 {
+		fmt.Fprintln(os.Stderr, "sedabench: -shards must be >= 0")
+		os.Exit(2)
+	}
 	parallelism = *par
+	shardCount = *shardsFlag
 
 	run := func(name string, fn func(float64)) {
 		if *exp == "all" || *exp == name {
@@ -67,6 +73,7 @@ func main() {
 					NsPerOp:    elapsed.Nanoseconds(),
 					Allocs:     m1.Mallocs - m0.Mallocs,
 					AllocBytes: m1.TotalAlloc - m0.TotalAlloc,
+					Env:        currentEnv(),
 				})
 			}
 		}
@@ -103,9 +110,22 @@ func main() {
 		}
 	}
 
+	// shards writes a richer per-corpus BENCH file (1-shard vs multi-shard
+	// build and snapshot load), so it manages its own result file too.
+	if *exp == "all" || *exp == "shards" {
+		fmt.Println("==== shards ====")
+		start := time.Now()
+		res := shardsExp(*scale)
+		res.NsPerOp = time.Since(start).Nanoseconds()
+		fmt.Printf("(shards in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			writeShardsResult(*out, res)
+		}
+	}
+
 	if *exp != "all" {
 		switch *exp {
-		case "table1", "intext", "sweep", "figure3", "controlflow", "ablations", "coldstart", "ingest":
+		case "table1", "intext", "sweep", "figure3", "controlflow", "ablations", "coldstart", "ingest", "shards":
 		default:
 			fmt.Fprintf(os.Stderr, "sedabench: unknown experiment %q\n", *exp)
 			os.Exit(2)
@@ -191,10 +211,14 @@ func sweep(scale float64) {
 // builds and top-k searches (0 = all cores).
 var parallelism int
 
+// shardCount is the -shards flag: horizontal index shards per engine
+// (0 = single shard).
+var shardCount int
+
 // wfbEngineWithCatalog builds the full-scale engine + Figure 3(b) catalog.
 func wfbEngineWithCatalog(scale float64) *seda.Engine {
 	col := seda.WorldFactbook(scale)
-	eng, err := seda.NewEngine(col, seda.Config{Parallelism: parallelism})
+	eng, err := seda.NewEngine(col, seda.Config{Parallelism: parallelism, Shards: shardCount})
 	if err != nil {
 		fatal(err)
 	}
@@ -364,7 +388,7 @@ func ablations(scale float64) {
 // paths start from bytes — rendered XML documents, or the snapshot file —
 // and end with a serving-ready engine.
 func coldstart(scale float64) *coldstartResult {
-	res := &coldstartResult{Name: "coldstart", Scale: scale}
+	res := &coldstartResult{Name: "coldstart", Scale: scale, Env: currentEnv()}
 	tmp, err := os.MkdirTemp("", "seda-coldstart-*")
 	if err != nil {
 		fatal(err)
@@ -384,6 +408,7 @@ func coldstart(scale float64) *coldstartResult {
 	} {
 		cfg := c.cfg
 		cfg.Parallelism = parallelism
+		cfg.Shards = shardCount
 
 		// Setup (untimed): render the corpus to XML bytes and write the
 		// snapshot the load path will read.
@@ -462,7 +487,7 @@ func coldstart(scale float64) *coldstartResult {
 // the incremental side additionally pays the XML parse of the new
 // document, which is the serving tier's real workload.
 func ingest(scale float64) *ingestResult {
-	res := &ingestResult{Name: "ingest", Scale: scale}
+	res := &ingestResult{Name: "ingest", Scale: scale, Env: currentEnv()}
 	fmt.Printf("%-16s %8s %14s %14s %10s\n", "corpus", "docs", "add-one-doc", "full-rebuild", "speedup")
 	for _, c := range []struct {
 		name string
@@ -476,6 +501,7 @@ func ingest(scale float64) *ingestResult {
 	} {
 		cfg := c.cfg
 		cfg.Parallelism = parallelism
+		cfg.Shards = shardCount
 
 		// Setup (untimed): render the corpus to XML and build the base
 		// engine over all but the last document, plus the full collection
@@ -543,6 +569,142 @@ func ingest(scale float64) *ingestResult {
 	return res
 }
 
+// shardsExp compares the 1-shard and multi-shard execution planes per
+// builtin corpus: full engine build and snapshot load wall-clock at each
+// layout. Sharding parallelizes the index scan, the top-k scatter, and
+// snapshot encode/decode, so the multi-shard columns improve with
+// GOMAXPROCS; on a single-core box they track the 1-shard columns (the
+// layout costs nothing, it just cannot pay out without cores). The
+// 1-shard numbers are the same workload the coldstart experiment records,
+// so they double as a baseline cross-check.
+func shardsExp(scale float64) *shardsResult {
+	multi := shardCount
+	if multi <= 1 {
+		multi = 4
+	}
+	res := &shardsResult{Name: "shards", Scale: scale, Shards: multi, Env: currentEnv()}
+	tmp, err := os.MkdirTemp("", "seda-shards-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	fmt.Printf("%-16s %14s %14s %14s %14s\n", "corpus", "build 1-shard", fmt.Sprintf("build %d-shard", multi), "load 1-shard", fmt.Sprintf("load %d-shard", multi))
+	for _, c := range []struct {
+		name string
+		gen  func(float64) *seda.Collection
+		cfg  seda.Config
+	}{
+		{"worldfactbook", seda.WorldFactbook, seda.Config{}},
+		{"mondial", seda.Mondial, seda.MondialConfig()},
+		{"googlebase", seda.GoogleBase, seda.Config{}},
+		{"recipeml", seda.RecipeML, seda.Config{}},
+	} {
+		col := c.gen(scale)
+		row := shardsCorpus{Name: c.name, Docs: col.NumDocs()}
+
+		measure := func(shards int) (buildNs, loadNs int64) {
+			cfg := c.cfg
+			cfg.Parallelism = parallelism
+			cfg.Shards = shards
+
+			start := time.Now()
+			eng, err := seda.NewEngine(col, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			buildNs = time.Since(start).Nanoseconds()
+
+			snap := filepath.Join(tmp, fmt.Sprintf("%s-%d.snap", c.name, shards))
+			if err := seda.SaveEngineFile(snap, eng); err != nil {
+				fatal(err)
+			}
+			start = time.Now()
+			loaded, err := seda.LoadEngineFile(snap, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			loadNs = time.Since(start).Nanoseconds()
+			if loaded.NumShards() != eng.NumShards() {
+				fatal(fmt.Errorf("shards: %s loaded with %d shards, saved %d", c.name, loaded.NumShards(), eng.NumShards()))
+			}
+			if loaded.Index().NumTerms() != eng.Index().NumTerms() {
+				fatal(fmt.Errorf("shards: %s loaded engine differs from built engine", c.name))
+			}
+			return buildNs, loadNs
+		}
+
+		row.Build1Ns, row.Load1Ns = measure(1)
+		row.BuildNNs, row.LoadNNs = measure(multi)
+		row.BuildSpeedup = float64(row.Build1Ns) / float64(row.BuildNNs)
+		row.LoadSpeedup = float64(row.Load1Ns) / float64(row.LoadNNs)
+		fmt.Printf("%-16s %14v %14v %14v %14v\n", c.name,
+			time.Duration(row.Build1Ns).Round(time.Microsecond),
+			time.Duration(row.BuildNNs).Round(time.Microsecond),
+			time.Duration(row.Load1Ns).Round(time.Microsecond),
+			time.Duration(row.LoadNNs).Round(time.Microsecond))
+		res.Corpora = append(res.Corpora, row)
+	}
+	return res
+}
+
+// shardsCorpus is one corpus row of BENCH_shards.json.
+type shardsCorpus struct {
+	Name         string  `json:"name"`
+	Docs         int     `json:"docs"`
+	Build1Ns     int64   `json:"build_1shard_ns"`
+	BuildNNs     int64   `json:"build_nshard_ns"`
+	Load1Ns      int64   `json:"load_1shard_ns"`
+	LoadNNs      int64   `json:"load_nshard_ns"`
+	BuildSpeedup float64 `json:"build_speedup"` // build_1shard_ns / build_nshard_ns
+	LoadSpeedup  float64 `json:"load_speedup"`  // load_1shard_ns / load_nshard_ns
+}
+
+// shardsResult extends the benchResult shape with per-corpus
+// 1-shard-vs-multi-shard numbers.
+type shardsResult struct {
+	Name    string         `json:"name"`
+	Scale   float64        `json:"scale"`
+	Shards  int            `json:"shards"` // the multi-shard layout measured
+	NsPerOp int64          `json:"ns_per_op"`
+	Env     benchEnv       `json:"env"`
+	Corpora []shardsCorpus `json:"corpora"`
+}
+
+func writeShardsResult(dir string, r *shardsResult) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_shards.json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sedabench: writing %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("wrote %s\n\n", path)
+}
+
+// benchEnv records the execution environment in every BENCH_*.json so a
+// perf trajectory is only ever compared across like machines: wall-clock
+// from a 1-core container says nothing about an 8-core box.
+type benchEnv struct {
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	GoVersion   string `json:"go_version"`
+	Parallelism int    `json:"parallelism"` // the -parallelism flag (0 = all cores)
+	ShardsFlag  int    `json:"shards_flag"` // the -shards flag (0 = single shard)
+}
+
+func currentEnv() benchEnv {
+	return benchEnv{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
+		Parallelism: parallelism,
+		ShardsFlag:  shardCount,
+	}
+}
+
 // ingestCorpus is one corpus row of BENCH_ingest.json.
 type ingestCorpus struct {
 	Name      string  `json:"name"`
@@ -558,6 +720,7 @@ type ingestResult struct {
 	Name    string         `json:"name"`
 	Scale   float64        `json:"scale"`
 	NsPerOp int64          `json:"ns_per_op"` // whole-experiment wall time
+	Env     benchEnv       `json:"env"`
 	Corpora []ingestCorpus `json:"corpora"`
 }
 
@@ -589,6 +752,7 @@ type coldstartResult struct {
 	Name    string            `json:"name"`
 	Scale   float64           `json:"scale"`
 	NsPerOp int64             `json:"ns_per_op"` // whole-experiment wall time
+	Env     benchEnv          `json:"env"`
 	Corpora []coldstartCorpus `json:"corpora"`
 }
 
@@ -609,11 +773,12 @@ func writeColdstartResult(dir string, r *coldstartResult) {
 // behind for perf-trajectory comparisons across revisions. Each experiment
 // runs once, so ns_per_op is its wall time.
 type benchResult struct {
-	Name       string  `json:"name"`
-	Scale      float64 `json:"scale"`
-	NsPerOp    int64   `json:"ns_per_op"`
-	Allocs     uint64  `json:"allocs"`
-	AllocBytes uint64  `json:"alloc_bytes"`
+	Name       string   `json:"name"`
+	Scale      float64  `json:"scale"`
+	NsPerOp    int64    `json:"ns_per_op"`
+	Allocs     uint64   `json:"allocs"`
+	AllocBytes uint64   `json:"alloc_bytes"`
+	Env        benchEnv `json:"env"`
 }
 
 func writeBenchResult(dir string, r benchResult) {

@@ -37,10 +37,14 @@ func main() {
 	cacheSize := flag.Int("cache-size", 256, "top-k result cache entries (0 disables caching)")
 	preload := flag.String("preload", "", "comma-separated builtin corpora to register at startup (worldfactbook,mondial,googlebase,recipeml)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for engine builds and top-k searches (0 = all cores, 1 = sequential)")
+	shards := flag.Int("shards", 0, "horizontal index shards per collection (0 = single shard; answers are identical at any setting)")
 	data := flag.String("data", "", "snapshot directory: persist engines after first build and reload them at boot (empty = memory-only)")
 	flag.Parse()
 	if *parallelism < 0 {
 		log.Fatal("sedad: -parallelism must be >= 0")
+	}
+	if *shards < 0 || *shards > seda.MaxShards {
+		log.Fatalf("sedad: -shards must be in 0..%d", seda.MaxShards)
 	}
 
 	logger := log.New(os.Stderr, "sedad ", log.LstdFlags|log.Lmsgprefix)
@@ -59,6 +63,7 @@ func main() {
 		CacheSize:    *cacheSize,
 		BuiltinScale: *scale,
 		Parallelism:  *parallelism,
+		Shards:       *shards,
 	})
 	// Snapshots load before preloads so a preload of a name already on
 	// disk upgrades the discovered entry: the snapshot then serves as that
@@ -78,7 +83,7 @@ func main() {
 		if name == "" {
 			continue
 		}
-		if err := srv.Registry().RegisterBuiltin(name, name, *scale, seda.Config{Parallelism: *parallelism}); err != nil {
+		if err := srv.Registry().RegisterBuiltin(name, name, *scale, seda.Config{Parallelism: *parallelism, Shards: *shards}); err != nil {
 			logger.Fatalf("preload %s: %v", name, err)
 		}
 		logger.Printf("registered builtin collection %q (scale %g, built on first use)", name, *scale)

@@ -29,7 +29,12 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "corpus scale (1.0 = paper size)")
 	out := flag.String("out", "corpus", "output directory")
 	snapshot := flag.Bool("snapshot", false, "also write binary snapshots: engine.snap (full engine, loadable with seda.LoadEngineFile — no rebuild on load) and the v1 collection.gob (collection only, loadable with seda.LoadCollection)")
+	shards := flag.Int("shards", 0, "horizontal index shards of the engine.snap engine (0 = single shard; the snapshot stores one section group per shard)")
 	flag.Parse()
+	if *shards < 0 {
+		fmt.Fprintln(os.Stderr, "sedagen: -shards must be >= 0")
+		os.Exit(2)
+	}
 
 	names := []string{*dataset}
 	if *dataset == "all" {
@@ -45,14 +50,14 @@ func main() {
 		if *dataset == "all" {
 			dir = filepath.Join(*out, name)
 		}
-		if err := write(name, gen(*scale), dir, *snapshot); err != nil {
+		if err := write(name, gen(*scale), dir, *snapshot, *shards); err != nil {
 			fmt.Fprintf(os.Stderr, "sedagen: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func write(name string, col *seda.Collection, dir string, snapshot bool) error {
+func write(name string, col *seda.Collection, dir string, snapshot bool, shards int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -86,6 +91,7 @@ func write(name string, col *seda.Collection, dir string, snapshot bool) error {
 		if name == "mondial" {
 			cfg = seda.MondialConfig()
 		}
+		cfg.Shards = shards
 		eng, err := seda.NewEngine(col, cfg)
 		if err != nil {
 			return err

@@ -70,6 +70,16 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 forces fully sequential execution. The
 	// built engine and all query results are identical at every setting.
 	Parallelism int
+	// Shards is the number of horizontal index shards: self-contained
+	// fragments over contiguous document ranges that top-k search
+	// scatters across, snapshot I/O encodes and decodes concurrently, and
+	// incremental ingest extends one of (the tail). 0 or 1 keeps the
+	// single-shard layout; the count is clamped to the number of
+	// documents. Like Parallelism, Shards is execution-plane only: every
+	// query answer is byte-identical at any setting, and it is excluded
+	// from the snapshot fingerprint (a loaded engine adopts the layout
+	// stored in the snapshot).
+	Shards int
 }
 
 // Engine is the per-collection SEDA runtime.
@@ -137,12 +147,12 @@ func NewEngine(col *store.Collection, cfg Config) (*Engine, error) {
 		go func() {
 			defer close(indexDone)
 			t0 := time.Now()
-			e.ix = index.BuildParallel(col, indexPar)
+			e.ix = index.BuildSharded(col, cfg.Shards, indexPar)
 			indexTime = time.Since(t0)
 		}()
 	} else {
 		t0 := time.Now()
-		e.ix = index.BuildParallel(col, indexPar)
+		e.ix = index.BuildSharded(col, cfg.Shards, indexPar)
 		indexTime = time.Since(t0)
 	}
 
@@ -217,6 +227,13 @@ func (e *Engine) Collection() *store.Collection { return e.col }
 
 // Index returns the full-text indexes.
 func (e *Engine) Index() *index.Index { return e.ix }
+
+// NumShards returns the number of horizontal index shards.
+func (e *Engine) NumShards() int { return e.ix.NumShards() }
+
+// ShardStats reports per-shard document, term, posting, and byte counts
+// in shard order (the /debug/stats surface).
+func (e *Engine) ShardStats() []index.ShardStats { return e.ix.ShardStats() }
 
 // Graph returns the data graph overlay.
 func (e *Engine) Graph() *graph.Graph { return e.g }

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seda/internal/snapcodec"
+)
+
+// The tentpole invariant of engine sharding: a multi-shard engine answers
+// top-k, context summaries, and connection summaries byte-identically to
+// a single-shard engine over the same documents — after a fresh build,
+// after a snapshot save/load round trip, and after incremental ingest
+// (which re-extends only the tail shard, so the partition differs from a
+// fresh multi-shard build's; answers must not care). Run under -race
+// (make test does) to also exercise the scatter-gather and parallel
+// snapshot I/O paths.
+
+// TestShardEquivalence is the acceptance criterion, across all four
+// corpora.
+func TestShardEquivalence(t *testing.T) {
+	for _, c := range corpusConfigs() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			raw := renderXML(t, c.gen(c.scale))
+			if len(raw) < 5 {
+				t.Fatalf("corpus too small: %d docs", len(raw))
+			}
+			one := scratchEngine(t, raw, c.cfg)
+			queries := pickQueries(one)
+			if len(queries) == 0 {
+				t.Fatal("no queries derived from vocabulary")
+			}
+			want := renderAnswers(t, one, queries)
+
+			cfg4 := c.cfg
+			cfg4.Shards = 4
+			sharded := scratchEngine(t, raw, cfg4)
+			if got := sharded.NumShards(); got != 4 {
+				t.Fatalf("NumShards = %d, want 4", got)
+			}
+			if got := renderAnswers(t, sharded, queries); got != want {
+				t.Errorf("fresh 4-shard build diverges from 1-shard\n--- 1-shard ---\n%s\n--- 4-shard ---\n%s", want, got)
+			}
+
+			// Snapshot round trip: the v2 container persists one section
+			// group per shard and the loaded engine adopts that layout.
+			path := filepath.Join(t.TempDir(), "sharded.snap")
+			if err := SaveEngineFile(path, sharded, ""); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadEngineFile(path, cfg4, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := loaded.NumShards(); got != 4 {
+				t.Fatalf("loaded NumShards = %d, want 4", got)
+			}
+			if got := renderAnswers(t, loaded, queries); got != want {
+				t.Errorf("snapshot-loaded 4-shard engine diverges\n--- 1-shard ---\n%s\n--- loaded ---\n%s", want, got)
+			}
+
+			// Incremental ingest: the tail shard re-extends; every other
+			// shard is untouched.
+			incr := incrementalEngine(t, raw, cfg4, len(raw)*3/5, 2)
+			if got := renderAnswers(t, incr, queries); got != want {
+				t.Errorf("4-shard engine after ingest diverges\n--- 1-shard ---\n%s\n--- ingested ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestShardLocalIngestRouting: an ingest must grow only the tail shard —
+// the non-tail shards' stats (and hence their structures) are identical
+// before and after.
+func TestShardLocalIngestRouting(t *testing.T) {
+	c := corpusConfigs()[0]
+	raw := renderXML(t, c.gen(c.scale))
+	cfg := c.cfg
+	cfg.Shards = 3
+	base := scratchEngine(t, raw[:len(raw)-2], cfg)
+	before := base.ShardStats()
+	if len(before) != 3 {
+		t.Fatalf("base has %d shards, want 3", len(before))
+	}
+	next, err := base.AddDocumentsXML(raw[len(raw)-2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := next.ShardStats()
+	if len(after) != 3 {
+		t.Fatalf("ingested engine has %d shards, want 3", len(after))
+	}
+	for i := 0; i < 2; i++ {
+		if after[i] != before[i] {
+			t.Errorf("non-tail shard %d changed across ingest: before %+v, after %+v", i, before[i], after[i])
+		}
+	}
+	tail := after[2]
+	if tail.Docs != before[2].Docs+2 {
+		t.Errorf("tail shard has %d docs, want %d", tail.Docs, before[2].Docs+2)
+	}
+	if tail.Hi != next.Collection().NumDocs() {
+		t.Errorf("tail shard ends at %d, want %d", tail.Hi, next.Collection().NumDocs())
+	}
+}
+
+// TestShardedSnapshotByteDeterminism: save → load → save must reproduce
+// the container byte for byte, at any shard count and any encode
+// parallelism.
+func TestShardedSnapshotByteDeterminism(t *testing.T) {
+	c := corpusConfigs()[0]
+	raw := renderXML(t, c.gen(c.scale))
+	cfg := c.cfg
+	cfg.Shards = 4
+	cfg.Parallelism = 4
+	eng := scratchEngine(t, raw, cfg)
+
+	var first bytes.Buffer
+	if err := SaveEngine(&first, eng, "determinism"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(bytes.NewReader(first.Bytes()), cfg, "determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := SaveEngine(&second, loaded, "determinism"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("save→load→save is not byte-identical (%d vs %d bytes)", first.Len(), second.Len())
+	}
+
+	// A sequential encode of the same engine produces the same bytes.
+	seqCfg := cfg
+	seqCfg.Parallelism = 1
+	seq, err := LoadEngine(bytes.NewReader(first.Bytes()), seqCfg, "determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var third bytes.Buffer
+	if err := SaveEngine(&third, seq, "determinism"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), third.Bytes()) {
+		t.Error("sequential and parallel snapshot encodes differ")
+	}
+}
+
+// saveEngineV1 writes eng in the retired v1 container layout (container
+// version 1, one flat "index" section) so the compatibility path stays
+// covered without checked-in binary fixtures.
+func saveEngineV1(t *testing.T, eng *Engine, source string) []byte {
+	t.Helper()
+	var meta snapcodec.Writer
+	meta.Int(metaVersion)
+	meta.String(eng.cfg.Fingerprint())
+	meta.String(source)
+	encodeConfig(&meta, eng.cfg)
+
+	sections := []snapcodec.Section{{Name: secMeta, Payload: meta.Bytes()}}
+	add := func(name string, enc func(*snapcodec.Writer)) {
+		var sw snapcodec.Writer
+		enc(&sw)
+		sections = append(sections, snapcodec.Section{Name: name, Payload: sw.Bytes()})
+	}
+	add(secPathdict, eng.col.Dict().Encode)
+	add(secCollection, eng.col.Encode)
+	add(secGraph, eng.g.Encode)
+	add(secIndex, eng.ix.Encode)
+	if eng.dg != nil {
+		add(secDataguide, eng.dg.Encode)
+	}
+	var buf bytes.Buffer
+	if err := snapcodec.WriteContainer(&buf, 1, sections); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestV1SnapshotStillLoads: a container written in the v1 layout loads as
+// a single-shard engine with byte-identical answers.
+func TestV1SnapshotStillLoads(t *testing.T) {
+	c := corpusConfigs()[0]
+	raw := renderXML(t, c.gen(c.scale))
+	eng := scratchEngine(t, raw, c.cfg)
+	queries := pickQueries(eng)
+	want := renderAnswers(t, eng, queries)
+
+	data := saveEngineV1(t, eng, "v1-compat")
+
+	loaded, err := LoadEngine(bytes.NewReader(data), c.cfg, "v1-compat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.NumShards(); got != 1 {
+		t.Fatalf("v1 snapshot loaded with %d shards, want 1", got)
+	}
+	if got := renderAnswers(t, loaded, queries); got != want {
+		t.Errorf("v1-loaded engine diverges\n--- built ---\n%s\n--- loaded ---\n%s", want, got)
+	}
+
+	// LoadEngineAuto adopts it too.
+	path := filepath.Join(t.TempDir(), "v1.snap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	le, err := LoadEngineAuto(path, c.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !le.FromSnapshot {
+		t.Fatal("v1 container not recognized as a snapshot")
+	}
+	if got := renderAnswers(t, le.Engine, queries); got != want {
+		t.Error("LoadEngineAuto of a v1 container diverges")
+	}
+
+	// A v1 container missing its flat index section is corrupt, not a
+	// crash.
+	var bad bytes.Buffer
+	var meta snapcodec.Writer
+	meta.Int(metaVersion)
+	meta.String(eng.cfg.Fingerprint())
+	meta.String("v1-compat")
+	encodeConfig(&meta, eng.cfg)
+	sections := []snapcodec.Section{{Name: secMeta, Payload: meta.Bytes()}}
+	add := func(name string, enc func(*snapcodec.Writer)) {
+		var sw snapcodec.Writer
+		enc(&sw)
+		sections = append(sections, snapcodec.Section{Name: name, Payload: sw.Bytes()})
+	}
+	add(secPathdict, eng.col.Dict().Encode)
+	add(secCollection, eng.col.Encode)
+	add(secGraph, eng.g.Encode)
+	add(secDataguide, eng.dg.Encode)
+	if err := snapcodec.WriteContainer(&bad, 1, sections); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEngine(bytes.NewReader(bad.Bytes()), c.cfg, "v1-compat"); !errors.Is(err, snapcodec.ErrCorrupt) {
+		t.Errorf("v1 container without index section: err = %v, want ErrCorrupt", err)
+	}
+}

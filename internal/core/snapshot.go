@@ -24,6 +24,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"seda/internal/dataguide"
@@ -36,16 +38,23 @@ import (
 
 // snapshotFormatVersion is the engine-container format version. Layer
 // payloads carry their own versions; this one gates the container shape
-// and the section roster.
-const snapshotFormatVersion = 1
+// and the section roster. Version 2 replaced the single "index" section
+// with one "index.<n>" section per shard, so snapshot encode and decode
+// parallelize across shards; version-1 containers still load (as a
+// single-shard engine).
+const snapshotFormatVersion = 2
 
-// Section names of the engine container, in write order.
+// Section names of the engine container, in write order. The graph and
+// dataguide sections are corpus-global (both are built from per-shard
+// profiles by merge folds and queried across shard boundaries); only the
+// index fragments per shard.
 const (
 	secMeta       = "meta"
 	secPathdict   = "pathdict"
 	secCollection = "collection"
 	secGraph      = "graph"
-	secIndex      = "index"
+	secIndex      = "index"     // v1 only: the whole index as one section
+	secIndexShard = "index."    // v2: one section per shard ("index.0", …)
 	secDataguide  = "dataguide" // absent when the engine skipped dataguides
 )
 
@@ -65,8 +74,10 @@ var (
 
 // Fingerprint returns the canonical identity of the engine-shaping parts
 // of a Config. Two configs with equal fingerprints build identical engines
-// from the same data. Parallelism is deliberately excluded: it changes
-// build scheduling, never the built artifact. Every string element is
+// from the same data. Parallelism and Shards are deliberately excluded:
+// they change build scheduling and the execution-plane layout, never a
+// query answer (a loaded engine adopts the shard layout stored in the
+// snapshot's section roster). Every string element is
 // %q-quoted so the encoding is injective — delimiter characters inside
 // attribute names or paths cannot make two different configs collide.
 func (cfg Config) Fingerprint() string {
@@ -102,6 +113,12 @@ func (cfg Config) Fingerprint() string {
 // optional opaque origin tag (e.g. "builtin:worldfactbook@scale=0.1") that
 // LoadEngine verifies when the caller supplies an expectation; pass "" for
 // none.
+//
+// Section payloads encode concurrently, bounded by the engine's resolved
+// Parallelism — the index contributes one independent job per shard, so a
+// multi-shard engine's snapshot write scales with cores. The container
+// bytes are identical at every parallelism: payloads land in fixed slots
+// and are framed in roster order.
 func SaveEngine(w io.Writer, e *Engine, source string) error {
 	var meta snapcodec.Writer
 	meta.Int(metaVersion)
@@ -109,20 +126,38 @@ func SaveEngine(w io.Writer, e *Engine, source string) error {
 	meta.String(source)
 	encodeConfig(&meta, e.cfg)
 
-	sections := make([]snapcodec.Section, 0, 6)
-	add := func(name string, enc func(*snapcodec.Writer)) {
-		var sw snapcodec.Writer
-		enc(&sw)
-		sections = append(sections, snapcodec.Section{Name: name, Payload: sw.Bytes()})
+	type job struct {
+		name string
+		enc  func(*snapcodec.Writer)
 	}
-	sections = append(sections, snapcodec.Section{Name: secMeta, Payload: meta.Bytes()})
-	add(secPathdict, e.col.Dict().Encode)
-	add(secCollection, e.col.Encode)
-	add(secGraph, e.g.Encode)
-	add(secIndex, e.ix.Encode)
+	jobs := []job{
+		{secPathdict, e.col.Dict().Encode},
+		{secCollection, e.col.Encode},
+		{secGraph, e.g.Encode},
+	}
+	for s := 0; s < e.ix.NumShards(); s++ {
+		s := s
+		jobs = append(jobs, job{
+			name: fmt.Sprintf("%s%d", secIndexShard, s),
+			enc:  func(w *snapcodec.Writer) { e.ix.EncodeShard(w, s) },
+		})
+	}
 	if e.dg != nil {
-		add(secDataguide, e.dg.Encode)
+		jobs = append(jobs, job{secDataguide, e.dg.Encode})
 	}
+
+	sections := make([]snapcodec.Section, len(jobs)+1)
+	sections[0] = snapcodec.Section{Name: secMeta, Payload: meta.Bytes()}
+	encodes := make([]func(), len(jobs))
+	for i := range jobs {
+		i := i
+		encodes[i] = func() {
+			var sw snapcodec.Writer
+			jobs[i].enc(&sw)
+			sections[i+1] = snapcodec.Section{Name: jobs[i].name, Payload: sw.Bytes()}
+		}
+	}
+	runJobs(encodes, e.parallelism)
 	if err := snapcodec.WriteContainer(w, snapshotFormatVersion, sections); err != nil {
 		return fmt.Errorf("core: save engine: %w", err)
 	}
@@ -171,7 +206,9 @@ func SaveEngineFile(path string, e *Engine, source string) error {
 // LoadEngine reads a snapshot from r and verifies it was built under cfg:
 // a fingerprint difference (or, when source is non-empty, a source-tag
 // difference) returns ErrConfigMismatch and the caller should rebuild.
-// cfg.Parallelism applies to the loaded engine's searches.
+// cfg.Parallelism applies to the loaded engine's searches; cfg.Shards is
+// ignored — the engine adopts the shard layout stored in the snapshot
+// (shard count never changes a query answer).
 func LoadEngine(r io.Reader, cfg Config, source string) (*Engine, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -283,7 +320,7 @@ func loadEngine(data []byte, want *Config, source string) (*Engine, error) {
 
 func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) (*Engine, error) {
 	t0 := time.Now()
-	_, sections, err := snapcodec.ReadContainer(data, snapshotFormatVersion)
+	version, sections, err := snapcodec.ReadContainer(data, snapshotFormatVersion)
 	if err != nil {
 		return nil, fmt.Errorf("core: load engine: %w", err)
 	}
@@ -345,31 +382,107 @@ func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) 
 	if err != nil {
 		return nil, fmt.Errorf("core: load engine: %w", err)
 	}
-	gr, err := need(secGraph)
-	if err != nil {
-		return nil, err
+
+	// The index's shard roster: a v2 container carries index.0 … index.N-1,
+	// a v1 container one flat "index" section (decoded as a single shard).
+	var shardPayloads [][]byte
+	if version >= 2 {
+		for {
+			p, ok := byName[fmt.Sprintf("%s%d", secIndexShard, len(shardPayloads))]
+			if !ok {
+				break
+			}
+			shardPayloads = append(shardPayloads, p)
+		}
+		if len(shardPayloads) == 0 {
+			return nil, fmt.Errorf("core: load engine: %w: missing section %q", snapcodec.ErrCorrupt, secIndexShard+"0")
+		}
 	}
-	g, err := graph.Decode(gr, col)
-	if err != nil {
-		return nil, fmt.Errorf("core: load engine: %w", err)
+
+	// The remaining layers depend only on the collection, so they decode
+	// concurrently: the graph, every index shard, and the dataguide set
+	// are independent jobs over a worker pool. Errors surface in roster
+	// order so the reported failure is deterministic.
+	var (
+		g         *graph.Graph
+		shards    = make([]*index.Shard, len(shardPayloads))
+		shardErrs = make([]error, len(shardPayloads))
+		ix        *index.Index
+		dg        *dataguide.Set
+		gErr      error
+		ixErr     error
+		dgErr     error
+	)
+	dgPayload, haveDg := byName[secDataguide]
+	if !haveDg && !storedCfg.SkipDataguides {
+		return nil, fmt.Errorf("core: load engine: %w: missing section %q", snapcodec.ErrCorrupt, secDataguide)
 	}
-	ir, err := need(secIndex)
-	if err != nil {
-		return nil, err
+	jobs := []func(){
+		func() {
+			gr, err := need(secGraph)
+			if err != nil {
+				gErr = err
+				return
+			}
+			if g, err = graph.Decode(gr, col); err != nil {
+				gErr = fmt.Errorf("core: load engine: %w", err)
+			}
+		},
 	}
-	ix, err := index.Decode(ir, col)
-	if err != nil {
-		return nil, fmt.Errorf("core: load engine: %w", err)
+	if version >= 2 {
+		for i := range shardPayloads {
+			i := i
+			jobs = append(jobs, func() {
+				shards[i], shardErrs[i] = index.DecodeShard(snapcodec.NewReader(shardPayloads[i]), col)
+			})
+		}
+	} else {
+		jobs = append(jobs, func() {
+			ir, err := need(secIndex)
+			if err != nil {
+				ixErr = err
+				return
+			}
+			if ix, err = index.Decode(ir, col); err != nil {
+				ixErr = fmt.Errorf("core: load engine: %w", err)
+			}
+		})
 	}
-	var dg *dataguide.Set
-	if payload, ok := byName[secDataguide]; ok {
-		dg, err = dataguide.Decode(snapcodec.NewReader(payload), col)
+	if haveDg {
+		jobs = append(jobs, func() {
+			var err error
+			if dg, err = dataguide.Decode(snapcodec.NewReader(dgPayload), col); err != nil {
+				dgErr = fmt.Errorf("core: load engine: %w", err)
+			}
+		})
+	}
+	runJobs(jobs, resolveParallelism(storedCfg.Parallelism))
+	if gErr != nil {
+		return nil, gErr
+	}
+	for _, err := range shardErrs {
 		if err != nil {
 			return nil, fmt.Errorf("core: load engine: %w", err)
 		}
-	} else if !storedCfg.SkipDataguides {
-		return nil, fmt.Errorf("core: load engine: %w: missing section %q", snapcodec.ErrCorrupt, secDataguide)
 	}
+	if ixErr != nil {
+		return nil, ixErr
+	}
+	if dgErr != nil {
+		return nil, dgErr
+	}
+	if version >= 2 {
+		ix, err = index.FromShards(col, shards)
+		if err != nil {
+			return nil, fmt.Errorf("core: load engine: %w: %v", snapcodec.ErrCorrupt, err)
+		}
+	}
+
+	// The engine keeps the snapshot's shard layout; recording it in the
+	// config means a re-save (or a registry re-persist after ingest)
+	// preserves the layout.
+	storedCfg.Shards = ix.NumShards()
+	le.Config = storedCfg
 
 	e := &Engine{
 		col:          col,
@@ -383,6 +496,36 @@ func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) 
 	e.finish()
 	le.Engine = e
 	return e, nil
+}
+
+// runJobs executes the jobs over at most workers goroutines, in index
+// order when sequential; jobs record their own results and errors.
+func runJobs(jobs []func(), workers int) {
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			j()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				jobs[i]()
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // encodeConfig writes the engine-shaping Config fields (Parallelism is

@@ -14,10 +14,22 @@ import (
 // layout fails here. If this test needs editing, ARCHITECTURE.md needs the
 // same edit.
 func TestSnapshotFrameLayout(t *testing.T) {
+	t.Run("one-shard", func(t *testing.T) {
+		testSnapshotFrameLayout(t, Config{},
+			[]string{"meta", "pathdict", "collection", "graph", "index.0", "dataguide"})
+	})
+	t.Run("two-shard", func(t *testing.T) {
+		// One index.<n> section per shard, in shard order.
+		testSnapshotFrameLayout(t, Config{Shards: 2},
+			[]string{"meta", "pathdict", "collection", "graph", "index.0", "index.1", "dataguide"})
+	})
+}
+
+func testSnapshotFrameLayout(t *testing.T, cfg Config, wantSections []string) {
 	eng := scratchEngine(t, []IngestDoc{
 		{Name: "a.xml", XML: []byte(`<lab id="l1"><name>alpha</name><member ref="l2">ann</member></lab>`)},
 		{Name: "b.xml", XML: []byte(`<lab id="l2"><name>beta</name></lab>`)},
-	}, Config{})
+	}, cfg)
 	var buf bytes.Buffer
 	if err := SaveEngine(&buf, eng, "spec-check"); err != nil {
 		t.Fatal(err)
@@ -50,14 +62,15 @@ func TestSnapshotFrameLayout(t *testing.T) {
 		t.Fatalf("magic = %q, want %q", data[:8], "SEDASNAP")
 	}
 	off = 8
-	// Frame 2: container format version (currently 1).
-	if v := uvarint("container version"); v != 1 {
-		t.Fatalf("container version = %d, want 1", v)
+	// Frame 2: container format version (currently 2: per-shard index
+	// sections).
+	if v := uvarint("container version"); v != 2 {
+		t.Fatalf("container version = %d, want 2", v)
 	}
 	// Frame 3: section count. A full engine (dataguides enabled) carries
-	// the six documented sections in write order.
+	// the documented sections in write order: the corpus-global layers
+	// plus one index.<n> section per shard.
 	count := uvarint("section count")
-	wantSections := []string{"meta", "pathdict", "collection", "graph", "index", "dataguide"}
 	if int(count) != len(wantSections) {
 		t.Fatalf("section count = %d, want %d", count, len(wantSections))
 	}
@@ -95,8 +108,8 @@ func TestSnapshotFrameLayout(t *testing.T) {
 	if v := uvarint("meta version"); v != 1 {
 		t.Fatalf("meta version = %d, want 1", v)
 	}
-	if fp := str("fingerprint"); fp != (Config{}).Fingerprint() {
-		t.Fatalf("stored fingerprint %q does not match Config.Fingerprint() %q", fp, (Config{}).Fingerprint())
+	if fp := str("fingerprint"); fp != cfg.Fingerprint() {
+		t.Fatalf("stored fingerprint %q does not match Config.Fingerprint() %q", fp, cfg.Fingerprint())
 	}
 	if src := str("source tag"); src != "spec-check" {
 		t.Fatalf("stored source tag %q, want %q", src, "spec-check")

@@ -10,17 +10,34 @@ import (
 	"seda/internal/xmldoc"
 )
 
-// Binary codec (engine snapshots). The index is the most expensive derived
-// layer to rebuild, so the codec persists both logical indexes in full:
-// node-index postings with positions, the Figure-8 context index, document
-// frequencies, and the per-path node lists. Map-backed structures are
-// written in sorted key order so identical indexes encode identically.
+// Binary codecs (engine snapshots). The index is the most expensive
+// derived layer to rebuild, so the codecs persist both logical indexes in
+// full: node-index postings with positions, the Figure-8 context index,
+// document frequencies, and the per-path node lists. Map-backed structures
+// are written in sorted key order so identical indexes encode identically.
+//
+// Two formats exist:
+//
+//   - The flat format (Encode/Decode, SEDASNAP v1's single "index"
+//     section): the whole index as one payload. Encode flattens a
+//     multi-shard index into its corpus-global view; Decode always yields
+//     a single-shard index. Kept for v1 snapshot compatibility and
+//     library callers.
+//
+//   - The shard format (EncodeShard/DecodeShard, SEDASNAP v2's
+//     "index.<n>" section group): one self-contained payload per shard,
+//     carrying its document range, so encode and decode parallelize
+//     across shards. FromShards reassembles the index.
 
-// codecVersion is the layer format version written by Encode.
+// codecVersion is the flat-format version written by Encode.
 const codecVersion = 1
 
-// Encode appends the index to w in its versioned binary form. The backing
-// collection is not included; Decode re-binds the index to it.
+// shardCodecVersion is the shard-format version written by EncodeShard.
+const shardCodecVersion = 1
+
+// Encode appends the index to w in its versioned flat binary form,
+// flattening shards into the corpus-global view. The backing collection is
+// not included; Decode re-binds the index to it.
 func (ix *Index) Encode(w *snapcodec.Writer) {
 	w.Int(codecVersion)
 
@@ -29,49 +46,23 @@ func (ix *Index) Encode(w *snapcodec.Writer) {
 	for _, term := range ix.terms {
 		w.String(term)
 		w.Int(ix.termDocFreq[term])
-		ps := ix.postings[term]
-		w.Int(len(ps))
-		for _, p := range ps {
-			encodeRef(w, p.Ref)
-			w.Int(int(p.Path))
-			w.Int(len(p.Positions))
-			prev := int32(0) // positions are sorted; delta-encode them
-			for _, pos := range p.Positions {
-				w.Int(int(pos - prev))
-				prev = pos
-			}
-		}
+		encodePostings(w, ix.Lookup(term))
 	}
 
-	// Context index: terms sorted (its vocabulary is a superset of the
-	// node index's — it also holds tag names).
-	ctxTerms := make([]string, 0, len(ix.pathTerms))
-	for t := range ix.pathTerms {
-		ctxTerms = append(ctxTerms, t)
-	}
-	sort.Strings(ctxTerms)
-	w.Int(len(ctxTerms))
-	for _, term := range ctxTerms {
-		w.String(term)
-		paths := ix.pathTerms[term]
-		ids := sortedPathIDs(paths)
-		w.Int(len(ids))
-		for _, id := range ids {
-			w.Int(int(id))
-			w.Int(paths[id])
-		}
-	}
+	encodeContextIndex(w, ix.pathTerms)
 
 	// Per-path node lists, sorted by path id.
-	pathIDs := make([]pathdict.PathID, 0, len(ix.pathNodes))
-	for id := range ix.pathNodes {
-		pathIDs = append(pathIDs, id)
+	pathIDs := make([]pathdict.PathID, 0, len(ix.allPaths))
+	for _, sh := range ix.shards {
+		for id := range sh.pathNodes {
+			pathIDs = append(pathIDs, id)
+		}
 	}
-	sort.Slice(pathIDs, func(i, j int) bool { return pathIDs[i] < pathIDs[j] })
+	pathIDs = dedupSortedPathIDs(pathIDs)
 	w.Int(len(pathIDs))
 	for _, id := range pathIDs {
 		w.Int(int(id))
-		refs := ix.pathNodes[id]
+		refs := ix.NodesAtPath(id)
 		w.Int(len(refs))
 		for _, ref := range refs {
 			encodeRef(w, ref)
@@ -87,21 +78,110 @@ func (ix *Index) Encode(w *snapcodec.Writer) {
 }
 
 // Decode reads an index previously written by Encode, binding it to col.
+// The result is always a single-shard index covering every document.
 func Decode(r *snapcodec.Reader, col *store.Collection) (*Index, error) {
 	if v := r.Int(); r.Err() == nil && v != codecVersion {
 		return nil, fmt.Errorf("index: unsupported codec version %d", v)
 	}
-	ix := &Index{
+	sh, err := decodeShardBody(r, col, 0, col.NumDocs())
+	if err != nil {
+		return nil, err
+	}
+
+	numAll := r.Count(1)
+	allPaths := make([]pathdict.PathID, 0, numAll)
+	for i := 0; i < numAll; i++ {
+		allPaths = append(allPaths, pathdict.PathID(r.Int()))
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("index: decode: %w", err)
+	}
+	return &Index{
 		col:         col,
+		shards:      []*Shard{sh},
+		terms:       sh.terms,
+		termDocFreq: sh.termDocFreq,
+		pathTerms:   sh.pathTerms,
+		allPaths:    allPaths,
+	}, nil
+}
+
+// EncodeShard appends shard s to w in its versioned shard binary form:
+// the document range, then the shard-local node index, context index, and
+// per-path node lists.
+func (ix *Index) EncodeShard(w *snapcodec.Writer, s int) {
+	sh := ix.shards[s]
+	w.Int(shardCodecVersion)
+	w.Int(sh.lo)
+	w.Int(sh.hi)
+
+	w.Int(len(sh.terms))
+	for _, term := range sh.terms {
+		w.String(term)
+		w.Int(sh.termDocFreq[term])
+		encodePostings(w, sh.postings[term])
+	}
+
+	encodeContextIndex(w, sh.pathTerms)
+
+	pathIDs := make([]pathdict.PathID, 0, len(sh.pathNodes))
+	for id := range sh.pathNodes {
+		pathIDs = append(pathIDs, id)
+	}
+	sort.Slice(pathIDs, func(i, j int) bool { return pathIDs[i] < pathIDs[j] })
+	w.Int(len(pathIDs))
+	for _, id := range pathIDs {
+		w.Int(int(id))
+		refs := sh.pathNodes[id]
+		w.Int(len(refs))
+		for _, ref := range refs {
+			encodeRef(w, ref)
+		}
+	}
+}
+
+// DecodeShard reads one shard previously written by EncodeShard, binding
+// it to col. Shards decode independently (and hence in parallel);
+// FromShards reassembles and validates the full index.
+func DecodeShard(r *snapcodec.Reader, col *store.Collection) (*Shard, error) {
+	if v := r.Int(); r.Err() == nil && v != shardCodecVersion {
+		return nil, fmt.Errorf("index: unsupported shard codec version %d", v)
+	}
+	lo := r.Int()
+	hi := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("index: decode shard: %w", err)
+	}
+	if lo > hi || hi > col.NumDocs() {
+		return nil, fmt.Errorf("index: decode shard: range [%d, %d) outside collection of %d docs", lo, hi, col.NumDocs())
+	}
+	return decodeShardBody(r, col, lo, hi)
+}
+
+// FromShards assembles an Index over col from decoded shards, which must
+// form a contiguous document-order partition of the collection.
+func FromShards(col *store.Collection, shards []*Shard) (*Index, error) {
+	if err := validateShards(col, shards); err != nil {
+		return nil, err
+	}
+	return newIndex(col, shards), nil
+}
+
+// decodeShardBody reads the common body shared by the flat and shard
+// formats: node index, context index, per-path node lists. Decoded refs
+// must name documents inside [lo, hi).
+func decodeShardBody(r *snapcodec.Reader, col *store.Collection, lo, hi int) (*Shard, error) {
+	sh := &Shard{
+		lo:          lo,
+		hi:          hi,
 		postings:    make(map[string][]Posting),
 		pathTerms:   make(map[string]map[pathdict.PathID]int),
 		termDocFreq: make(map[string]int),
 		pathNodes:   make(map[pathdict.PathID][]xmldoc.NodeRef),
 	}
-	numDocs := col.NumDocs()
 
 	numTerms := r.Count(3)
-	ix.terms = make([]string, 0, numTerms)
+	sh.terms = make([]string, 0, numTerms)
 	for i := 0; i < numTerms; i++ {
 		term := r.String()
 		df := r.Int()
@@ -109,12 +189,12 @@ func Decode(r *snapcodec.Reader, col *store.Collection) (*Index, error) {
 		if r.Err() != nil {
 			break
 		}
-		if _, dup := ix.postings[term]; dup {
+		if _, dup := sh.postings[term]; dup {
 			return nil, fmt.Errorf("index: decode: duplicate term %q", term)
 		}
 		ps := make([]Posting, 0, numPostings)
 		for j := 0; j < numPostings; j++ {
-			ref, err := decodeRef(r, numDocs)
+			ref, err := decodeRef(r, lo, hi)
 			if err != nil {
 				return nil, fmt.Errorf("index: decode term %q: %w", term, err)
 			}
@@ -128,9 +208,9 @@ func Decode(r *snapcodec.Reader, col *store.Collection) (*Index, error) {
 			}
 			ps = append(ps, Posting{Ref: ref, Path: path, Positions: positions})
 		}
-		ix.terms = append(ix.terms, term)
-		ix.postings[term] = ps
-		ix.termDocFreq[term] = df
+		sh.terms = append(sh.terms, term)
+		sh.postings[term] = ps
+		sh.termDocFreq[term] = df
 	}
 
 	numCtx := r.Count(3)
@@ -140,14 +220,14 @@ func Decode(r *snapcodec.Reader, col *store.Collection) (*Index, error) {
 		if r.Err() != nil {
 			break
 		}
-		if _, dup := ix.pathTerms[term]; dup {
+		if _, dup := sh.pathTerms[term]; dup {
 			return nil, fmt.Errorf("index: decode: duplicate context term %q", term)
 		}
 		m := make(map[pathdict.PathID]int, numPaths)
 		for j := 0; j < numPaths; j++ {
 			m[pathdict.PathID(r.Int())] = r.Int()
 		}
-		ix.pathTerms[term] = m
+		sh.pathTerms[term] = m
 	}
 
 	numPathNodes := r.Count(3)
@@ -157,33 +237,62 @@ func Decode(r *snapcodec.Reader, col *store.Collection) (*Index, error) {
 		if r.Err() != nil {
 			break
 		}
-		if _, dup := ix.pathNodes[id]; dup {
+		if _, dup := sh.pathNodes[id]; dup {
 			return nil, fmt.Errorf("index: decode: duplicate path id %d", id)
 		}
 		refs := make([]xmldoc.NodeRef, 0, numRefs)
 		for j := 0; j < numRefs; j++ {
-			ref, err := decodeRef(r, numDocs)
+			ref, err := decodeRef(r, lo, hi)
 			if err != nil {
 				return nil, fmt.Errorf("index: decode path %d: %w", id, err)
 			}
 			refs = append(refs, ref)
 		}
-		ix.pathNodes[id] = refs
-	}
-
-	numAll := r.Count(1)
-	ix.allPaths = make([]pathdict.PathID, 0, numAll)
-	for i := 0; i < numAll; i++ {
-		ix.allPaths = append(ix.allPaths, pathdict.PathID(r.Int()))
+		sh.pathNodes[id] = refs
 	}
 
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("index: decode: %w", err)
 	}
-	if !sort.StringsAreSorted(ix.terms) {
+	if !sort.StringsAreSorted(sh.terms) {
 		return nil, fmt.Errorf("index: decode: term list not sorted")
 	}
-	return ix, nil
+	return sh, nil
+}
+
+func encodePostings(w *snapcodec.Writer, ps []Posting) {
+	w.Int(len(ps))
+	for _, p := range ps {
+		encodeRef(w, p.Ref)
+		w.Int(int(p.Path))
+		w.Int(len(p.Positions))
+		prev := int32(0) // positions are sorted; delta-encode them
+		for _, pos := range p.Positions {
+			w.Int(int(pos - prev))
+			prev = pos
+		}
+	}
+}
+
+// encodeContextIndex writes a context index with terms sorted (its
+// vocabulary is a superset of the node index's — it also holds tag names).
+func encodeContextIndex(w *snapcodec.Writer, pathTerms map[string]map[pathdict.PathID]int) {
+	ctxTerms := make([]string, 0, len(pathTerms))
+	for t := range pathTerms {
+		ctxTerms = append(ctxTerms, t)
+	}
+	sort.Strings(ctxTerms)
+	w.Int(len(ctxTerms))
+	for _, term := range ctxTerms {
+		w.String(term)
+		paths := pathTerms[term]
+		ids := sortedPathIDs(paths)
+		w.Int(len(ids))
+		for _, id := range ids {
+			w.Int(int(id))
+			w.Int(paths[id])
+		}
+	}
 }
 
 func encodeRef(w *snapcodec.Writer, ref xmldoc.NodeRef) {
@@ -191,14 +300,14 @@ func encodeRef(w *snapcodec.Writer, ref xmldoc.NodeRef) {
 	w.Dewey(ref.Dewey)
 }
 
-func decodeRef(r *snapcodec.Reader, numDocs int) (xmldoc.NodeRef, error) {
+func decodeRef(r *snapcodec.Reader, lo, hi int) (xmldoc.NodeRef, error) {
 	doc := r.Int()
 	id := r.Dewey()
 	if err := r.Err(); err != nil {
 		return xmldoc.NodeRef{}, err
 	}
-	if doc >= numDocs {
-		return xmldoc.NodeRef{}, fmt.Errorf("node ref names document %d of %d", doc, numDocs)
+	if doc < lo || doc >= hi {
+		return xmldoc.NodeRef{}, fmt.Errorf("node ref names document %d outside range [%d, %d)", doc, lo, hi)
 	}
 	return xmldoc.NodeRef{Doc: xmldoc.DocID(doc), Dewey: id}, nil
 }
@@ -210,4 +319,15 @@ func sortedPathIDs(m map[pathdict.PathID]int) []pathdict.PathID {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
+}
+
+func dedupSortedPathIDs(ids []pathdict.PathID) []pathdict.PathID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for _, id := range ids {
+		if len(out) == 0 || out[len(out)-1] != id {
+			out = append(out, id)
+		}
+	}
+	return out
 }

@@ -15,13 +15,34 @@
 //
 // The package also exposes MatchTerm, which evaluates one query term
 // (context, search_query) to the set of satisfying nodes per Definition 3.
+//
+// # Sharding
+//
+// An Index is horizontally fragmented into one or more Shards, each a
+// self-contained node+context index over a contiguous run of documents
+// (deterministic partition by document order: shard s of N covers
+// [s·D/N, (s+1)·D/N)). Per-node structures — posting lists and per-path
+// node lists — live only in their shard; query evaluation scatters across
+// shards (MatchTermShard) and gathers by concatenation, which preserves
+// global (doc, Dewey) order because shard ranges are disjoint and
+// increasing. Small corpus-global aggregates — the sorted vocabulary,
+// document frequencies (the IDF input, which must be global for scores to
+// be shard-count-independent), the merged context index, and the sorted
+// path list — are derived from the shards at construction and shared by
+// every read path. With one shard (the default) the globals alias the
+// shard's own maps, so the single-shard layout costs nothing extra.
+//
+// Every read answer is byte-identical at any shard count; the shard
+// equivalence tests in internal/core pin this.
 package index
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"seda/internal/fulltext"
 	"seda/internal/pathdict"
@@ -36,123 +57,196 @@ type Posting struct {
 	Positions []int32 // token positions of the term within the node's direct text
 }
 
-// Index holds the node and context indexes for one collection.
-type Index struct {
-	col *store.Collection
+// Shard is one horizontal fragment of an Index: a self-contained node and
+// context index over the contiguous document range [lo, hi). Shards are
+// immutable once built and opaque outside this package; they are created
+// by BuildSharded, DecodeShard, and the shard-local ingest path.
+type Shard struct {
+	lo, hi int // document-id range [lo, hi)
 
-	postings map[string][]Posting // node index, (doc, Dewey)-ordered
-	terms    []string             // sorted term list for prefix scans
-
-	pathTerms map[string]map[pathdict.PathID]int // Fig. 8 context index (content terms + tag names)
-
-	termDocFreq map[string]int // # docs containing term, for IDF
+	postings    map[string][]Posting // node index, (doc, Dewey)-ordered
+	terms       []string             // sorted shard vocabulary
+	pathTerms   map[string]map[pathdict.PathID]int
+	termDocFreq map[string]int // # shard documents containing term
 	pathNodes   map[pathdict.PathID][]xmldoc.NodeRef
-	allPaths    []pathdict.PathID // every distinct path, sorted by string
+}
+
+// Docs returns the number of documents in the shard's range.
+func (sh *Shard) Docs() int { return sh.hi - sh.lo }
+
+// Index holds the node and context indexes for one collection, fragmented
+// into one or more document-range shards (see the package comment).
+type Index struct {
+	col    *store.Collection
+	shards []*Shard // contiguous, in document order; len >= 1
+
+	// Corpus-global aggregates derived from the shards. With a single
+	// shard they alias the shard's own structures.
+	terms       []string                           // sorted term list for prefix scans
+	termDocFreq map[string]int                     // # docs containing term, for IDF
+	pathTerms   map[string]map[pathdict.PathID]int // Fig. 8 context index (content terms + tag names)
+	allPaths    []pathdict.PathID                  // every distinct path, sorted by string
 }
 
 // Build constructs both indexes over the collection, sharding the scan
 // across runtime.GOMAXPROCS(0) goroutines.
-func Build(col *store.Collection) *Index { return BuildParallel(col, 0) }
+func Build(col *store.Collection) *Index { return BuildSharded(col, 1, 0) }
 
-// BuildParallel is Build with an explicit worker count: the document list
-// is split into contiguous shards scanned concurrently, and the per-shard
-// accumulators are merged in shard order, so the result is byte-identical
-// to a sequential build. parallelism <= 0 means runtime.GOMAXPROCS(0); 1
-// forces a sequential scan.
+// BuildParallel is Build with an explicit worker count; the built index
+// has a single shard whatever the parallelism. parallelism <= 0 means
+// runtime.GOMAXPROCS(0); 1 forces a sequential scan.
 func BuildParallel(col *store.Collection, parallelism int) *Index {
+	return BuildSharded(col, 1, parallelism)
+}
+
+// BuildSharded builds an index fragmented into the given number of
+// document-range shards, scanning with at most parallelism workers in
+// total. shards <= 1 yields the single-shard layout; the count is clamped
+// to the number of documents. Every read answer — lookups, matches,
+// scores — is byte-identical at any shard count and any parallelism.
+func BuildSharded(col *store.Collection, shards, parallelism int) *Index {
 	docs := col.Docs()
+	n := shards
+	if n > len(docs) {
+		n = len(docs)
+	}
+	if n < 1 {
+		n = 1
+	}
 	p := parallelism
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	if p > len(docs) {
-		p = len(docs)
-	}
 	if p < 1 {
 		p = 1
 	}
-	shards := make([]*indexShard, p)
-	if p == 1 {
-		shards[0] = buildShard(docs)
+	parts := make([]*Shard, n)
+	if n == 1 {
+		parts[0] = buildShardRange(docs, 0, p)
+	} else {
+		// Build the shards over a bounded worker pool: at most
+		// min(p, n) shard builders run at once, and each splits its own
+		// scan so the total concurrent scanners never exceed p —
+		// Parallelism 1 really is sequential. The per-shard results are
+		// deterministic, so scheduling never shows in the output.
+		builders := p
+		if builders > n {
+			builders = n
+		}
+		scanPar := p / builders
+		if scanPar < 1 {
+			scanPar = 1
+		}
+		build := func(s int) {
+			lo, hi := s*len(docs)/n, (s+1)*len(docs)/n
+			parts[s] = buildShardRange(docs[lo:hi], lo, scanPar)
+		}
+		if builders == 1 {
+			for s := 0; s < n; s++ {
+				build(s)
+			}
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < builders; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						s := int(next.Add(1)) - 1
+						if s >= n {
+							return
+						}
+						build(s)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	}
+	return newIndex(col, parts)
+}
+
+// buildShardRange builds one shard over docs (whose first document has id
+// lo), splitting the scan across at most workers goroutines and merging
+// the partial accumulators in document order, so the shard is
+// byte-identical to a sequential scan.
+func buildShardRange(docs []*xmldoc.Document, lo int, workers int) *Shard {
+	w := workers
+	if w > len(docs) {
+		w = len(docs)
+	}
+	if w < 1 {
+		w = 1
+	}
+	accs := make([]*Shard, w)
+	if w == 1 {
+		accs[0] = scanDocs(docs)
 	} else {
 		var wg sync.WaitGroup
-		for w := 0; w < p; w++ {
-			lo, hi := w*len(docs)/p, (w+1)*len(docs)/p
+		for i := 0; i < w; i++ {
+			a, b := i*len(docs)/w, (i+1)*len(docs)/w
 			wg.Add(1)
-			go func(w, lo, hi int) {
+			go func(i, a, b int) {
 				defer wg.Done()
-				shards[w] = buildShard(docs[lo:hi])
-			}(w, lo, hi)
+				accs[i] = scanDocs(docs[a:b])
+			}(i, a, b)
 		}
 		wg.Wait()
 	}
 
-	// Merge in shard order, adopting the first shard's maps wholesale so a
-	// sequential build pays no merge cost at all. Shards hold contiguous
-	// document ranges, so per-path node lists concatenate back into global
-	// (doc, Dewey) order, and per-term posting runs are re-sorted by
+	// Merge in document order, adopting the first accumulator wholesale so
+	// a sequential scan pays no merge cost at all. Accumulators hold
+	// contiguous document ranges, so per-path node lists concatenate back
+	// into (doc, Dewey) order, and per-term posting runs are re-sorted by
 	// normalizePostings anyway.
-	ix := &Index{
-		col:         col,
-		postings:    shards[0].postings,
-		pathTerms:   shards[0].pathTerms,
-		termDocFreq: shards[0].termDocFreq,
-		pathNodes:   shards[0].pathNodes,
-	}
-	for _, sh := range shards[1:] {
-		for term, ps := range sh.postings {
-			ix.postings[term] = append(ix.postings[term], ps...)
+	sh := accs[0]
+	for _, acc := range accs[1:] {
+		for term, ps := range acc.postings {
+			sh.postings[term] = append(sh.postings[term], ps...)
 		}
-		for term, paths := range sh.pathTerms {
-			m, ok := ix.pathTerms[term]
+		for term, paths := range acc.pathTerms {
+			m, ok := sh.pathTerms[term]
 			if !ok {
-				ix.pathTerms[term] = paths
+				sh.pathTerms[term] = paths
 				continue
 			}
 			for pid, n := range paths {
 				m[pid] += n
 			}
 		}
-		for term, n := range sh.termDocFreq {
-			ix.termDocFreq[term] += n // shards hold disjoint documents
+		for term, n := range acc.termDocFreq {
+			sh.termDocFreq[term] += n // accumulators hold disjoint documents
 		}
-		for pid, refs := range sh.pathNodes {
-			if cur, ok := ix.pathNodes[pid]; ok {
-				ix.pathNodes[pid] = append(cur, refs...)
+		for pid, refs := range acc.pathNodes {
+			if cur, ok := sh.pathNodes[pid]; ok {
+				sh.pathNodes[pid] = append(cur, refs...)
 			} else {
-				ix.pathNodes[pid] = refs
+				sh.pathNodes[pid] = refs
 			}
 		}
 	}
-	// Postings for one term may interleave node visits (same node appended
-	// once per distinct run); normalize to unique nodes in (doc, Dewey)
-	// order.
-	for term, ps := range ix.postings {
-		ix.postings[term] = normalizePostings(ps)
-		ix.terms = append(ix.terms, term)
-	}
-	sort.Strings(ix.terms)
-	for p := range ix.pathNodes {
-		ix.allPaths = append(ix.allPaths, p)
-	}
-	dict := col.Dict()
-	sort.Slice(ix.allPaths, func(i, j int) bool { return dict.Path(ix.allPaths[i]) < dict.Path(ix.allPaths[j]) })
-	return ix
+	sh.finalize(lo, lo+len(docs))
+	return sh
 }
 
-// indexShard accumulates one worker's slice of the document scan.
-type indexShard struct {
-	postings    map[string][]Posting
-	pathTerms   map[string]map[pathdict.PathID]int
-	termDocFreq map[string]int
-	pathNodes   map[pathdict.PathID][]xmldoc.NodeRef
+// finalize normalizes the shard's posting lists, derives its sorted
+// vocabulary, and fixes its document range.
+func (sh *Shard) finalize(lo, hi int) {
+	sh.lo, sh.hi = lo, hi
+	sh.terms = sh.terms[:0]
+	for term, ps := range sh.postings {
+		sh.postings[term] = normalizePostings(ps)
+		sh.terms = append(sh.terms, term)
+	}
+	sort.Strings(sh.terms)
 }
 
-// buildShard runs the single-threaded scan over one contiguous document
+// scanDocs runs the single-threaded scan over one contiguous document
 // range. Everything it touches outside its own maps (documents, the path
 // dictionary, the tokenizer) is read-only or internally synchronized.
-func buildShard(docs []*xmldoc.Document) *indexShard {
-	sh := &indexShard{
+func scanDocs(docs []*xmldoc.Document) *Shard {
+	sh := &Shard{
 		postings:    make(map[string][]Posting),
 		pathTerms:   make(map[string]map[pathdict.PathID]int),
 		termDocFreq: make(map[string]int),
@@ -190,7 +284,7 @@ func buildShard(docs []*xmldoc.Document) *indexShard {
 	return sh
 }
 
-func (sh *indexShard) bumpPathTerm(term string, p pathdict.PathID) {
+func (sh *Shard) bumpPathTerm(term string, p pathdict.PathID) {
 	if term == "" {
 		return
 	}
@@ -200,6 +294,55 @@ func (sh *indexShard) bumpPathTerm(term string, p pathdict.PathID) {
 		sh.pathTerms[term] = m
 	}
 	m[p]++
+}
+
+// newIndex assembles an Index from finalized shards, deriving the
+// corpus-global aggregates. With a single shard the globals alias the
+// shard's structures — the default layout pays no merge cost or memory.
+func newIndex(col *store.Collection, shards []*Shard) *Index {
+	ix := &Index{col: col, shards: shards}
+	if len(shards) == 1 {
+		sh := shards[0]
+		ix.terms = sh.terms
+		ix.termDocFreq = sh.termDocFreq
+		ix.pathTerms = sh.pathTerms
+	} else {
+		ix.termDocFreq = make(map[string]int)
+		ix.pathTerms = make(map[string]map[pathdict.PathID]int)
+		for _, sh := range shards {
+			for term, n := range sh.termDocFreq {
+				ix.termDocFreq[term] += n // shards hold disjoint documents
+			}
+			for term, paths := range sh.pathTerms {
+				m, ok := ix.pathTerms[term]
+				if !ok {
+					m = make(map[pathdict.PathID]int, len(paths))
+					ix.pathTerms[term] = m
+				}
+				for pid, n := range paths {
+					m[pid] += n
+				}
+			}
+		}
+		ix.terms = make([]string, 0, len(ix.termDocFreq))
+		for t := range ix.termDocFreq {
+			ix.terms = append(ix.terms, t)
+		}
+		sort.Strings(ix.terms)
+	}
+
+	seen := make(map[pathdict.PathID]struct{})
+	for _, sh := range shards {
+		for p := range sh.pathNodes {
+			if _, ok := seen[p]; !ok {
+				seen[p] = struct{}{}
+				ix.allPaths = append(ix.allPaths, p)
+			}
+		}
+	}
+	dict := col.Dict()
+	sort.Slice(ix.allPaths, func(i, j int) bool { return dict.Path(ix.allPaths[i]) < dict.Path(ix.allPaths[j]) })
+	return ix
 }
 
 func normalizePostings(ps []Posting) []Posting {
@@ -222,19 +365,201 @@ func normalizePostings(ps []Posting) []Posting {
 // Collection returns the indexed collection.
 func (ix *Index) Collection() *store.Collection { return ix.col }
 
-// Lookup returns the postings of term (nil if absent). The returned slice
-// must not be modified.
-func (ix *Index) Lookup(term string) []Posting { return ix.postings[term] }
+// NumShards returns the number of document-range shards.
+func (ix *Index) NumShards() int { return len(ix.shards) }
+
+// ShardStats describes one shard for observability surfaces
+// (/debug/stats, sedabench).
+type ShardStats struct {
+	// Docs is the number of documents in the shard's range [Lo, Hi).
+	Lo, Hi, Docs int
+	// Terms is the shard's node-index vocabulary size.
+	Terms int
+	// Postings is the shard's total posting count.
+	Postings int
+	// Bytes estimates the shard's in-memory node-index footprint: term
+	// bytes plus fixed per-posting and per-position costs. It is a
+	// deterministic estimate for capacity planning, not an exact heap
+	// measurement.
+	Bytes int64
+}
+
+// shardStats computes the stats of one shard. The per-posting constant
+// covers the Posting struct and its slice headers; positions add 4 bytes
+// each.
+func (sh *Shard) stats() ShardStats {
+	st := ShardStats{Lo: sh.lo, Hi: sh.hi, Docs: sh.hi - sh.lo, Terms: len(sh.terms)}
+	const perPosting = 64
+	for term, ps := range sh.postings {
+		st.Postings += len(ps)
+		st.Bytes += int64(len(term)) + int64(len(ps))*perPosting
+		for i := range ps {
+			st.Bytes += int64(4 * len(ps[i].Positions))
+		}
+	}
+	return st
+}
+
+// ShardStats reports per-shard document, term, posting, and byte counts
+// in shard order.
+func (ix *Index) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(ix.shards))
+	for i, sh := range ix.shards {
+		out[i] = sh.stats()
+	}
+	return out
+}
+
+// Lookup returns the postings of term in (doc, Dewey) order (nil if
+// absent). With multiple shards the per-shard lists are concatenated into
+// a fresh slice; either way the returned slice must not be modified.
+func (ix *Index) Lookup(term string) []Posting {
+	if len(ix.shards) == 1 {
+		return ix.shards[0].postings[term]
+	}
+	var total int
+	for _, sh := range ix.shards {
+		total += len(sh.postings[term])
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Posting, 0, total)
+	for _, sh := range ix.shards {
+		out = append(out, sh.postings[term]...)
+	}
+	return out
+}
 
 // LookupPrefix returns merged postings of all terms starting with prefix,
-// in (doc, Dewey) order.
+// in (doc, Dewey) order, by a k-way merge of the already-sorted per-term
+// (and per-shard) posting lists.
 func (ix *Index) LookupPrefix(prefix string) []Posting {
+	var lists [][]Posting
 	lo := sort.SearchStrings(ix.terms, prefix)
-	var merged []Posting
 	for i := lo; i < len(ix.terms) && strings.HasPrefix(ix.terms[i], prefix); i++ {
-		merged = append(merged, ix.postings[ix.terms[i]]...)
+		for _, sh := range ix.shards {
+			if ps := sh.postings[ix.terms[i]]; len(ps) > 0 {
+				lists = append(lists, ps)
+			}
+		}
 	}
-	return normalizePostings(merged)
+	return mergePostings(lists)
+}
+
+// lookupPrefixShard is LookupPrefix restricted to one shard.
+func (ix *Index) lookupPrefixShard(s int, prefix string) []Posting {
+	sh := ix.shards[s]
+	var lists [][]Posting
+	lo := sort.SearchStrings(sh.terms, prefix)
+	for i := lo; i < len(sh.terms) && strings.HasPrefix(sh.terms[i], prefix); i++ {
+		if ps := sh.postings[sh.terms[i]]; len(ps) > 0 {
+			lists = append(lists, ps)
+		}
+	}
+	return mergePostings(lists)
+}
+
+// mergePostings k-way-merges sorted posting lists into one list in (doc,
+// Dewey) order, combining postings for the same node (same node, several
+// terms) by merging their sorted position lists — the same result
+// normalizePostings produces from the concatenation, without the global
+// re-sort.
+func mergePostings(lists [][]Posting) []Posting {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		// Already normalized; share the list (callers must not modify).
+		return lists[0]
+	}
+	// A loser-tree-free binary heap over list heads. Ties on equal refs
+	// break by list index so the merge order (and hence the position-merge
+	// order) is deterministic.
+	type head struct{ list, pos int }
+	less := func(a, b head) bool {
+		pa, pb := &lists[a.list][a.pos], &lists[b.list][b.pos]
+		if !pa.Ref.Equal(pb.Ref) {
+			return pa.Ref.Less(pb.Ref)
+		}
+		return a.list < b.list
+	}
+	heap := make([]head, 0, len(lists))
+	total := 0
+	for i, l := range lists {
+		total += len(l)
+		heap = append(heap, head{list: i})
+	}
+	// Heapify + sift helpers over the tiny fixed-shape heap.
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(heap) && less(heap[l], heap[min]) {
+				min = l
+			}
+			if r < len(heap) && less(heap[r], heap[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			heap[i], heap[min] = heap[min], heap[i]
+			i = min
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+
+	out := make([]Posting, 0, total)
+	for len(heap) > 0 {
+		h := heap[0]
+		p := lists[h.list][h.pos]
+		if len(out) > 0 && out[len(out)-1].Ref.Equal(p.Ref) {
+			last := &out[len(out)-1]
+			last.Positions = mergePositions(last.Positions, p.Positions)
+		} else {
+			// Copy so the merged posting never aliases (and later mutates)
+			// a source list's Positions slice.
+			cp := p
+			cp.Positions = append([]int32(nil), p.Positions...)
+			out = append(out, cp)
+		}
+		if h.pos+1 < len(lists[h.list]) {
+			heap[0].pos++
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(0)
+	}
+	return out
+}
+
+// mergePositions merges two sorted position slices into dst (already
+// sorted), preserving duplicates.
+func mergePositions(dst, src []int32) []int32 {
+	if len(src) == 0 {
+		return dst
+	}
+	if len(dst) == 0 || dst[len(dst)-1] <= src[0] {
+		return append(dst, src...) // common fast path: disjoint ranges
+	}
+	out := make([]int32, 0, len(dst)+len(src))
+	i, j := 0, 0
+	for i < len(dst) && j < len(src) {
+		if dst[i] <= src[j] {
+			out = append(out, dst[i])
+			i++
+		} else {
+			out = append(out, src[j])
+			j++
+		}
+	}
+	out = append(out, dst[i:]...)
+	out = append(out, src[j:]...)
+	return out
 }
 
 // LookupQuery resolves a TermQuery (exact or prefix) to postings.
@@ -246,21 +571,32 @@ func (ix *Index) LookupQuery(tq fulltext.TermQuery) []Posting {
 }
 
 // PhrasePostings returns postings of nodes whose direct text contains the
-// exact phrase, computed by position intersection on the node index.
+// exact phrase, computed by position intersection on the node index. The
+// intersection runs shard-locally (a node and all its phrase terms live in
+// one shard); shards where a later phrase term is absent simply contribute
+// nothing.
 func (ix *Index) PhrasePostings(terms []string) []Posting {
 	if len(terms) == 0 {
 		return nil
 	}
-	base := ix.Lookup(terms[0])
 	if len(terms) == 1 {
-		return base
+		return ix.Lookup(terms[0])
 	}
 	var out []Posting
-	for _, p := range base {
+	for s := range ix.shards {
+		out = append(out, ix.phrasePostingsShard(s, terms)...)
+	}
+	return out
+}
+
+func (ix *Index) phrasePostingsShard(s int, terms []string) []Posting {
+	sh := ix.shards[s]
+	var out []Posting
+	for _, p := range sh.postings[terms[0]] {
 		ok := true
 		offsets := p.Positions // candidate phrase start positions
 		for k := 1; k < len(terms) && ok; k++ {
-			next := ix.findPosting(terms[k], p.Ref)
+			next := sh.findPosting(terms[k], p.Ref)
 			if next == nil {
 				ok = false
 				break
@@ -281,8 +617,8 @@ func (ix *Index) PhrasePostings(terms []string) []Posting {
 	return out
 }
 
-func (ix *Index) findPosting(term string, ref xmldoc.NodeRef) *Posting {
-	ps := ix.postings[term]
+func (sh *Shard) findPosting(term string, ref xmldoc.NodeRef) *Posting {
+	ps := sh.postings[term]
 	i := sort.Search(len(ps), func(i int) bool { return !ps[i].Ref.Less(ref) })
 	if i < len(ps) && ps[i].Ref.Equal(ref) {
 		return &ps[i]
@@ -295,15 +631,42 @@ func containsI32(xs []int32, v int32) bool {
 	return i < len(xs) && xs[i] == v
 }
 
-// DocFreq returns the number of documents containing term.
+// DocFreq returns the number of documents containing term (corpus-global —
+// it feeds IDF, so scores are independent of the shard layout).
 func (ix *Index) DocFreq(term string) int { return ix.termDocFreq[term] }
 
 // NumTerms returns the vocabulary size of the node index.
 func (ix *Index) NumTerms() int { return len(ix.terms) }
 
 // NodesAtPath returns all nodes with the given path in (doc, Dewey) order.
-// The returned slice must not be modified.
-func (ix *Index) NodesAtPath(p pathdict.PathID) []xmldoc.NodeRef { return ix.pathNodes[p] }
+// With multiple shards the per-shard lists are concatenated into a fresh
+// slice; either way the returned slice must not be modified.
+func (ix *Index) NodesAtPath(p pathdict.PathID) []xmldoc.NodeRef {
+	if len(ix.shards) == 1 {
+		return ix.shards[0].pathNodes[p]
+	}
+	var total int
+	for _, sh := range ix.shards {
+		total += len(sh.pathNodes[p])
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]xmldoc.NodeRef, 0, total)
+	for _, sh := range ix.shards {
+		out = append(out, sh.pathNodes[p]...)
+	}
+	return out
+}
+
+// nodesAtPathLen is len(NodesAtPath(p)) without the concatenation.
+func (ix *Index) nodesAtPathLen(p pathdict.PathID) int {
+	n := 0
+	for _, sh := range ix.shards {
+		n += len(sh.pathNodes[p])
+	}
+	return n
+}
 
 // AllPaths returns every distinct path of the collection, sorted by string
 // form. The returned slice must not be modified.
@@ -359,7 +722,7 @@ func (ix *Index) PathsForExpr(e fulltext.Expr) map[pathdict.PathID]int {
 	case fulltext.Not, fulltext.MatchAll:
 		out := make(map[pathdict.PathID]int)
 		for _, p := range ix.allPaths {
-			out[p] = len(ix.pathNodes[p])
+			out[p] = ix.nodesAtPathLen(p)
 		}
 		return out
 	}
@@ -410,4 +773,23 @@ func copyPathCounts(m map[pathdict.PathID]int) map[pathdict.PathID]int {
 func hasString(sorted []string, s string) bool {
 	i := sort.SearchStrings(sorted, s)
 	return i < len(sorted) && sorted[i] == s
+}
+
+// validateShards checks that shards form a contiguous document-order
+// partition of col.
+func validateShards(col *store.Collection, shards []*Shard) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("index: no shards")
+	}
+	want := 0
+	for i, sh := range shards {
+		if sh.lo != want || sh.hi < sh.lo {
+			return fmt.Errorf("index: shard %d covers [%d, %d), want lo %d", i, sh.lo, sh.hi, want)
+		}
+		want = sh.hi
+	}
+	if want != col.NumDocs() {
+		return fmt.Errorf("index: shards cover %d documents, collection has %d", want, col.NumDocs())
+	}
+	return nil
 }

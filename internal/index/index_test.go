@@ -186,7 +186,7 @@ func renderPaths(dict *pathdict.Dict, m map[pathdict.PathID]int) []string {
 	return out
 }
 
-// TestBuildParallelMatchesSequential: the sharded build must produce an
+// TestBuildParallelMatchesSequential: the parallel scan must produce an
 // index indistinguishable from the sequential one — same postings (with
 // positions), path-term counts, doc frequencies, and node/path orderings.
 func TestBuildParallelMatchesSequential(t *testing.T) {
@@ -194,7 +194,7 @@ func TestBuildParallelMatchesSequential(t *testing.T) {
 	seq := BuildParallel(c, 1)
 	for _, p := range []int{2, 3, 8} {
 		par := BuildParallel(c, p)
-		if !reflect.DeepEqual(par.postings, seq.postings) {
+		if !reflect.DeepEqual(par.shards[0].postings, seq.shards[0].postings) {
 			t.Errorf("parallelism %d: postings differ", p)
 		}
 		if !reflect.DeepEqual(par.terms, seq.terms) {
@@ -206,11 +206,68 @@ func TestBuildParallelMatchesSequential(t *testing.T) {
 		if !reflect.DeepEqual(par.termDocFreq, seq.termDocFreq) {
 			t.Errorf("parallelism %d: doc frequencies differ", p)
 		}
-		if !reflect.DeepEqual(par.pathNodes, seq.pathNodes) {
+		if !reflect.DeepEqual(par.shards[0].pathNodes, seq.shards[0].pathNodes) {
 			t.Errorf("parallelism %d: path-node lists differ", p)
 		}
 		if !reflect.DeepEqual(par.allPaths, seq.allPaths) {
 			t.Errorf("parallelism %d: path orders differ", p)
+		}
+	}
+}
+
+// TestBuildShardedMatchesSingleShard: the read API of a multi-shard index
+// must be indistinguishable from the single-shard one — lookups, prefix
+// merges, phrase intersections, matches, and global statistics.
+func TestBuildShardedMatchesSingleShard(t *testing.T) {
+	c, _ := buildFixture(t)
+	one := BuildSharded(c, 1, 1)
+	for _, n := range []int{2, 3, c.NumDocs(), c.NumDocs() + 5} {
+		sharded := BuildSharded(c, n, 2)
+		wantShards := n
+		if wantShards > c.NumDocs() {
+			wantShards = c.NumDocs()
+		}
+		if got := sharded.NumShards(); got != wantShards {
+			t.Fatalf("shards %d: NumShards = %d, want %d", n, got, wantShards)
+		}
+		if !reflect.DeepEqual(sharded.terms, one.terms) {
+			t.Errorf("shards %d: term lists differ", n)
+		}
+		if !reflect.DeepEqual(sharded.termDocFreq, one.termDocFreq) {
+			t.Errorf("shards %d: doc frequencies differ", n)
+		}
+		if !reflect.DeepEqual(sharded.pathTerms, one.pathTerms) {
+			t.Errorf("shards %d: context index differs", n)
+		}
+		if !reflect.DeepEqual(sharded.allPaths, one.allPaths) {
+			t.Errorf("shards %d: path orders differ", n)
+		}
+		for _, term := range one.terms {
+			if !reflect.DeepEqual(sharded.Lookup(term), one.Lookup(term)) {
+				t.Errorf("shards %d: Lookup(%q) differs", n, term)
+			}
+		}
+		for _, prefix := range []string{"", "u", "un", "germ", "1", "zzz"} {
+			if !reflect.DeepEqual(sharded.LookupPrefix(prefix), one.LookupPrefix(prefix)) {
+				t.Errorf("shards %d: LookupPrefix(%q) differs", n, prefix)
+			}
+		}
+		if !reflect.DeepEqual(sharded.PhrasePostings([]string{"united", "states"}),
+			one.PhrasePostings([]string{"united", "states"})) {
+			t.Errorf("shards %d: PhrasePostings differ", n)
+		}
+		for _, p := range one.allPaths {
+			if !reflect.DeepEqual(sharded.NodesAtPath(p), one.NodesAtPath(p)) {
+				t.Errorf("shards %d: NodesAtPath(%d) differs", n, p)
+			}
+		}
+		stats := sharded.ShardStats()
+		docs := 0
+		for _, st := range stats {
+			docs += st.Docs
+		}
+		if docs != c.NumDocs() {
+			t.Errorf("shards %d: shard stats cover %d docs, want %d", n, docs, c.NumDocs())
 		}
 	}
 }

@@ -8,58 +8,78 @@ import (
 	"seda/internal/xmldoc"
 )
 
-// Incremental extension: a delta segment over newly added documents is
-// merged into copies of the posting lists instead of re-scanning the whole
-// collection. This reuses the shard machinery of BuildParallel — the new
-// documents are scanned exactly like one more contiguous shard — and the
-// same merge identity makes the result byte-identical to a from-scratch
-// build: new documents carry strictly larger doc ids, so their normalized
-// postings concatenate after the existing (already normalized) lists in
-// global (doc, Dewey) order.
+// Incremental extension is shard-local: a delta segment over the newly
+// added documents is merged into a copy of the TAIL shard only — the
+// other shards are shared with the receiver untouched, so the ingest cost
+// scales with the tail shard's vocabulary, not the corpus's. This reuses
+// the scan machinery of BuildSharded — the new documents are scanned
+// exactly like one more contiguous accumulator — and the same merge
+// identity makes the result byte-identical to a from-scratch build: new
+// documents carry strictly larger doc ids, so their normalized postings
+// concatenate after the existing (already normalized) lists in global
+// (doc, Dewey) order.
+//
+// Note the resulting partition differs from what a fresh BuildSharded
+// over the extended corpus would choose (the tail shard grows; a fresh
+// build rebalances) — which is fine, because every read answer is
+// partition-independent. The corpus-global aggregates are re-derived from
+// the shards by the same fold construction uses.
 
 // Extend returns a new Index over col covering the receiver's documents
 // plus newDocs. col must be the extended collection (see store.Extend)
 // and newDocs its appended suffix, in order. The receiver is not
-// modified and remains valid for concurrent readers: every changed
-// posting list, context-index entry, and per-path node list is a fresh
-// slice or map, while unchanged ones are shared.
+// modified and remains valid for concurrent readers: the tail shard's
+// changed posting lists, context-index entries, and per-path node lists
+// are fresh slices or maps, unchanged ones — and every non-tail shard —
+// are shared.
 func (ix *Index) Extend(col *store.Collection, newDocs []*xmldoc.Document) *Index {
-	sh := buildShard(newDocs)
-	nix := &Index{
-		col:         col,
-		postings:    make(map[string][]Posting, len(ix.postings)+len(sh.postings)),
-		pathTerms:   make(map[string]map[pathdict.PathID]int, len(ix.pathTerms)),
-		termDocFreq: make(map[string]int, len(ix.termDocFreq)+len(sh.termDocFreq)),
-		pathNodes:   make(map[pathdict.PathID][]xmldoc.NodeRef, len(ix.pathNodes)),
+	delta := scanDocs(newDocs)
+	tail := ix.shards[len(ix.shards)-1]
+	shards := make([]*Shard, len(ix.shards))
+	copy(shards, ix.shards)
+	shards[len(shards)-1] = tail.extend(delta, col.NumDocs())
+	return newIndex(col, shards)
+}
+
+// extend merges a normalized delta accumulator into a copy of the shard,
+// extending its range to [sh.lo, hi).
+func (sh *Shard) extend(delta *Shard, hi int) *Shard {
+	nsh := &Shard{
+		lo:          sh.lo,
+		hi:          hi,
+		postings:    make(map[string][]Posting, len(sh.postings)+len(delta.postings)),
+		pathTerms:   make(map[string]map[pathdict.PathID]int, len(sh.pathTerms)),
+		termDocFreq: make(map[string]int, len(sh.termDocFreq)+len(delta.termDocFreq)),
+		pathNodes:   make(map[pathdict.PathID][]xmldoc.NodeRef, len(sh.pathNodes)),
 	}
-	for t, ps := range ix.postings {
-		nix.postings[t] = ps
+	for t, ps := range sh.postings {
+		nsh.postings[t] = ps
 	}
-	for t, m := range ix.pathTerms {
-		nix.pathTerms[t] = m
+	for t, m := range sh.pathTerms {
+		nsh.pathTerms[t] = m
 	}
-	for t, n := range ix.termDocFreq {
-		nix.termDocFreq[t] = n
+	for t, n := range sh.termDocFreq {
+		nsh.termDocFreq[t] = n
 	}
-	for p, refs := range ix.pathNodes {
-		nix.pathNodes[p] = refs
+	for p, refs := range sh.pathNodes {
+		nsh.pathNodes[p] = refs
 	}
 
-	for term, ps := range sh.postings {
-		delta := normalizePostings(ps)
-		if old, ok := nix.postings[term]; ok {
-			merged := make([]Posting, 0, len(old)+len(delta))
+	for term, ps := range delta.postings {
+		dp := normalizePostings(ps)
+		if old, ok := nsh.postings[term]; ok {
+			merged := make([]Posting, 0, len(old)+len(dp))
 			merged = append(merged, old...)
-			merged = append(merged, delta...)
-			nix.postings[term] = merged
+			merged = append(merged, dp...)
+			nsh.postings[term] = merged
 		} else {
-			nix.postings[term] = delta
+			nsh.postings[term] = dp
 		}
 	}
-	for term, paths := range sh.pathTerms {
-		old, ok := nix.pathTerms[term]
+	for term, paths := range delta.pathTerms {
+		old, ok := nsh.pathTerms[term]
 		if !ok {
-			nix.pathTerms[term] = paths
+			nsh.pathTerms[term] = paths
 			continue
 		}
 		m := make(map[pathdict.PathID]int, len(old)+len(paths))
@@ -69,34 +89,28 @@ func (ix *Index) Extend(col *store.Collection, newDocs []*xmldoc.Document) *Inde
 		for p, n := range paths {
 			m[p] += n
 		}
-		nix.pathTerms[term] = m
+		nsh.pathTerms[term] = m
 	}
-	for term, n := range sh.termDocFreq {
-		nix.termDocFreq[term] += n // new documents are disjoint from old ones
+	for term, n := range delta.termDocFreq {
+		nsh.termDocFreq[term] += n // new documents are disjoint from old ones
 	}
-	for p, refs := range sh.pathNodes {
-		if old, ok := nix.pathNodes[p]; ok {
+	for p, refs := range delta.pathNodes {
+		if old, ok := nsh.pathNodes[p]; ok {
 			merged := make([]xmldoc.NodeRef, 0, len(old)+len(refs))
 			merged = append(merged, old...)
 			merged = append(merged, refs...)
-			nix.pathNodes[p] = merged
+			nsh.pathNodes[p] = merged
 		} else {
-			nix.pathNodes[p] = refs
+			nsh.pathNodes[p] = refs
 		}
 	}
 
-	nix.terms = make([]string, 0, len(nix.postings))
-	for t := range nix.postings {
-		nix.terms = append(nix.terms, t)
+	nsh.terms = make([]string, 0, len(nsh.postings))
+	for t := range nsh.postings {
+		nsh.terms = append(nsh.terms, t)
 	}
-	sort.Strings(nix.terms)
-	dict := col.Dict()
-	nix.allPaths = make([]pathdict.PathID, 0, len(nix.pathNodes))
-	for p := range nix.pathNodes {
-		nix.allPaths = append(nix.allPaths, p)
-	}
-	sort.Slice(nix.allPaths, func(i, j int) bool { return dict.Path(nix.allPaths[i]) < dict.Path(nix.allPaths[j]) })
-	return nix
+	sort.Strings(nsh.terms)
+	return nsh
 }
 
 // Terms returns the node index's vocabulary in sorted order. The returned

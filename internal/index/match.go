@@ -23,26 +23,52 @@ type Match struct {
 // content(n) satisfies the search expression and the context matches the
 // node's name or full path. Results are in (doc, Dewey) order.
 //
-// Candidate generation works on the node index: the deepest nodes whose
-// subtree covers a conjunctive clause of the expression (an SLCA-style
-// computation on Dewey ids) are "anchors"; anchors are then lifted to the
-// ancestors-or-self whose path satisfies the context, and every lifted node
-// is verified by evaluating the full expression against content(n). For
-// match-all or purely negative expressions the context's paths enumerate
-// candidates directly.
+// The evaluation scatters across the index's shards and concatenates the
+// per-shard results; shard ranges are disjoint and increasing, so the
+// concatenation is already in global (doc, Dewey) order. Callers that want
+// to schedule the scatter themselves (the top-k searcher's worker pool)
+// use MatchTermShard per shard and concatenate in shard order.
 func (ix *Index) MatchTerm(t query.Term) ([]Match, error) {
+	if len(ix.shards) == 1 {
+		return ix.MatchTermShard(t, 0)
+	}
+	var out []Match
+	for s := range ix.shards {
+		ms, err := ix.MatchTermShard(t, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// MatchTermShard evaluates the query term against one shard's documents.
+// Concatenating the results of every shard in order yields exactly
+// MatchTerm's answer; scoring uses the corpus-global statistics (document
+// frequencies, corpus size), so per-shard scores are independent of the
+// shard layout.
+//
+// Candidate generation works on the shard's node index: the deepest nodes
+// whose subtree covers a conjunctive clause of the expression (an
+// SLCA-style computation on Dewey ids) are "anchors"; anchors are then
+// lifted to the ancestors-or-self whose path satisfies the context, and
+// every lifted node is verified by evaluating the full expression against
+// content(n). For match-all or purely negative expressions the context's
+// paths enumerate candidates directly.
+func (ix *Index) MatchTermShard(t query.Term, s int) ([]Match, error) {
 	if fulltext.OpenMatch(t.Search) {
 		// The expression can match content containing no positive term, so
 		// anchors cannot enumerate candidates; scan by context instead.
-		return ix.matchByContextScan(t)
+		return ix.matchByContextScan(t, s)
 	}
 	clauses := dnfClauses(t.Search)
 	if len(clauses) == 0 {
-		return ix.matchByContextScan(t)
+		return ix.matchByContextScan(t, s)
 	}
 	anchorSet := make(map[string]xmldoc.NodeRef)
 	for _, clause := range clauses {
-		for _, ref := range ix.clauseAnchors(clause) {
+		for _, ref := range ix.clauseAnchors(clause, s) {
 			anchorSet[refKey(ref)] = ref
 		}
 	}
@@ -76,20 +102,25 @@ type candidate struct {
 }
 
 // matchByContextScan handles terms whose expression yields no positive index
-// probes — (context, *) and (context, NOT x). Candidates are all nodes at
-// context-matching paths. query.NewTerm guarantees such terms have a
+// probes — (context, *) and (context, NOT x). Candidates are all of shard
+// s's nodes at context-matching paths; the scan walks the shard's own
+// path set (not the corpus-global list), so the per-term work across all
+// shards stays proportional to the corpus, not shards × corpus. Path
+// iteration order is irrelevant: candidates dedup through a map and
+// verify sorts its output. query.NewTerm guarantees such terms have a
 // context.
-func (ix *Index) matchByContextScan(t query.Term) ([]Match, error) {
+func (ix *Index) matchByContextScan(t query.Term, s int) ([]Match, error) {
 	if t.Context.IsEmpty() {
 		return nil, fmt.Errorf("index: term %s has neither positive search terms nor a context", t)
 	}
 	dict := ix.col.Dict()
+	sh := ix.shards[s]
 	candSet := make(map[string]candidate)
-	for _, p := range ix.allPaths {
+	for p, refs := range sh.pathNodes {
 		if !t.Context.Matches(dict, p) {
 			continue
 		}
-		for _, ref := range ix.pathNodes[p] {
+		for _, ref := range refs {
 			candSet[refKey(ref)] = candidate{ref: ref}
 		}
 	}
@@ -241,23 +272,26 @@ func mergeToSingle(cs [][]probe) [][]probe {
 	return out
 }
 
-// clauseAnchors returns the smallest (deepest, minimal) nodes whose subtree
-// covers every probe of the clause — the multiway SLCA of the clause's
-// posting lists, in the spirit of the SLCA keyword-search work the paper
-// builds on (Xu & Papakonstantinou SIGMOD'05, Sun et al. WWW'07). For a
-// single-probe clause this reduces to the posting nodes that have no
-// posting descendant.
-func (ix *Index) clauseAnchors(clause []probe) []xmldoc.NodeRef {
+// clauseAnchors returns the smallest (deepest, minimal) nodes of shard s
+// whose subtree covers every probe of the clause — the multiway SLCA of
+// the clause's posting lists, in the spirit of the SLCA keyword-search
+// work the paper builds on (Xu & Papakonstantinou SIGMOD'05, Sun et al.
+// WWW'07). For a single-probe clause this reduces to the posting nodes
+// that have no posting descendant. An anchor's whole ancestor chain lives
+// in its own document, so per-shard SLCA concatenated over shards equals
+// the corpus-wide SLCA.
+func (ix *Index) clauseAnchors(clause []probe, s int) []xmldoc.NodeRef {
+	sh := ix.shards[s]
 	lists := make([][]Posting, 0, len(clause))
 	for _, pr := range clause {
 		var ps []Posting
 		if pr.prefix {
-			ps = ix.LookupPrefix(pr.term)
+			ps = ix.lookupPrefixShard(s, pr.term)
 		} else {
-			ps = ix.Lookup(pr.term)
+			ps = sh.postings[pr.term]
 		}
 		if len(ps) == 0 {
-			return nil // clause cannot be satisfied anywhere
+			return nil // clause cannot be satisfied in this shard
 		}
 		lists = append(lists, ps)
 	}

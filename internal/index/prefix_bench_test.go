@@ -1,0 +1,96 @@
+package index
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"seda/internal/store"
+)
+
+// widePrefixFixture builds a corpus whose vocabulary contains many terms
+// sharing the prefix "item" ("itemaa0" … ), each with postings in several
+// documents — the worst case for prefix lookups, which must merge one
+// sorted posting list per matching term.
+func widePrefixFixture(tb testing.TB, terms, docs int) *store.Collection {
+	tb.Helper()
+	col := store.NewCollection()
+	for d := 0; d < docs; d++ {
+		var sb strings.Builder
+		sb.WriteString("<doc>")
+		for t := 0; t < terms; t++ {
+			// Every 3rd term skips every 2nd doc so the lists have
+			// different lengths and interleave.
+			if t%3 == 0 && d%2 == 1 {
+				continue
+			}
+			fmt.Fprintf(&sb, "<f>item%c%c%d filler</f>", 'a'+t%26, 'a'+(t/26)%26, t)
+		}
+		sb.WriteString("</doc>")
+		if _, err := col.AddXML(fmt.Sprintf("d%d.xml", d), []byte(sb.String())); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return col
+}
+
+// lookupPrefixNaive is the pre-shard implementation kept as the benchmark
+// baseline: append every matching term's postings and re-sort the whole
+// concatenation via normalizePostings.
+func lookupPrefixNaive(ix *Index, prefix string) []Posting {
+	lo := 0
+	for lo < len(ix.terms) && ix.terms[lo] < prefix {
+		lo++
+	}
+	var merged []Posting
+	for i := lo; i < len(ix.terms) && strings.HasPrefix(ix.terms[i], prefix); i++ {
+		merged = append(merged, ix.Lookup(ix.terms[i])...)
+	}
+	return normalizePostings(merged)
+}
+
+// TestLookupPrefixMatchesNaive pins the k-way merge to the naive
+// append-then-re-sort semantics on the wide fixture.
+func TestLookupPrefixMatchesNaive(t *testing.T) {
+	col := widePrefixFixture(t, 120, 16)
+	for _, shards := range []int{1, 4} {
+		ix := BuildSharded(col, shards, 1)
+		for _, prefix := range []string{"item", "itema", "itemz", "filler", "nope"} {
+			got := ix.LookupPrefix(prefix)
+			want := lookupPrefixNaive(ix, prefix)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("shards=%d prefix %q: merge diverges from naive (%d vs %d postings)",
+					shards, prefix, len(got), len(want))
+			}
+		}
+	}
+}
+
+// BenchmarkLookupPrefixWide measures the k-way merge on a wide prefix
+// (hundreds of matching terms). Compare against
+// BenchmarkLookupPrefixWideNaive, the old append-then-re-sort path.
+func BenchmarkLookupPrefixWide(b *testing.B) {
+	col := widePrefixFixture(b, 400, 32)
+	ix := Build(col)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ps := ix.LookupPrefix("item"); len(ps) == 0 {
+			b.Fatal("no postings")
+		}
+	}
+}
+
+func BenchmarkLookupPrefixWideNaive(b *testing.B) {
+	col := widePrefixFixture(b, 400, 32)
+	ix := Build(col)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ps := lookupPrefixNaive(ix, "item"); len(ps) == 0 {
+			b.Fatal("no postings")
+		}
+	}
+}

@@ -542,6 +542,21 @@ type RegistryInfo struct {
 	SnapshotError string `json:"snapshot_error,omitempty"`
 	Docs          int    `json:"docs,omitempty"`
 	Nodes         int    `json:"nodes,omitempty"`
+	// Shards breaks the built engine's index down by horizontal shard
+	// (document range, vocabulary, postings, estimated bytes); absent
+	// until the engine is built or loaded.
+	Shards []ShardInfo `json:"shards,omitempty"`
+}
+
+// ShardInfo is one index shard's footprint on the wire.
+type ShardInfo struct {
+	// Docs is the number of documents in the shard's range [Lo, Hi).
+	Lo       int   `json:"lo"`
+	Hi       int   `json:"hi"`
+	Docs     int   `json:"docs"`
+	Terms    int   `json:"terms"`
+	Postings int   `json:"postings"`
+	Bytes    int64 `json:"bytes"`
 }
 
 // List reports every registered collection, sorted by name. Docs/Nodes are
@@ -568,6 +583,12 @@ func (r *Registry) List() []RegistryInfo {
 			info.Built = true
 			info.Docs = eng.Collection().NumDocs()
 			info.Nodes = eng.Collection().NumNodes()
+			for _, st := range eng.ShardStats() {
+				info.Shards = append(info.Shards, ShardInfo{
+					Lo: st.Lo, Hi: st.Hi, Docs: st.Docs,
+					Terms: st.Terms, Postings: st.Postings, Bytes: st.Bytes,
+				})
+			}
 		}
 		out = append(out, info)
 	}

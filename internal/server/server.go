@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -76,6 +77,13 @@ type Options struct {
 	// searches of collections registered over HTTP without their own
 	// setting (0 = runtime.GOMAXPROCS(0); 1 = sequential).
 	Parallelism int
+	// Shards is the default horizontal index shard count for collections
+	// registered over HTTP without their own "shards" option (0 or 1 =
+	// single shard; clamped to MaxShards). Shard count never changes
+	// query answers — it is the execution-plane layout top-k scatters
+	// over, snapshot I/O parallelizes across, and ingest extends the
+	// tail of.
+	Shards int
 	// Clock overrides time.Now for eviction tests.
 	Clock func() time.Time
 }
@@ -95,6 +103,14 @@ func (o *Options) defaults() {
 	}
 	if o.MaxCollections == 0 {
 		o.MaxCollections = 64
+	}
+	// The HTTP surface rejects explicit "shards" beyond MaxShards; the
+	// server-wide default must not be a back door past the same cap.
+	if o.Shards > MaxShards {
+		o.Shards = MaxShards
+	}
+	if o.Shards < 0 {
+		o.Shards = 0
 	}
 }
 
@@ -178,6 +194,13 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // large search and cache entry.
 const maxTopK = 1000
 
+// MaxShards caps the per-collection shard count: beyond the core count
+// extra shards only add scatter overhead, and the cap keeps one request
+// (or a misconfigured server default) from forcing thousands of snapshot
+// sections. Explicit requests beyond it are rejected; an Options.Shards
+// default beyond it is clamped.
+const MaxShards = 64
+
 // maxBodyBytes caps request bodies (collection uploads are the largest
 // legitimate payload); beyond it the daemon answers 413 instead of
 // buffering an unbounded body into memory.
@@ -228,11 +251,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
 	writeJSON(w, http.StatusOK, statsResponse{
 		Uptime:      time.Since(s.started).Round(time.Millisecond).String(),
 		Collections: s.registry.List(),
 		Sessions:    s.sessions.stats(),
 		TopKCache:   s.cache.stats(),
+		Runtime: runtimeStats{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			NumGC:      m.NumGC,
+			HeapAlloc:  m.HeapAlloc,
+			Sys:        m.Sys,
+		},
 	})
 }
 
@@ -258,11 +290,19 @@ func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, "parallelism must be >= 0")
 		return
 	}
+	if req.Shards < 0 || req.Shards > MaxShards {
+		writeError(w, http.StatusBadRequest, "shards must be in 0..%d", MaxShards)
+		return
+	}
 	par := req.Parallelism
 	if par == 0 {
 		par = s.opts.Parallelism
 	}
-	cfg := core.Config{DataguideThreshold: req.DataguideThreshold, Parallelism: par}
+	shards := req.Shards
+	if shards == 0 {
+		shards = s.opts.Shards
+	}
+	cfg := core.Config{DataguideThreshold: req.DataguideThreshold, Parallelism: par, Shards: shards}
 	var err error
 	switch {
 	case req.Builtin != "" && len(req.Documents) > 0:

@@ -28,6 +28,11 @@ type collectionRequest struct {
 	// Parallelism overrides the server's worker-pool width for this
 	// collection's engine build and searches (0 = server default).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Shards overrides the server's horizontal index shard count for this
+	// collection (0 = server default, 1 = single shard). Answers are
+	// identical at any setting; shards parallelize search scatter,
+	// snapshot I/O, and keep ingest cost shard-local.
+	Shards int `json:"shards,omitempty"`
 }
 
 type documentPayload struct {
@@ -209,6 +214,18 @@ type statsResponse struct {
 	Collections []RegistryInfo `json:"collections"`
 	Sessions    sessionStats   `json:"sessions"`
 	TopKCache   cacheStats     `json:"topk_cache"`
+	Runtime     runtimeStats   `json:"runtime"`
+}
+
+// runtimeStats surfaces the Go runtime's view of the process on
+// /debug/stats: the scheduler width capacity planning cares about and the
+// memory counters that show engine footprint and GC pressure.
+type runtimeStats struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	NumGC      uint32 `json:"num_gc"`
+	HeapAlloc  uint64 `json:"heap_alloc_bytes"`
+	Sys        uint64 `json:"sys_bytes"`
 }
 
 // --- converters ---

@@ -112,17 +112,21 @@ func (s *Searcher) SearchStats(q query.Query, opts Options) ([]Result, Stats, er
 	return rs, st, nil
 }
 
-// fetchMatches evaluates every query term against the index, concurrently
-// when the worker budget allows (the index is immutable after Build, so
-// term evaluations share no mutable state). At most parallelism worker
-// goroutines run. Errors surface in term order so the reported failure is
-// deterministic.
+// fetchMatches evaluates every query term against the index, scattering
+// (term × shard) evaluations across the worker pool when the budget
+// allows (the index is immutable after Build, so evaluations share no
+// mutable state) and gathering per term in shard order — shard ranges are
+// disjoint and increasing, so the concatenation is MatchTerm's exact
+// answer. At most parallelism worker goroutines run. Errors surface in
+// (term, shard) order so the reported failure is deterministic.
 func (s *Searcher) fetchMatches(q query.Query, parallelism int) ([][]index.Match, error) {
-	matches := make([][]index.Match, len(q.Terms))
-	errs := make([]error, len(q.Terms))
+	nsh := s.ix.NumShards()
+	nTasks := len(q.Terms) * nsh
+	parts := make([][]index.Match, nTasks) // task (i, sh) at i*nsh+sh
+	errs := make([]error, nTasks)
 	workers := parallelism
-	if workers > len(q.Terms) {
-		workers = len(q.Terms)
+	if workers > nTasks {
+		workers = nTasks
 	}
 	if workers > 1 {
 		var next atomic.Int64
@@ -132,23 +136,38 @@ func (s *Searcher) fetchMatches(q query.Query, parallelism int) ([][]index.Match
 			go func() {
 				defer wg.Done()
 				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(q.Terms) {
+					t := int(next.Add(1)) - 1
+					if t >= nTasks {
 						return
 					}
-					matches[i], errs[i] = s.ix.MatchTerm(q.Terms[i])
+					parts[t], errs[t] = s.ix.MatchTermShard(q.Terms[t/nsh], t%nsh)
 				}
 			}()
 		}
 		wg.Wait()
 	} else {
-		for i, t := range q.Terms {
-			matches[i], errs[i] = s.ix.MatchTerm(t)
+		for t := 0; t < nTasks; t++ {
+			parts[t], errs[t] = s.ix.MatchTermShard(q.Terms[t/nsh], t%nsh)
 		}
 	}
-	for i, err := range errs {
+	for t, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("topk: term %d: %w", i, err)
+			return nil, fmt.Errorf("topk: term %d: %w", t/nsh, err)
+		}
+	}
+	matches := make([][]index.Match, len(q.Terms))
+	for i := range q.Terms {
+		if nsh == 1 {
+			matches[i] = parts[i]
+			continue
+		}
+		total := 0
+		for sh := 0; sh < nsh; sh++ {
+			total += len(parts[i*nsh+sh])
+		}
+		matches[i] = make([]index.Match, 0, total)
+		for sh := 0; sh < nsh; sh++ {
+			matches[i] = append(matches[i], parts[i*nsh+sh]...)
 		}
 	}
 	return matches, nil

@@ -147,6 +147,11 @@ type (
 	EngineRegistry = server.Registry
 )
 
+// MaxShards caps a collection's horizontal index shard count on the
+// serving tier (explicit requests beyond it are rejected, server
+// defaults are clamped).
+const MaxShards = server.MaxShards
+
 // NewServer returns an http.Handler serving the SEDA exploration API.
 // Register collections up front via (*Server).Registry() or at runtime
 // with POST /collections.
