@@ -1,7 +1,7 @@
 GO ?= go
 SCALE ?= 0.05
 
-.PHONY: build test bench bench-smoke bench-coldstart bench-ingest bench-shards serve vet fmt-check
+.PHONY: build test bench bench-smoke bench-coldstart bench-ingest bench-shards bench-serve metrics-smoke serve vet fmt-check
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,19 @@ bench-ingest:
 # columns improve with GOMAXPROCS; single-core boxes record parity.
 bench-shards:
 	$(GO) run ./cmd/sedabench -exp shards -scale 0.1
+
+# Serving-tier benchmark: open-loop HTTP latency percentiles (p50/p95/p99)
+# against a live in-process sedad surface, refreshing the checked-in
+# BENCH_serve.json (scale 0.1, like the rest of the BENCH trajectory).
+# The run also validates the end-of-run /metrics exposition.
+bench-serve:
+	$(GO) run ./cmd/sedabench -exp serve -scale 0.1
+
+# Boots sedad, drives one traced query, scrapes /metrics, and fails on an
+# unparseable exposition or missing metric families (via promcheck). CI
+# runs this as the observability gate.
+metrics-smoke:
+	./scripts/metrics_smoke.sh
 
 serve:
 	$(GO) run ./cmd/sedad -preload worldfactbook -scale $(SCALE)

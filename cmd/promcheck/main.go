@@ -1,0 +1,68 @@
+// Command promcheck validates a Prometheus text exposition (format 0.0.4)
+// against the format grammar: HELP/TYPE declarations, label escaping,
+// histogram bucket monotonicity and +Inf/_count consistency. It reads
+// stdin (or a file argument) and exits non-zero on the first violation,
+// which makes it a one-line CI gate for a live /metrics endpoint:
+//
+//	curl -fsS localhost:8080/metrics | promcheck -require seda_topk_searches_total,seda_http_requests_total
+//
+// -require takes a comma-separated list of metric family names that must
+// be present; an exposition that parses but lacks one also fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"seda/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric family names that must be present")
+	quiet := flag.Bool("q", false, "print nothing on success")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "promcheck: at most one input file")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	fams, err := obs.ParseText(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	present := make(map[string]bool, len(fams))
+	samples := 0
+	for _, f := range fams {
+		present[f.Name] = true
+		samples += len(f.Samples)
+	}
+	var missing []string
+	for _, want := range strings.Split(*require, ",") {
+		if want = strings.TrimSpace(want); want != "" && !present[want] {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: missing required families: %s\n", name, strings.Join(missing, ", "))
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("ok: %d families, %d samples\n", len(fams), samples)
+	}
+}

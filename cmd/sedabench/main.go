@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|coldstart|ingest|shards|all")
+	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|coldstart|ingest|shards|serve|all")
 	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = paper size)")
 	out := flag.String("out", ".", "directory for BENCH_<name>.json result files (empty disables)")
 	par := flag.Int("parallelism", 0, "worker goroutines for engine builds and searches (0 = all cores, 1 = sequential)")
@@ -123,9 +123,22 @@ func main() {
 		}
 	}
 
+	// serve measures the HTTP tier under open-loop load and validates the
+	// /metrics exposition; it writes percentile fields of its own.
+	if *exp == "all" || *exp == "serve" {
+		fmt.Println("==== serve ====")
+		start := time.Now()
+		res := serveExp(*scale)
+		res.NsPerOp = time.Since(start).Nanoseconds()
+		fmt.Printf("(serve in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			writeServeResult(*out, res)
+		}
+	}
+
 	if *exp != "all" {
 		switch *exp {
-		case "table1", "intext", "sweep", "figure3", "controlflow", "ablations", "coldstart", "ingest", "shards":
+		case "table1", "intext", "sweep", "figure3", "controlflow", "ablations", "coldstart", "ingest", "shards", "serve":
 		default:
 			fmt.Fprintf(os.Stderr, "sedabench: unknown experiment %q\n", *exp)
 			os.Exit(2)

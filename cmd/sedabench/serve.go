@@ -1,0 +1,247 @@
+// The serve experiment: end-to-end latency of the sedad serving tier
+// under open-loop HTTP load. Unlike the library-level experiments, this
+// one measures what a client sees — JSON decoding, session locking, the
+// result cache, and the metrics middleware included — and validates the
+// /metrics exposition those requests advance.
+//
+// The load is open-loop (arrivals fire on a fixed schedule regardless of
+// completions), so queueing delay shows up in the percentiles instead of
+// being hidden by a closed loop that politely waits for each response.
+// Latency is measured from each request's *scheduled* arrival time.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seda"
+	"seda/internal/obs"
+)
+
+const (
+	// serveRequests at serveRPS gives a ~4s measured window — long enough
+	// for stable percentiles, short enough for `sedabench -exp all`.
+	serveRequests = 600
+	serveRPS      = 150.0
+)
+
+// serveQueries is the request mix: the paper's running example plus two
+// narrower queries, so the run exercises cache hits, session-held
+// re-reads, and fresh searches.
+var serveQueries = []string{
+	`(*, "United States") AND (trade_country, *) AND (percentage, *)`,
+	`(trade_country, germany) AND (percentage, *)`,
+	`(trade_country, mexico) AND (percentage, *)`,
+}
+
+// metricsRequired is the acceptance gate on the end-of-run scrape: one
+// family per owning layer (topk search, HTTP serving, result cache,
+// engine lifecycle). A missing family or an unparseable exposition fails
+// the experiment.
+var metricsRequired = []string{
+	"seda_topk_searches_total",
+	"seda_http_requests_total",
+	"seda_http_request_duration_seconds",
+	"seda_topk_cache_hits_total",
+	"seda_engine_phase_seconds",
+}
+
+func serveExp(scale float64) *serveResult {
+	res := &serveResult{Name: "serve", Scale: scale, TargetRPS: serveRPS, Env: currentEnv()}
+
+	srv := seda.NewServer(seda.ServerOptions{Parallelism: parallelism, Shards: shardCount})
+	check(srv.Registry().RegisterBuiltin("wf", "worldfactbook", scale,
+		seda.Config{Parallelism: parallelism, Shards: shardCount}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+
+	// Warm-up (untimed): create the session pool — the first request pays
+	// the lazy engine build — and prime each session's top-k so the
+	// measured window sees the steady-state mix of cache hits, session
+	// re-reads, and fresh searches, not one giant build outlier.
+	var sessions []string
+	for i := 0; i < 2*len(serveQueries); i++ {
+		sessions = append(sessions, serveSession(client, base, serveQueries[i%len(serveQueries)]))
+	}
+	for _, sid := range sessions {
+		serveGET(client, base+"/sessions/"+sid+"/topk?k=10")
+	}
+
+	latencies := make([]time.Duration, serveRequests)
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < serveRequests; i++ {
+		arrival := start.Add(time.Duration(float64(i) / serveRPS * float64(time.Second)))
+		if d := time.Until(arrival); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, arrival time.Time) {
+			defer wg.Done()
+			sid := sessions[i%len(sessions)]
+			var resp *http.Response
+			var err error
+			if i%50 == 0 {
+				// A sliver of explain traffic keeps the traced path honest
+				// under load.
+				body := strings.NewReader(`{"k":10,"explain":true}`)
+				resp, err = client.Post(base+"/sessions/"+sid+"/query", "application/json", body)
+			} else {
+				k := 5 + (i%3)*5
+				resp, err = client.Get(base + "/sessions/" + sid + "/topk?k=" + strconv.Itoa(k))
+			}
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				failed.Add(1)
+				return
+			}
+			latencies[i] = time.Since(arrival)
+		}(i, arrival)
+	}
+	wg.Wait()
+	window := time.Since(start)
+
+	res.Requests = serveRequests
+	res.Errors = int(failed.Load())
+	res.AchievedRPS = float64(serveRequests) / window.Seconds()
+	ok := latencies[:0:0]
+	for _, l := range latencies {
+		if l > 0 {
+			ok = append(ok, l)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	if n := len(ok); n > 0 {
+		res.P50Ns = ok[n/2].Nanoseconds()
+		res.P95Ns = ok[n*95/100].Nanoseconds()
+		res.P99Ns = ok[n*99/100].Nanoseconds()
+		res.MaxNs = ok[n-1].Nanoseconds()
+	}
+
+	// End-of-run scrape: the exposition must parse against the text-format
+	// grammar, carry every required family, and show the search counter
+	// advanced by the load above.
+	mresp, err := client.Get(base + "/metrics")
+	check(err)
+	fams, err := obs.ParseText(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		fatal(fmt.Errorf("/metrics exposition invalid: %w", err))
+	}
+	byName := make(map[string]obs.Family, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	for _, name := range metricsRequired {
+		if _, present := byName[name]; !present {
+			fatal(fmt.Errorf("/metrics is missing required family %q", name))
+		}
+	}
+	for _, s := range byName["seda_topk_searches_total"].Samples {
+		res.Searches = uint64(s.Value)
+	}
+	if res.Searches == 0 {
+		fatal(fmt.Errorf("seda_topk_searches_total did not advance under load"))
+	}
+	res.MetricFamilies = len(fams)
+
+	fmt.Printf("%-28s %12s\n", "open-loop serve", "value")
+	fmt.Printf("%-28s %12d\n", "requests", res.Requests)
+	fmt.Printf("%-28s %12d\n", "errors", res.Errors)
+	fmt.Printf("%-28s %12.1f\n", "target req/s", res.TargetRPS)
+	fmt.Printf("%-28s %12.1f\n", "achieved req/s", res.AchievedRPS)
+	fmt.Printf("%-28s %12v\n", "p50", time.Duration(res.P50Ns).Round(time.Microsecond))
+	fmt.Printf("%-28s %12v\n", "p95", time.Duration(res.P95Ns).Round(time.Microsecond))
+	fmt.Printf("%-28s %12v\n", "p99", time.Duration(res.P99Ns).Round(time.Microsecond))
+	fmt.Printf("%-28s %12v\n", "max", time.Duration(res.MaxNs).Round(time.Microsecond))
+	fmt.Printf("%-28s %12d\n", "searches (from /metrics)", res.Searches)
+	fmt.Printf("%-28s %12d\n", "metric families", res.MetricFamilies)
+	if res.Errors > 0 {
+		fatal(fmt.Errorf("%d of %d requests failed", res.Errors, res.Requests))
+	}
+	return res
+}
+
+func serveSession(client *http.Client, base, query string) string {
+	body := strings.NewReader(fmt.Sprintf(`{"collection":"wf","query":%q}`, query))
+	resp, err := client.Post(base+"/sessions", "application/json", body)
+	check(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		raw, _ := io.ReadAll(resp.Body)
+		fatal(fmt.Errorf("create session: status %d: %s", resp.StatusCode, raw))
+	}
+	var out struct {
+		Session string `json:"session"`
+	}
+	check(json.NewDecoder(resp.Body).Decode(&out))
+	return out.Session
+}
+
+func serveGET(client *http.Client, url string) {
+	resp, err := client.Get(url)
+	check(err)
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("GET %s: status %d", url, resp.StatusCode))
+	}
+}
+
+// serveResult is BENCH_serve.json: open-loop latency percentiles plus the
+// end-of-run metrics-scrape evidence.
+type serveResult struct {
+	Name    string   `json:"name"`
+	Scale   float64  `json:"scale"`
+	NsPerOp int64    `json:"ns_per_op"` // whole-experiment wall time
+	Env     benchEnv `json:"env"`
+
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	TargetRPS   float64 `json:"target_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	P50Ns       int64   `json:"p50_ns"`
+	P95Ns       int64   `json:"p95_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	MaxNs       int64   `json:"max_ns"`
+
+	// Searches is seda_topk_searches_total at the end of the run;
+	// MetricFamilies counts families in the validated exposition.
+	Searches       uint64 `json:"searches"`
+	MetricFamilies int    `json:"metric_families"`
+}
+
+func writeServeResult(dir string, r *serveResult) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_serve.json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sedabench: writing %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("wrote %s\n\n", path)
+}

@@ -12,6 +12,11 @@
 //	sedad -parallelism 1               # sequential builds and searches
 //	sedad -data ./data                 # disk-backed: engines persist as
 //	                                   # snapshots and survive restarts
+//	sedad -slowlog 250ms               # log top-k searches >= 250ms
+//	sedad -pprof                       # profiling at /debug/pprof/
+//
+// GET /metrics serves Prometheus text exposition; every response carries
+// an X-Request-ID that also tags access-log and slow-query-log lines.
 package main
 
 import (
@@ -39,6 +44,8 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for engine builds and top-k searches (0 = all cores, 1 = sequential)")
 	shards := flag.Int("shards", 0, "horizontal index shards per collection (0 = single shard; answers are identical at any setting)")
 	data := flag.String("data", "", "snapshot directory: persist engines after first build and reload them at boot (empty = memory-only)")
+	slowlog := flag.Duration("slowlog", 0, "log top-k searches taking at least this long, with their request id (0 disables)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
 	if *parallelism < 0 {
 		log.Fatal("sedad: -parallelism must be >= 0")
@@ -58,12 +65,15 @@ func main() {
 		*ttl = -1
 	}
 	srv := seda.NewServer(seda.ServerOptions{
-		SessionTTL:   *ttl,
-		MaxSessions:  *maxSessions,
-		CacheSize:    *cacheSize,
-		BuiltinScale: *scale,
-		Parallelism:  *parallelism,
-		Shards:       *shards,
+		SessionTTL:         *ttl,
+		MaxSessions:        *maxSessions,
+		CacheSize:          *cacheSize,
+		BuiltinScale:       *scale,
+		Parallelism:        *parallelism,
+		Shards:             *shards,
+		AccessLog:          logger,
+		SlowQueryThreshold: *slowlog,
+		EnablePprof:        *pprofOn,
 	})
 	// Snapshots load before preloads so a preload of a name already on
 	// disk upgrades the discovered entry: the snapshot then serves as that
@@ -89,9 +99,11 @@ func main() {
 		logger.Printf("registered builtin collection %q (scale %g, built on first use)", name, *scale)
 	}
 
+	// The server's own middleware writes the access log (with request ids
+	// and per-endpoint metrics), so no wrapper handler is needed here.
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(logger, srv),
+		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -112,24 +124,4 @@ func main() {
 			logger.Printf("shutdown: %v", err)
 		}
 	}
-}
-
-// logRequests is a minimal access log: method, path, status, duration.
-func logRequests(logger *log.Logger, next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(sw, r)
-		logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
-	})
-}
-
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
-	w.ResponseWriter.WriteHeader(code)
 }

@@ -110,6 +110,13 @@ type Engine struct {
 	// derives a new generation; see ingest.go).
 	ingestMu sync.Mutex
 
+	// searchMetrics, when set, is threaded into every session top-k search
+	// as topk.Options.Metrics. It is an atomic pointer so a serving tier
+	// can install one shared family set after the engine is built or
+	// loaded, and so ingest-derived generations inherit it without locks —
+	// sharing keeps the counters monotonic across generation swaps.
+	searchMetrics atomic.Pointer[topk.Metrics]
+
 	// BuildTimings records how long each construction phase took. With
 	// Parallelism > 1 the index phase overlaps the graph and dataguide
 	// phases, so the entries are per-phase wall times, not a sum.
@@ -222,6 +229,16 @@ func (e *Engine) finish() {
 	e.entities = summary.NewEntityRegistry()
 }
 
+// SetSearchMetrics installs the metric family set threaded into every
+// session top-k search (nil disables instrumentation, the default).
+// Safe to call concurrently with searches; typically the serving tier
+// calls it once right after build or load.
+func (e *Engine) SetSearchMetrics(m *topk.Metrics) { e.searchMetrics.Store(m) }
+
+// SearchMetrics returns the installed metric family set (nil when search
+// instrumentation is off).
+func (e *Engine) SearchMetrics() *topk.Metrics { return e.searchMetrics.Load() }
+
 // Collection returns the engine's collection.
 func (e *Engine) Collection() *store.Collection { return e.col }
 
@@ -306,10 +323,28 @@ func (e *Engine) NewSessionFromQuery(q query.Query) *Session {
 func (s *Session) Query() query.Query { return s.query }
 
 // TopK runs the top-k search unit and caches the results. The search's
-// worker pool inherits the engine's Config.Parallelism.
-func (s *Session) TopK(k int) ([]topk.Result, error) {
+// worker pool inherits the engine's Config.Parallelism, and its counters
+// feed the engine's installed search metrics (if any).
+func (s *Session) TopK(k int) ([]topk.Result, error) { return s.topKTrace(k, nil) }
+
+// TopKTraced is TopK with an opt-in execution trace: tr is filled with the
+// search's scatter dimensions, phase timings, and wave-by-wave TA
+// threshold evolution. Results are identical to TopK's.
+func (s *Session) TopKTraced(k int, tr *topk.Trace) ([]topk.Result, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("core: TopKTraced needs a trace to fill")
+	}
+	return s.topKTrace(k, tr)
+}
+
+func (s *Session) topKTrace(k int, tr *topk.Trace) ([]topk.Result, error) {
 	t0 := time.Now()
-	rs, err := s.eng.searcher.Search(s.query, topk.Options{K: k, Parallelism: s.eng.parallelism})
+	rs, err := s.eng.searcher.Search(s.query, topk.Options{
+		K:           k,
+		Parallelism: s.eng.parallelism,
+		Metrics:     s.eng.searchMetrics.Load(),
+		Trace:       tr,
+	})
 	if err != nil {
 		return nil, err
 	}

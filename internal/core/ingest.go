@@ -139,6 +139,9 @@ func (e *Engine) AddDocuments(docs []*xmldoc.Document) (*Engine, error) {
 	ne.catalog = e.catalog
 	ne.builder = cube.NewBuilder(col, ne.catalog)
 	ne.entities = e.entities
+	// The metric family set is shared too, so search counters stay
+	// monotonic across generation swaps.
+	ne.searchMetrics.Store(e.searchMetrics.Load())
 	ne.BuildTimings["ingest"] = time.Since(t0)
 	return ne, nil
 }

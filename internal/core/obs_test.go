@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"seda/internal/obs"
+	"seda/internal/topk"
+	"seda/internal/xmldoc"
+)
+
+const obsQuery = `(trade_country, mexico) AND (percentage, *)`
+
+func mustSession(t testing.TB, e *Engine, q string) *Session {
+	t.Helper()
+	s, err := e.NewSession(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTopKTracedMatchesTopK(t *testing.T) {
+	e := newEngine(t)
+	s := mustSession(t, e, obsQuery)
+	plain, err := s.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustSession(t, e, obsQuery)
+	var tr topk.Trace
+	traced, err := s2.TopKTraced(5, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(traced) {
+		t.Fatalf("result counts differ: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		if plain[i].Score != traced[i].Score {
+			t.Fatalf("result %d scores differ", i)
+		}
+	}
+	if tr.FetchTasks == 0 || len(tr.Waves) == 0 || len(tr.PerTermMatches) != 2 {
+		t.Errorf("trace not filled: %+v", tr)
+	}
+	if _, err := s2.TopKTraced(5, nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestSearchMetricsSurviveIngest(t *testing.T) {
+	e := newEngine(t)
+	reg := obs.NewRegistry()
+	m := topk.NewMetrics(reg)
+	e.SetSearchMetrics(m)
+
+	s := mustSession(t, e, obsQuery)
+	if _, err := s.TopK(3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Searches.Value() != 1 {
+		t.Fatalf("searches = %d, want 1", m.Searches.Value())
+	}
+
+	doc, err := xmldoc.Parse([]byte(`<country><name>Canada</name><year>2007</year></country>`), e.Collection().Dict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Name = "extra"
+	gen2, err := e.AddDocuments([]*xmldoc.Document{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2.SearchMetrics() != m {
+		t.Fatal("ingest generation lost the metric family set")
+	}
+	s2 := mustSession(t, gen2, obsQuery)
+	if _, err := s2.TopK(3); err != nil {
+		t.Fatal(err)
+	}
+	// Same counter keeps advancing across the generation swap.
+	if m.Searches.Value() != 2 {
+		t.Fatalf("searches = %d, want 2 (monotonic across generations)", m.Searches.Value())
+	}
+}
+
+// TestTopKTracingOffAddsNoAllocs pins the tentpole's disabled-path
+// guarantee: with metrics installed but no trace requested, Session.TopK
+// performs exactly as many allocations as a fully uninstrumented engine.
+// Parallelism 1 keeps the search on the calling goroutine so
+// AllocsPerRun's count is deterministic.
+func TestTopKTracingOffAddsNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation perturbs allocation counts")
+	}
+	mkEngine := func() *Engine {
+		e, err := NewEngine(corpus(t), Config{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	measure := func(e *Engine) float64 {
+		s := mustSession(t, e, obsQuery)
+		return testing.AllocsPerRun(50, func() {
+			if _, err := s.TopK(5); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := measure(mkEngine())
+	instr := mkEngine()
+	instr.SetSearchMetrics(topk.NewMetrics(obs.NewRegistry()))
+	withMetrics := measure(instr)
+	if withMetrics != base {
+		t.Fatalf("tracing-off path allocates: %v allocs/op with metrics vs %v baseline", withMetrics, base)
+	}
+}
+
+// BenchmarkSessionTopK reports the tracing-off cost head-to-head; run with
+// -benchmem to see that allocs/op match between the two cases.
+func BenchmarkSessionTopK(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		metrics bool
+	}{{"plain", false}, {"metrics-no-trace", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			e, err := NewEngine(corpus(b), Config{Parallelism: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bc.metrics {
+				e.SetSearchMetrics(topk.NewMetrics(obs.NewRegistry()))
+			}
+			s := mustSession(b, e, obsQuery)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.TopK(5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled mirrors the race detector's presence for tests whose
+// assertions (exact allocation counts) the detector's instrumentation
+// perturbs.
+const raceEnabled = true

@@ -366,6 +366,12 @@ func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) 
 	le.Config = storedCfg
 	le.Source = storedSource
 
+	// timings records per-section decode wall times alongside the total;
+	// concurrent sections each time themselves, so the entries are
+	// per-layer wall times, not a sum (same convention as the build).
+	timings := make(map[string]time.Duration)
+
+	tp := time.Now()
 	pr, err := need(secPathdict)
 	if err != nil {
 		return nil, err
@@ -374,6 +380,8 @@ func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) 
 	if err != nil {
 		return nil, fmt.Errorf("core: load engine: %w", err)
 	}
+	timings["load-pathdict"] = time.Since(tp)
+	tp = time.Now()
 	cr, err := need(secCollection)
 	if err != nil {
 		return nil, err
@@ -382,6 +390,7 @@ func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) 
 	if err != nil {
 		return nil, fmt.Errorf("core: load engine: %w", err)
 	}
+	timings["load-collection"] = time.Since(tp)
 
 	// The index's shard roster: a v2 container carries index.0 … index.N-1,
 	// a v1 container one flat "index" section (decoded as a single shard).
@@ -404,14 +413,18 @@ func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) 
 	// are independent jobs over a worker pool. Errors surface in roster
 	// order so the reported failure is deterministic.
 	var (
-		g         *graph.Graph
-		shards    = make([]*index.Shard, len(shardPayloads))
-		shardErrs = make([]error, len(shardPayloads))
-		ix        *index.Index
-		dg        *dataguide.Set
-		gErr      error
-		ixErr     error
-		dgErr     error
+		g          *graph.Graph
+		shards     = make([]*index.Shard, len(shardPayloads))
+		shardErrs  = make([]error, len(shardPayloads))
+		shardTimes = make([]time.Duration, len(shardPayloads))
+		ix         *index.Index
+		dg         *dataguide.Set
+		gErr       error
+		ixErr      error
+		dgErr      error
+		gTime      time.Duration
+		ixTime     time.Duration
+		dgTime     time.Duration
 	)
 	dgPayload, haveDg := byName[secDataguide]
 	if !haveDg && !storedCfg.SkipDataguides {
@@ -419,6 +432,8 @@ func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) 
 	}
 	jobs := []func(){
 		func() {
+			t := time.Now()
+			defer func() { gTime = time.Since(t) }()
 			gr, err := need(secGraph)
 			if err != nil {
 				gErr = err
@@ -433,11 +448,15 @@ func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) 
 		for i := range shardPayloads {
 			i := i
 			jobs = append(jobs, func() {
+				t := time.Now()
 				shards[i], shardErrs[i] = index.DecodeShard(snapcodec.NewReader(shardPayloads[i]), col)
+				shardTimes[i] = time.Since(t)
 			})
 		}
 	} else {
 		jobs = append(jobs, func() {
+			t := time.Now()
+			defer func() { ixTime = time.Since(t) }()
 			ir, err := need(secIndex)
 			if err != nil {
 				ixErr = err
@@ -450,6 +469,8 @@ func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) 
 	}
 	if haveDg {
 		jobs = append(jobs, func() {
+			t := time.Now()
+			defer func() { dgTime = time.Since(t) }()
 			var err error
 			if dg, err = dataguide.Decode(snapcodec.NewReader(dgPayload), col); err != nil {
 				dgErr = fmt.Errorf("core: load engine: %w", err)
@@ -472,10 +493,24 @@ func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) 
 		return nil, dgErr
 	}
 	if version >= 2 {
+		t := time.Now()
 		ix, err = index.FromShards(col, shards)
 		if err != nil {
 			return nil, fmt.Errorf("core: load engine: %w: %v", snapcodec.ErrCorrupt, err)
 		}
+		// Shard decodes run concurrently, so the index layer's wall time is
+		// its slowest shard plus the roster assembly.
+		for _, d := range shardTimes {
+			if d > ixTime {
+				ixTime = d
+			}
+		}
+		ixTime += time.Since(t)
+	}
+	timings["load-graph"] = gTime
+	timings["load-index"] = ixTime
+	if haveDg {
+		timings["load-dataguide"] = dgTime
 	}
 
 	// The engine keeps the snapshot's shard layout; recording it in the
@@ -491,8 +526,9 @@ func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) 
 		dg:           dg,
 		cfg:          storedCfg,
 		parallelism:  resolveParallelism(storedCfg.Parallelism),
-		BuildTimings: map[string]time.Duration{"load": time.Since(t0)},
+		BuildTimings: timings,
 	}
+	timings["load"] = time.Since(t0)
 	e.finish()
 	le.Engine = e
 	return e, nil

@@ -69,6 +69,11 @@ type Shard struct {
 	pathTerms   map[string]map[pathdict.PathID]int
 	termDocFreq map[string]int // # shard documents containing term
 	pathNodes   map[pathdict.PathID][]xmldoc.NodeRef
+
+	// fetches counts MatchTermShard evaluations served by this shard since
+	// build or load. Runtime-only observability state: it is not persisted
+	// in snapshots and plays no part in shard equality.
+	fetches atomic.Uint64
 }
 
 // Docs returns the number of documents in the shard's range.
@@ -382,13 +387,19 @@ type ShardStats struct {
 	// deterministic estimate for capacity planning, not an exact heap
 	// measurement.
 	Bytes int64
+	// Fetches counts term-match evaluations (scatter tasks) served by the
+	// shard since build or load — the scatter-fanout view of query load.
+	Fetches uint64
 }
 
 // shardStats computes the stats of one shard. The per-posting constant
 // covers the Posting struct and its slice headers; positions add 4 bytes
 // each.
 func (sh *Shard) stats() ShardStats {
-	st := ShardStats{Lo: sh.lo, Hi: sh.hi, Docs: sh.hi - sh.lo, Terms: len(sh.terms)}
+	st := ShardStats{
+		Lo: sh.lo, Hi: sh.hi, Docs: sh.hi - sh.lo,
+		Terms: len(sh.terms), Fetches: sh.fetches.Load(),
+	}
 	const perPosting = 64
 	for term, ps := range sh.postings {
 		st.Postings += len(ps)

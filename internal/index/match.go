@@ -57,6 +57,7 @@ func (ix *Index) MatchTerm(t query.Term) ([]Match, error) {
 // content(n). For match-all or purely negative expressions the context's
 // paths enumerate candidates directly.
 func (ix *Index) MatchTermShard(t query.Term, s int) ([]Match, error) {
+	ix.shards[s].fetches.Add(1)
 	if fulltext.OpenMatch(t.Search) {
 		// The expression can match content containing no positive term, so
 		// anchors cannot enumerate candidates; scan by context instead.

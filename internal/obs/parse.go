@@ -1,0 +1,357 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label pairs in
+// source order, and the value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Family is one parsed metric family: the TYPE declaration plus every
+// sample that belongs to it (for histograms, the _bucket/_sum/_count
+// series are folded under the base family name).
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// ParseText parses Prometheus text exposition format 0.0.4 strictly: every
+// line must be a well-formed HELP, TYPE, sample, or blank line; samples must
+// follow their family's TYPE declaration; histogram families must carry
+// consistent _bucket/_sum/_count series with an +Inf bucket and
+// non-decreasing cumulative bucket counts. It returns families in
+// exposition order. Used by tests, cmd/promcheck, and the serve benchmark
+// to fail loudly on malformed output.
+func ParseText(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var fams []Family
+	byName := make(map[string]*Family)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, &fams, byName); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineno, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		base := baseName(s.Name, byName)
+		fam := byName[base]
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineno, s.Name)
+		}
+		if fam.Type == "histogram" {
+			if err := checkHistSample(fam.Name, s); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineno, err)
+			}
+		} else if s.Name != fam.Name {
+			return nil, fmt.Errorf("line %d: sample %q does not match family %q", lineno, s.Name, fam.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Family, len(fams))
+	for i := range fams {
+		out[i] = *byName[fams[i].Name]
+		if out[i].Type == "histogram" {
+			if err := checkHistFamily(out[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func parseComment(line string, fams *[]Family, byName map[string]*Family) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment: ignored by the format
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		name := fields[2]
+		if f := byName[name]; f != nil {
+			return fmt.Errorf("duplicate HELP for %q", name)
+		}
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		*fams = append(*fams, Family{Name: name, Help: help})
+		byName[name] = &(*fams)[len(*fams)-1]
+	case "TYPE":
+		if len(fields) != 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %q", typ, name)
+		}
+		f := byName[name]
+		if f == nil {
+			*fams = append(*fams, Family{Name: name})
+			f = &(*fams)[len(*fams)-1]
+			byName[name] = f
+		}
+		if f.Type != "" {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %q after its samples", name)
+		}
+		f.Type = typ
+	}
+	return nil
+}
+
+// baseName resolves a sample name to its family: exact match first, then
+// the histogram suffix conventions.
+func baseName(name string, byName map[string]*Family) string {
+	if f := byName[name]; f != nil && f.Type != "histogram" {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, suf); ok {
+			if f := byName[b]; f != nil && f.Type == "histogram" {
+				return b
+			}
+		}
+	}
+	return name
+}
+
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name in %q", line)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A timestamp field after the value is legal in the format; we emit
+	// none, and reject it here to keep our own output strict.
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses a {k="v",...} block starting at s[0]=='{' and returns
+// the index one past the closing brace.
+func parseLabels(s string) (int, []Label, error) {
+	var labels []Label
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		name := s[i:j]
+		if name != "le" && !validLabelName(name) {
+			return 0, nil, fmt.Errorf("invalid label name %q", name)
+		}
+		if j+1 >= len(s) || s[j+1] != '"' {
+			return 0, nil, fmt.Errorf("label %q missing quoted value", name)
+		}
+		val, end, err := parseQuoted(s, j+1)
+		if err != nil {
+			return 0, nil, err
+		}
+		labels = append(labels, Label{Name: name, Value: val})
+		i = end
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseQuoted parses a double-quoted, backslash-escaped string starting at
+// s[start]=='"' and returns the value and the index one past the closing
+// quote.
+func parseQuoted(s string, start int) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	for i < len(s) {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("invalid escape \\%c in label value", s[i+1])
+			}
+			i += 2
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// checkHistSample validates a histogram series name and the le label rule.
+func checkHistSample(fam string, s Sample) error {
+	switch s.Name {
+	case fam + "_bucket":
+		for _, l := range s.Labels {
+			if l.Name == "le" {
+				if _, err := parseValue(l.Value); err != nil {
+					return fmt.Errorf("histogram %q has bad le value %q", fam, l.Value)
+				}
+				return nil
+			}
+		}
+		return fmt.Errorf("histogram %q bucket sample missing le label", fam)
+	case fam + "_sum", fam + "_count":
+		for _, l := range s.Labels {
+			if l.Name == "le" {
+				return fmt.Errorf("histogram %q %s sample must not carry le", fam, s.Name)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("sample %q does not belong to histogram %q", s.Name, fam)
+}
+
+// checkHistFamily verifies, per label set, that buckets are cumulative and
+// non-decreasing, that an +Inf bucket exists, and that _count matches it.
+func checkHistFamily(f Family) error {
+	type series struct {
+		les      []float64
+		counts   []float64
+		count    float64
+		hasCount bool
+	}
+	byKey := make(map[string]*series)
+	keyOf := func(labels []Label) string {
+		kv := make([]string, 0, len(labels))
+		for _, l := range labels {
+			if l.Name != "le" {
+				kv = append(kv, l.Name+"="+l.Value)
+			}
+		}
+		sort.Strings(kv)
+		return strings.Join(kv, ",")
+	}
+	get := func(k string) *series {
+		s := byKey[k]
+		if s == nil {
+			s = &series{}
+			byKey[k] = s
+		}
+		return s
+	}
+	for _, s := range f.Samples {
+		k := keyOf(s.Labels)
+		switch s.Name {
+		case f.Name + "_bucket":
+			var le float64
+			for _, l := range s.Labels {
+				if l.Name == "le" {
+					le, _ = parseValue(l.Value)
+				}
+			}
+			sr := get(k)
+			sr.les = append(sr.les, le)
+			sr.counts = append(sr.counts, s.Value)
+		case f.Name + "_count":
+			sr := get(k)
+			sr.count = s.Value
+			sr.hasCount = true
+		}
+	}
+	for k, sr := range byKey {
+		if len(sr.les) == 0 || !math.IsInf(sr.les[len(sr.les)-1], +1) {
+			return fmt.Errorf("histogram %q{%s}: missing +Inf bucket", f.Name, k)
+		}
+		for i := 1; i < len(sr.les); i++ {
+			if sr.les[i] <= sr.les[i-1] {
+				return fmt.Errorf("histogram %q{%s}: le bounds not increasing", f.Name, k)
+			}
+			if sr.counts[i] < sr.counts[i-1] {
+				return fmt.Errorf("histogram %q{%s}: bucket counts decrease", f.Name, k)
+			}
+		}
+		if !sr.hasCount {
+			return fmt.Errorf("histogram %q{%s}: missing _count", f.Name, k)
+		}
+		if sr.count != sr.counts[len(sr.counts)-1] {
+			return fmt.Errorf("histogram %q{%s}: _count %v != +Inf bucket %v",
+				f.Name, k, sr.count, sr.counts[len(sr.counts)-1])
+		}
+	}
+	return nil
+}

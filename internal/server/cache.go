@@ -31,11 +31,32 @@ type resultCache struct {
 	items  map[string]*list.Element
 	hits   uint64
 	misses uint64
+	// bytes is the summed footprint estimate of every cached slice,
+	// maintained on put/refresh/evict so stats() never walks the list.
+	bytes int64
 }
 
 type cacheItem struct {
 	key     string
 	results []topk.Result
+	bytes   int64
+}
+
+// resultsFootprint estimates the heap bytes a cached result slice pins,
+// for the cache-size gauge on /stats and /metrics. The constants
+// approximate 64-bit struct and slice-header sizes; the per-node Dewey
+// identifiers are the only variable-length data and are counted exactly.
+func resultsFootprint(key string, rs []topk.Result) int64 {
+	const perResult = 72 // three float64 scores + two slice headers
+	const perNode = 36   // NodeRef (doc id + Dewey slice header) + PathID
+	n := int64(len(key)) + int64(len(rs))*perResult
+	for _, r := range rs {
+		n += int64(len(r.Nodes)) * perNode
+		for _, ref := range r.Nodes {
+			n += int64(len(ref.Dewey)) * 4 // dewey.ID is []uint32
+		}
+	}
+	return n
 }
 
 // newResultCache returns an LRU holding at most max entries. max <= 0
@@ -77,31 +98,40 @@ func (c *resultCache) put(key string, rs []topk.Result) {
 	if c.max <= 0 {
 		return
 	}
+	size := resultsFootprint(key, rs)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheItem).results = rs
+		it := el.Value.(*cacheItem)
+		c.bytes += size - it.bytes
+		it.results, it.bytes = rs, size
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheItem{key: key, results: rs})
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, results: rs, bytes: size})
+	c.bytes += size
 	for c.ll.Len() > c.max {
 		last := c.ll.Back()
 		c.ll.Remove(last)
-		delete(c.items, last.Value.(*cacheItem).key)
+		it := last.Value.(*cacheItem)
+		c.bytes -= it.bytes
+		delete(c.items, it.key)
 	}
 }
 
-// cacheStats is a point-in-time snapshot for /debug/stats.
+// cacheStats is a point-in-time snapshot for /stats and the cache metric
+// families. Bytes is the footprint estimate of all cached slices (see
+// resultsFootprint).
 type cacheStats struct {
 	Hits    uint64 `json:"hits"`
 	Misses  uint64 `json:"misses"`
 	Entries int    `json:"entries"`
+	Bytes   int64  `json:"bytes"`
 	Max     int    `json:"max"`
 }
 
 func (c *resultCache) stats() cacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return cacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Max: c.max}
+	return cacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Bytes: c.bytes, Max: c.max}
 }

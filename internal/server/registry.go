@@ -10,10 +10,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"seda/internal/core"
 	"seda/internal/datagen"
 	"seda/internal/store"
+	"seda/internal/topk"
 )
 
 // ErrAlreadyRegistered reports a duplicate collection name; handlers map
@@ -121,6 +123,7 @@ func (e *regEntry) engineLocked(r *Registry) (*core.Engine, error) {
 			return nil, err
 		}
 		e.adopt(le.Engine, true)
+		r.observeEngine(le.Engine, "load")
 		return le.Engine, nil
 	}
 	if e.snapshotPath != "" {
@@ -130,6 +133,7 @@ func (e *regEntry) engineLocked(r *Registry) (*core.Engine, error) {
 		// then replaces the stale file.
 		if eng, err := core.LoadEngineFile(e.snapshotPath, e.cfg, e.source); err == nil {
 			e.adopt(eng, true)
+			r.observeEngine(eng, "load")
 			return eng, nil
 		}
 	}
@@ -141,6 +145,7 @@ func (e *regEntry) engineLocked(r *Registry) (*core.Engine, error) {
 		r.persist(e, eng)
 	}
 	e.adopt(eng, false)
+	r.observeEngine(eng, "build")
 	return eng, nil
 }
 
@@ -201,6 +206,49 @@ type Registry struct {
 	// entry finishing a slow rebuild races the replacement's build), and
 	// the atomic renames would otherwise land in either order.
 	persistMu sync.Mutex
+
+	// Observers installed by SetObservers before serving; read-only after.
+	searchMetrics *topk.Metrics
+	onOp          func(op string, phases map[string]time.Duration)
+}
+
+// SetObservers installs the serving tier's instrumentation. search is a
+// shared topk metric set installed on every engine the registry adopts
+// (ingest generations inherit it, keeping search counters monotonic
+// across generation swaps); onOp receives per-layer wall times after each
+// engine lifecycle operation ("build", "load", "ingest", "save"). Either
+// may be nil. Call once, before serving — like EnableSnapshots, it is not
+// safe to race with request traffic.
+func (r *Registry) SetObservers(search *topk.Metrics, onOp func(op string, phases map[string]time.Duration)) {
+	r.searchMetrics = search
+	r.onOp = onOp
+}
+
+// observeEngine wires a freshly adopted or derived engine into the
+// observers: it installs the shared search metric set and reports the
+// engine's BuildTimings as the op's phases — the key equal to the op
+// becomes the "total" phase, "<op>-layer" keys lose their prefix, and
+// bare layer keys (a from-source build's "index"/"graph"/"dataguide")
+// pass through.
+func (r *Registry) observeEngine(eng *core.Engine, op string) {
+	if r.searchMetrics != nil {
+		eng.SetSearchMetrics(r.searchMetrics)
+	}
+	if r.onOp == nil {
+		return
+	}
+	phases := make(map[string]time.Duration, len(eng.BuildTimings))
+	for key, d := range eng.BuildTimings {
+		switch {
+		case key == op:
+			phases["total"] = d
+		case strings.HasPrefix(key, op+"-"):
+			phases[key[len(op)+1:]] = d
+		default:
+			phases[key] = d
+		}
+	}
+	r.onOp(op, phases)
 }
 
 // NewRegistry returns an empty registry.
@@ -409,9 +457,13 @@ func (r *Registry) persist(e *regEntry, eng *core.Engine) {
 	if !current {
 		return
 	}
+	t0 := time.Now()
 	if err := core.SaveEngineFile(e.snapshotPath, eng, e.source); err != nil {
 		e.persistErr.Store(err.Error())
 		return
+	}
+	if r.onOp != nil {
+		r.onOp("save", map[string]time.Duration{"total": time.Since(t0)})
 	}
 	e.persistErr.Store("")
 	e.statSnapshot()
@@ -480,6 +532,7 @@ func (r *Registry) Ingest(name string, docs []documentPayload) (*core.Engine, er
 	e.eng = next
 	e.live.Store(next)
 	e.fromSnapshot.Store(false)
+	r.observeEngine(next, "ingest")
 	e.source = ingestSource(e.source, docs)
 	if e.snapshotPath != "" {
 		go r.persistGeneration(e, next, e.source)
@@ -517,9 +570,13 @@ func (r *Registry) persistGeneration(e *regEntry, eng *core.Engine, source strin
 	if !current || e.live.Load() != eng {
 		return
 	}
+	t0 := time.Now()
 	if err := core.SaveEngineFile(e.snapshotPath, eng, source); err != nil {
 		e.persistErr.Store(err.Error())
 		return
+	}
+	if r.onOp != nil {
+		r.onOp("save", map[string]time.Duration{"total": time.Since(t0)})
 	}
 	e.persistErr.Store("")
 	e.statSnapshot()
@@ -557,6 +614,27 @@ type ShardInfo struct {
 	Terms    int   `json:"terms"`
 	Postings int   `json:"postings"`
 	Bytes    int64 `json:"bytes"`
+	// Fetches counts term-fetch tasks the top-k scatter has sent to this
+	// shard since it was built or loaded (runtime state, not persisted) —
+	// uneven numbers across shards reveal a skewed document partition.
+	Fetches uint64 `json:"fetches"`
+}
+
+// StateCounts tallies registered collections by build state, for the
+// seda_collections gauge. Every state is present so a scrape series never
+// disappears when its count drops to zero.
+func (r *Registry) StateCounts() map[string]float64 {
+	r.mu.RLock()
+	entries := make([]*regEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	counts := map[string]float64{StateCold: 0, StateBuilt: 0, StateLoaded: 0}
+	for _, e := range entries {
+		counts[e.state()]++
+	}
+	return counts
 }
 
 // List reports every registered collection, sorted by name. Docs/Nodes are
@@ -587,6 +665,7 @@ func (r *Registry) List() []RegistryInfo {
 				info.Shards = append(info.Shards, ShardInfo{
 					Lo: st.Lo, Hi: st.Hi, Docs: st.Docs,
 					Terms: st.Terms, Postings: st.Postings, Bytes: st.Bytes,
+					Fetches: st.Fetches,
 				})
 			}
 		}

@@ -18,10 +18,19 @@
 //     refined query keys differently from its parent, so entries never go
 //     stale and are evicted only by LRU pressure.
 //
+// Every response carries an X-Request-ID header that also tags the
+// access-log and slow-query-log lines for the request, GET /metrics
+// exposes every layer's counters in Prometheus text format, and top-k
+// requests accept an opt-in explain flag returning the search's trace
+// (stage timings, TA wave evolution, cache disposition).
+//
 // Endpoints:
 //
 //	GET    /healthz
-//	GET    /debug/stats                     registry + session + cache counters
+//	GET    /metrics                         Prometheus text exposition
+//	GET    /stats                           server + runtime statistics
+//	GET    /debug/stats                     alias of /stats
+//	GET    /debug/pprof/                    profiling (Options.EnablePprof)
 //	GET    /collections                     list registered collections
 //	POST   /collections                     register a builtin or uploaded corpus
 //	POST   /collections/{name}/documents    append documents to a live collection
@@ -29,7 +38,8 @@
 //	POST   /sessions                        parse a query, start an exploration
 //	GET    /sessions/{id}                   session info
 //	DELETE /sessions/{id}                   end a session
-//	GET    /sessions/{id}/topk?k=           ranked results (cached)
+//	GET    /sessions/{id}/topk?k=&explain=  ranked results (cached)
+//	POST   /sessions/{id}/query             ranked results; body selects k and explain
 //	GET    /sessions/{id}/contexts          context summary (§5)
 //	POST   /sessions/{id}/refine            restrict a term to chosen contexts
 //	GET    /sessions/{id}/connections       connection summary (§6)
@@ -40,13 +50,17 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"seda/internal/core"
@@ -54,6 +68,7 @@ import (
 	"seda/internal/keys"
 	"seda/internal/rel"
 	"seda/internal/store"
+	"seda/internal/topk"
 )
 
 // Options tunes a Server. The zero value serves with the defaults below.
@@ -84,6 +99,19 @@ type Options struct {
 	// over, snapshot I/O parallelizes across, and ingest extends the
 	// tail of.
 	Shards int
+	// AccessLog, when non-nil, receives one line per completed request:
+	// remote address, method, path, status, duration, and request id.
+	AccessLog *log.Logger
+	// SlowQueryThreshold enables the slow-query log: top-k searches whose
+	// engine time reaches it are logged — with the request id, session,
+	// query, and wave/termination stats — to SlowQueryLog (0 disables).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog overrides where slow queries are logged (default:
+	// AccessLog, falling back to the process-wide default logger).
+	SlowQueryLog *log.Logger
+	// EnablePprof mounts net/http/pprof profiling handlers under
+	// /debug/pprof/.
+	EnablePprof bool
 	// Clock overrides time.Now for eviction tests.
 	Clock func() time.Time
 }
@@ -123,6 +151,14 @@ type Server struct {
 	cache    *resultCache
 	mux      *http.ServeMux
 	started  time.Time
+	now      func() time.Time
+
+	metrics *serverMetrics
+	build   buildMeta
+	slowLog *log.Logger
+
+	reqPrefix string
+	reqSeq    atomic.Uint64
 }
 
 // New returns a ready-to-serve handler.
@@ -137,12 +173,27 @@ func New(opts Options) *Server {
 		reg.MaxEntries = opts.MaxCollections
 	}
 	s := &Server{
-		opts:     opts,
-		registry: reg,
-		sessions: newSessionManager(opts.SessionTTL, opts.MaxSessions, opts.Clock),
-		cache:    newResultCache(opts.CacheSize),
-		mux:      http.NewServeMux(),
-		started:  now(),
+		opts:      opts,
+		registry:  reg,
+		sessions:  newSessionManager(opts.SessionTTL, opts.MaxSessions, opts.Clock),
+		cache:     newResultCache(opts.CacheSize),
+		mux:       http.NewServeMux(),
+		started:   now(),
+		now:       now,
+		build:     readBuildMeta(),
+		reqPrefix: newRequestPrefix(),
+	}
+	s.metrics = newServerMetrics(s)
+	// The registry installs the shared search metric set on every engine
+	// it adopts and reports lifecycle phase timings back into the same
+	// exposition registry.
+	reg.SetObservers(s.metrics.search, s.metrics.observeEngineOp)
+	s.slowLog = opts.SlowQueryLog
+	if s.slowLog == nil {
+		s.slowLog = opts.AccessLog
+	}
+	if s.slowLog == nil {
+		s.slowLog = log.Default()
 	}
 	s.routes()
 	return s
@@ -152,13 +203,93 @@ func New(opts Options) *Server {
 // flags) can pre-register corpora before serving.
 func (s *Server) Registry() *Registry { return s.registry }
 
+// ctxKeyRequestID carries the middleware-assigned request id through the
+// request context to handlers (the explain trace and slow-query log).
+type ctxKeyRequestID struct{}
+
+// requestIDFrom returns the id ServeHTTP assigned, or "" outside a request.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID{}).(string)
+	return id
+}
+
+// statusWriter captures the status code a handler writes so the
+// middleware can label its request counter and access-log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ServeHTTP is the instrumentation middleware around the route mux: it
+// assigns the request id (echoed as X-Request-ID), tracks in-flight
+// requests, and — after the handler returns — counts the request under
+// its route pattern and status, observes its latency, and writes the
+// access-log line.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	id := s.nextRequestID()
+	w.Header().Set("X-Request-ID", id)
+	r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID{}, id))
+	sw := &statusWriter{ResponseWriter: w}
+	s.metrics.inflight.Add(1)
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(start)
+	s.metrics.inflight.Add(-1)
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	// r.Pattern is the matched route ("GET /sessions/{id}/topk"), filled
+	// in by the mux; using it as the endpoint label keeps the metric
+	// cardinality at the route count, not the URL count.
+	endpoint := r.Pattern
+	if endpoint == "" {
+		endpoint = "unmatched"
+	}
+	s.metrics.requests.With(endpoint, strconv.Itoa(sw.status)).Inc()
+	s.metrics.duration.With(endpoint).Observe(elapsed.Seconds())
+	if s.opts.AccessLog != nil {
+		s.opts.AccessLog.Printf("%s %s %s %d %s %s",
+			r.RemoteAddr, r.Method, r.URL.Path, sw.status,
+			elapsed.Round(time.Microsecond), id)
+	}
+}
+
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%s-%d", s.reqPrefix, s.reqSeq.Add(1))
 }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /debug/stats", s.handleStats)
+	if s.opts.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux.HandleFunc("GET /collections", s.handleListCollections)
 	s.mux.HandleFunc("POST /collections", s.handleCreateCollection)
 	s.mux.HandleFunc("POST /collections/{name}/documents", s.handleIngestDocuments)
@@ -167,6 +298,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /sessions/{id}", s.handleSessionInfo)
 	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
 	s.mux.HandleFunc("GET /sessions/{id}/topk", s.handleTopK)
+	s.mux.HandleFunc("POST /sessions/{id}/query", s.handleQuery)
 	s.mux.HandleFunc("GET /sessions/{id}/contexts", s.handleContexts)
 	s.mux.HandleFunc("POST /sessions/{id}/refine", s.handleRefine)
 	s.mux.HandleFunc("GET /sessions/{id}/connections", s.handleConnections)
@@ -253,19 +385,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var m runtime.MemStats
 	runtime.ReadMemStats(&m)
+	uptime := s.now().Sub(s.started)
 	writeJSON(w, http.StatusOK, statsResponse{
-		Uptime:      time.Since(s.started).Round(time.Millisecond).String(),
+		Uptime:      uptime.Round(time.Millisecond).String(),
 		Collections: s.registry.List(),
 		Sessions:    s.sessions.stats(),
 		TopKCache:   s.cache.stats(),
 		Runtime: runtimeStats{
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			NumCPU:     runtime.NumCPU(),
-			NumGC:      m.NumGC,
-			HeapAlloc:  m.HeapAlloc,
-			Sys:        m.Sys,
+			UptimeSeconds: uptime.Seconds(),
+			GoVersion:     s.build.GoVersion,
+			VCSRevision:   s.build.VCSRevision,
+			VCSTime:       s.build.VCSTime,
+			VCSModified:   s.build.VCSModified,
+			GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			NumCPU:        runtime.NumCPU(),
+			NumGC:         m.NumGC,
+			HeapAlloc:     m.HeapAlloc,
+			Sys:           m.Sys,
 		},
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition. The registry
+// renders into a buffer first so a slow client can never observe a
+// half-written scrape with a non-200 status.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	if err := s.metrics.reg.WritePrometheus(&b); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
 }
 
 // --- collections ---
@@ -493,13 +644,41 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 // --- the Figure-6 loop ---
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	sess := s.getSession(w, r)
-	if sess == nil {
-		return
-	}
 	k, err := queryInt(r, "k", 10)
 	if err != nil || k <= 0 || k > maxTopK {
 		writeError(w, http.StatusBadRequest, "parameter k must be an integer in 1..%d", maxTopK)
+		return
+	}
+	explain := r.URL.Query().Get("explain")
+	s.serveTopK(w, r, k, explain == "1" || explain == "true")
+}
+
+// handleQuery is the POST spelling of top-k: the body selects k and the
+// opt-in per-request trace.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	if k <= 0 || k > maxTopK {
+		writeError(w, http.StatusBadRequest, "k must be an integer in 1..%d", maxTopK)
+		return
+	}
+	s.serveTopK(w, r, k, req.Explain)
+}
+
+// serveTopK answers both top-k spellings. Without explain it serves the
+// cheapest correct source — session-held results, the shared cache, or a
+// fresh search. With explain it always runs a real traced search (a trace
+// of a cache lookup would explain nothing) and reports where a plain
+// request would have been served from as the trace's cache disposition.
+func (s *Server) serveTopK(w http.ResponseWriter, r *http.Request, k int, explain bool) {
+	sess := s.getSession(w, r)
+	if sess == nil {
 		return
 	}
 	sess.mu.Lock()
@@ -507,31 +686,76 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	q := sess.queryString()
 	key := cacheKey(sess.eng.ID(), q, k)
 	rs, cached := s.cache.get(key)
+	resp := topkResponse{Session: sess.id, Query: q, K: k, Cached: cached}
+	var searched time.Duration
+	var trace *topk.Trace
 	switch {
+	case explain:
+		disposition := "search"
+		switch {
+		case sess.lastTopK == key:
+			disposition = "session"
+		case cached:
+			disposition = "cache"
+		}
+		trace = new(topk.Trace)
+		t0 := time.Now()
+		var err error
+		rs, err = sess.sess.TopKTraced(k, trace)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		searched = time.Since(t0)
+		s.cache.put(key, rs)
+		s.metrics.served.With("search").Inc()
+		resp.Trace = &wireTrace{
+			RequestID: requestIDFrom(r.Context()),
+			Cache:     disposition,
+			TotalNs:   searched.Nanoseconds(),
+			TopK:      trace,
+		}
 	case sess.lastTopK == key:
 		// The session already holds exactly these results — even if the
 		// shared cache entry is gone (LRU may evict it). Serve from
 		// session state and leave the downstream summaries (connections
 		// etc.) intact: a repeated GET is truly read-only.
 		rs = sess.sess.TopKResults()
+		s.metrics.served.With("session").Inc()
 	case cached:
 		sess.sess.SetTopK(rs)
+		s.metrics.served.With("cache").Inc()
 	default:
+		t0 := time.Now()
+		var err error
 		rs, err = sess.sess.TopK(k)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		searched = time.Since(t0)
 		s.cache.put(key, rs)
+		s.metrics.served.With("search").Inc()
 	}
 	sess.lastTopK = key
-	writeJSON(w, http.StatusOK, topkResponse{
-		Session: sess.id,
-		Query:   q,
-		K:       k,
-		Cached:  cached,
-		Results: wireResults(sess.eng.Collection(), rs),
-	})
+	if t := s.opts.SlowQueryThreshold; t > 0 && searched >= t {
+		s.metrics.slow.Inc()
+		s.logSlowQuery(r, sess.id, q, k, searched, trace)
+	}
+	resp.Results = wireResults(sess.eng.Collection(), rs)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// logSlowQuery writes one slow-query-log line; with an explain trace in
+// hand it appends the TA stats that say where the time went.
+func (s *Server) logSlowQuery(r *http.Request, sessID, q string, k int, d time.Duration, tr *topk.Trace) {
+	line := fmt.Sprintf("slow query: %s session=%s k=%d query=%q req=%s",
+		d.Round(time.Microsecond), sessID, k, q, requestIDFrom(r.Context()))
+	if tr != nil {
+		line += fmt.Sprintf(" waves=%d units=%d/%d tuples=%d early=%t",
+			len(tr.Waves), tr.UnitsScanned, tr.UnitsCandidates, tr.TuplesScored, tr.EarlyTerminated)
+	}
+	s.slowLog.Print(line)
 }
 
 func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {

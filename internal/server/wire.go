@@ -66,6 +66,12 @@ type sessionRequest struct {
 	Query      string `json:"query"`
 }
 
+type queryRequest struct {
+	// K defaults to 10; Explain opts into the per-request search trace.
+	K       int  `json:"k,omitempty"`
+	Explain bool `json:"explain,omitempty"`
+}
+
 type refineRequest struct {
 	Term  int      `json:"term"`
 	Paths []string `json:"paths"`
@@ -129,6 +135,20 @@ type topkResponse struct {
 	K       int          `json:"k"`
 	Cached  bool         `json:"cached"`
 	Results []wireResult `json:"results"`
+	// Trace is the opt-in explain payload ("explain": true / ?explain=1).
+	Trace *wireTrace `json:"trace,omitempty"`
+}
+
+// wireTrace is the per-request query trace: the request id (matching the
+// X-Request-ID header and log lines), where a plain request would have
+// been served from ("session", "cache", or "search"), the end-to-end
+// search time, and the TA search's own stage timings, per-term fetch
+// counts, and wave-by-wave threshold evolution.
+type wireTrace struct {
+	RequestID string      `json:"request_id,omitempty"`
+	Cache     string      `json:"cache"`
+	TotalNs   int64       `json:"total_ns"`
+	TopK      *topk.Trace `json:"topk,omitempty"`
 }
 
 type wireResult struct {
@@ -217,15 +237,22 @@ type statsResponse struct {
 	Runtime     runtimeStats   `json:"runtime"`
 }
 
-// runtimeStats surfaces the Go runtime's view of the process on
-// /debug/stats: the scheduler width capacity planning cares about and the
-// memory counters that show engine footprint and GC pressure.
+// runtimeStats surfaces the process's identity and the Go runtime's view
+// of it on /stats and /debug/stats: build provenance (toolchain version
+// and VCS stamp), uptime, the scheduler width capacity planning cares
+// about, and the memory counters that show engine footprint and GC
+// pressure.
 type runtimeStats struct {
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	NumCPU     int    `json:"num_cpu"`
-	NumGC      uint32 `json:"num_gc"`
-	HeapAlloc  uint64 `json:"heap_alloc_bytes"`
-	Sys        uint64 `json:"sys_bytes"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	VCSRevision   string  `json:"vcs_revision,omitempty"`
+	VCSTime       string  `json:"vcs_time,omitempty"`
+	VCSModified   bool    `json:"vcs_modified,omitempty"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	NumCPU        int     `json:"num_cpu"`
+	NumGC         uint32  `json:"num_gc"`
+	HeapAlloc     uint64  `json:"heap_alloc_bytes"`
+	Sys           uint64  `json:"sys_bytes"`
 }
 
 // --- converters ---

@@ -1,0 +1,138 @@
+package topk
+
+import (
+	"strings"
+	"testing"
+
+	"seda/internal/obs"
+	"seda/internal/query"
+)
+
+func TestSearchFillsTrace(t *testing.T) {
+	_, ix, g := fixture(t)
+	s := New(ix, g)
+	q := query.MustParse(`(*, "United States") AND (trade_country, *) AND (percentage, *)`)
+	var tr Trace
+	rs, st, err := s.SearchStats(q, Options{K: 3, Trace: &tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no results")
+	}
+	if tr.Terms != 3 || tr.Shards != ix.NumShards() || tr.FetchTasks != 3*ix.NumShards() {
+		t.Errorf("scatter dims = %d terms, %d shards, %d tasks", tr.Terms, tr.Shards, tr.FetchTasks)
+	}
+	if len(tr.PerTermMatches) != 3 {
+		t.Fatalf("per-term matches = %v", tr.PerTermMatches)
+	}
+	for i, n := range tr.PerTermMatches {
+		if n == 0 {
+			t.Errorf("term %d gathered no matches", i)
+		}
+	}
+	if tr.FetchNs < 0 || tr.RankNs <= 0 {
+		t.Errorf("phase timings = fetch %dns, rank %dns", tr.FetchNs, tr.RankNs)
+	}
+	if tr.UnitsCandidates != st.UnitsCandidates || tr.UnitsScanned != st.UnitsScanned ||
+		tr.TuplesScored != st.TuplesScored || tr.EarlyTerminated != st.EarlyTerminated {
+		t.Errorf("trace stats %+v disagree with Stats %+v", tr, st)
+	}
+	if len(tr.Waves) != st.Waves || st.Waves == 0 {
+		t.Fatalf("wave trace len = %d, Stats.Waves = %d", len(tr.Waves), st.Waves)
+	}
+	cum := 0
+	for i, w := range tr.Waves {
+		cum += w.Units
+		if w.CumUnits != cum {
+			t.Errorf("wave %d cum = %d, want %d", i, w.CumUnits, cum)
+		}
+	}
+	if cum != st.UnitsScanned {
+		t.Errorf("waves scanned %d units, stats say %d", cum, st.UnitsScanned)
+	}
+	if tr.KthScore != rs[len(rs)-1].Score {
+		t.Errorf("kth score = %v, last result = %v", tr.KthScore, rs[len(rs)-1].Score)
+	}
+}
+
+func TestSearchObservesMetrics(t *testing.T) {
+	_, ix, g := fixture(t)
+	s := New(ix, g)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	q := query.MustParse(`(trade_country, germany) AND (percentage, *)`)
+	if _, _, err := s.SearchStats(q, Options{K: 2, Metrics: m}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.SearchStats(q, Options{K: 2, Metrics: m}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Searches.Value(); got != 2 {
+		t.Errorf("searches = %d, want 2", got)
+	}
+	if m.Duration.Count() != 2 || m.Fanout.Count() != 2 {
+		t.Errorf("histogram counts = %d, %d, want 2", m.Duration.Count(), m.Fanout.Count())
+	}
+	if m.Waves.Value() == 0 || m.UnitsScanned.Value() == 0 || m.TuplesScored.Value() == 0 {
+		t.Errorf("work counters stuck at zero: waves=%d scanned=%d scored=%d",
+			m.Waves.Value(), m.UnitsScanned.Value(), m.TuplesScored.Value())
+	}
+	if want := uint64(2 * 2 * ix.NumShards()); m.FetchTasks.Value() != want {
+		t.Errorf("fetch tasks = %d, want %d", m.FetchTasks.Value(), want)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ParseText(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("exposition unparseable: %v", err)
+	}
+}
+
+// TestInstrumentationDoesNotChangeResults pins that Metrics and Trace are
+// pure observers.
+func TestInstrumentationDoesNotChangeResults(t *testing.T) {
+	_, ix, g := fixture(t)
+	s := New(ix, g)
+	q := query.MustParse(`(*, "United States") AND (percentage, *)`)
+	plain, err := s.Search(q, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trace
+	reg := obs.NewRegistry()
+	traced, err := s.Search(q, Options{K: 5, Trace: &tr, Metrics: NewMetrics(reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(traced) {
+		t.Fatalf("result counts differ: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		sameNodes := !lessTuple(plain[i].Nodes, traced[i].Nodes) && !lessTuple(traced[i].Nodes, plain[i].Nodes)
+		if plain[i].Score != traced[i].Score || !sameNodes {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}
+
+func TestShardFetchCounters(t *testing.T) {
+	_, ix, g := fixture(t)
+	s := New(ix, g)
+	before := uint64(0)
+	for _, st := range ix.ShardStats() {
+		before += st.Fetches
+	}
+	q := query.MustParse(`(trade_country, germany) AND (percentage, *)`)
+	if _, err := s.Search(q, Options{K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	after := uint64(0)
+	for _, st := range ix.ShardStats() {
+		after += st.Fetches
+	}
+	if want := before + uint64(2*ix.NumShards()); after != want {
+		t.Errorf("shard fetches = %d, want %d", after, want)
+	}
+}

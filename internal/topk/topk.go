@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"seda/internal/graph"
 	"seda/internal/index"
@@ -35,6 +36,13 @@ type Options struct {
 	// units (default runtime.GOMAXPROCS(0); 1 forces a sequential scan).
 	// The result set is identical at every setting.
 	Parallelism int
+	// Metrics, when non-nil, accumulates search counters and latency into
+	// the shared family set. Nil (the default) skips all metric work.
+	Metrics *Metrics
+	// Trace, when non-nil, is filled with this search's execution trace
+	// (scatter dimensions, phase timings, wave-by-wave threshold
+	// evolution). Nil skips all trace work; results are identical.
+	Trace *Trace
 }
 
 func (o *Options) defaults() {
@@ -74,6 +82,11 @@ type Stats struct {
 	UnitsScanned int
 	// TuplesScored counts scored (connected) tuples.
 	TuplesScored int
+	// Waves is the number of TA waves the scan ran.
+	Waves int
+	// EarlyTerminated reports that the TA threshold stopped the scan
+	// before the candidate list was drained.
+	EarlyTerminated bool
 }
 
 // Searcher executes top-k queries over an index and a data graph.
@@ -104,11 +117,39 @@ func (s *Searcher) SearchStats(q query.Query, opts Options) ([]Result, Stats, er
 	if len(q.Terms) == 0 {
 		return nil, Stats{}, fmt.Errorf("topk: empty query")
 	}
+	// Instrumentation is gated on the nil checks so the disabled path does
+	// no metric or trace work (and no allocations) at all.
+	instrumented := opts.Metrics != nil || opts.Trace != nil
+	var t0, t1 time.Time
+	if instrumented {
+		t0 = time.Now()
+	}
 	matches, err := s.fetchMatches(q, opts.Parallelism)
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	if instrumented {
+		t1 = time.Now()
+	}
 	rs, st := s.rank(matches, opts)
+	if instrumented {
+		t2 := time.Now()
+		tasks := len(q.Terms) * s.ix.NumShards()
+		if tr := opts.Trace; tr != nil {
+			tr.Terms = len(q.Terms)
+			tr.Shards = s.ix.NumShards()
+			tr.FetchTasks = tasks
+			tr.PerTermMatches = make([]int, len(matches))
+			for i, ms := range matches {
+				tr.PerTermMatches[i] = len(ms)
+			}
+			tr.FetchNs = t1.Sub(t0).Nanoseconds()
+			tr.RankNs = t2.Sub(t1).Nanoseconds()
+		}
+		if m := opts.Metrics; m != nil {
+			m.observe(st, tasks, t2.Sub(t0).Seconds())
+		}
+	}
 	return rs, st, nil
 }
 
@@ -238,6 +279,7 @@ func (s *Searcher) rank(matches [][]index.Match, opts Options) ([]Result, Stats)
 	final := newTopHeap(opts.K)
 	for pos := 0; pos < len(units); {
 		if t, ok := final.kth(); ok && t >= units[pos].bound {
+			stats.EarlyTerminated = true
 			break // TA threshold: every remaining unit is bounded lower
 		}
 		end := 2 * pos // wave boundaries at 1, 2, 4, 8, … scanned units
@@ -248,7 +290,25 @@ func (s *Searcher) rank(matches [][]index.Match, opts Options) ([]Result, Stats)
 			end = len(units)
 		}
 		s.scanWave(units[pos:end], opts, final, &stats)
+		stats.Waves++
+		if tr := opts.Trace; tr != nil {
+			kth, _ := final.kth()
+			next := 0.0
+			if end < len(units) {
+				next = units[end].bound
+			}
+			tr.Waves = append(tr.Waves, WaveTrace{
+				Units: end - pos, CumUnits: end, KthScore: kth, NextBound: next,
+			})
+		}
 		pos = end
+	}
+	if tr := opts.Trace; tr != nil {
+		tr.UnitsCandidates = stats.UnitsCandidates
+		tr.UnitsScanned = stats.UnitsScanned
+		tr.TuplesScored = stats.TuplesScored
+		tr.EarlyTerminated = stats.EarlyTerminated
+		tr.KthScore, _ = final.kth()
 	}
 	return final.sorted(), stats
 }

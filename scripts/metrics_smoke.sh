@@ -1,0 +1,58 @@
+#!/bin/sh
+# Observability smoke test: boot sedad, drive one traced query, scrape
+# GET /metrics, and validate the exposition against the Prometheus text
+# format grammar with promcheck — failing on unparseable output or a
+# missing metric family. Run from the repo root (`make metrics-smoke`).
+set -eu
+
+GO="${GO:-go}"
+ADDR="${ADDR:-127.0.0.1:18231}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+PID=""
+cleanup() {
+	[ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+"$GO" build -o "$WORK/sedad" ./cmd/sedad
+"$GO" build -o "$WORK/promcheck" ./cmd/promcheck
+
+"$WORK/sedad" -addr "$ADDR" -preload worldfactbook -scale 0.05 -slowlog 5s 2>"$WORK/sedad.log" &
+PID=$!
+
+ok=""
+for _ in $(seq 1 50); do
+	if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then ok=1; break; fi
+	sleep 0.2
+done
+if [ -z "$ok" ]; then
+	echo "metrics-smoke: sedad did not come up on $ADDR" >&2
+	cat "$WORK/sedad.log" >&2
+	exit 1
+fi
+
+# One real query (builds the engine) with explain=true: the response must
+# carry the trace, and the search/cache/engine families must appear in the
+# scrape below.
+SID="$(curl -fsS -X POST "$BASE/sessions" \
+	-d '{"collection":"worldfactbook","query":"(trade_country, germany) AND (percentage, *)"}' \
+	| sed -n 's/.*"session":"\([^"]*\)".*/\1/p')"
+if [ -z "$SID" ]; then
+	echo "metrics-smoke: could not create a session" >&2
+	exit 1
+fi
+RESP="$(curl -fsS -X POST "$BASE/sessions/$SID/query" -d '{"k":5,"explain":true}')"
+case "$RESP" in
+*'"trace"'*) ;;
+*)
+	echo "metrics-smoke: explain response carries no trace: $RESP" >&2
+	exit 1
+	;;
+esac
+
+curl -fsS "$BASE/metrics" | "$WORK/promcheck" -require \
+	seda_topk_searches_total,seda_topk_search_duration_seconds,seda_http_requests_total,seda_http_request_duration_seconds,seda_topk_cache_hits_total,seda_topk_cache_misses_total,seda_engine_phase_seconds,seda_engine_ops_total,seda_sessions_active,seda_build_info,seda_uptime_seconds
+
+echo "metrics-smoke: ok"
