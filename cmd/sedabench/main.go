@@ -388,8 +388,9 @@ func ablations(scale float64) {
 		if noCache {
 			mode = "cache off"
 		}
+		hits, misses := sz.CacheStats()
 		fmt.Printf("A3 conn-summary x50  %s  %v  (hits=%d misses=%d)\n",
-			mode, time.Since(start).Round(time.Microsecond), sz.CacheHits, sz.CacheMisses)
+			mode, time.Since(start).Round(time.Microsecond), hits, misses)
 	}
 
 	fmt.Println("A2 join and A4 probe ablations: go test -bench 'BenchmarkAblationJoin|BenchmarkAblationContextProbe'")

@@ -1,0 +1,144 @@
+// Command sedalint is the repo's custom static-analysis suite: four
+// analyzers that mechanically enforce the engine's documented invariants
+// (see ARCHITECTURE.md "Static analysis"):
+//
+//	genimmutable  //seda:immutable types written only in //seda:constructor functions
+//	nilgate       //seda:nilgated handles nil-checked in //seda:hot packages
+//	stickyerr     decode-path errors flow to the sticky error or the caller
+//	lockguard     `guarded by <mu>` fields accessed only under their mutex
+//
+// Usage:
+//
+//	sedalint [-run a,b] [packages]           # standalone, default ./...
+//	go vet -vettool=$(which sedalint) ./...  # as a vet tool
+//
+// Standalone mode exits 1 when any diagnostic is reported. The vet-tool
+// mode implements the cmd/vet unitchecker protocol (-V=full and the
+// single *.cfg argument).
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"seda/internal/lint"
+)
+
+var analyzers = []*lint.Analyzer{
+	lint.GenImmutable,
+	lint.NilGate,
+	lint.StickyErr,
+	lint.LockGuard,
+}
+
+func main() {
+	// cmd/go probes vet tools with -V=full before anything else; a devel
+	// version must carry a buildID (cmd/go folds it into its cache keys),
+	// so hash the binary itself like x/tools vet tools do.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		fmt.Printf("sedalint version devel buildID=%s\n", selfHash())
+		return
+	}
+	// cmd/vet also asks for the tool's flag definitions as JSON; sedalint
+	// exposes none to vet (analyzer selection is a standalone-mode flag).
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	// Under `go vet -vettool`, the sole argument is a JSON config file.
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(unitchecker(os.Args[1], analyzers))
+	}
+
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sedalint [flags] [package patterns]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+
+	selected, err := selectAnalyzers(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sedalint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sedalint:", err)
+		os.Exit(2)
+	}
+	pkgs, ann, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sedalint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, ann, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sedalint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", pkgs[0].Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// selfHash fingerprints the running binary for the -V=full buildID.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func selectAnalyzers(run string) ([]*lint.Analyzer, error) {
+	if run == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(run, ",") {
+		a := byName[strings.TrimSpace(name)]
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"seda/internal/lint"
+)
+
+// vetConfig mirrors the JSON configuration cmd/vet hands a -vettool for
+// each package (the x/tools unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetDiagnostic is one JSON diagnostic in the format cmd/vet parses from a
+// vettool's stdout.
+type vetDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// unitchecker analyzes the single package described by cfgFile and returns
+// the process exit code: 0 clean, 2 when diagnostics were reported (the
+// code cmd/vet expects alongside the JSON on stdout), 1 on failure.
+func unitchecker(cfgFile string, analyzers []*lint.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sedalint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sedalint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// vet always expects the facts ("vetx") output file to exist, even
+	// though sedalint exchanges no facts between packages.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "sedalint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sedalint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "sedalint:", err)
+		return 1
+	}
+
+	ann := harvestModule(fset, cfg, files)
+	pkg := &lint.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, ann, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sedalint:", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	out := map[string]map[string][]vetDiagnostic{cfg.ImportPath: {}}
+	for _, d := range diags {
+		out[cfg.ImportPath][d.Analyzer] = append(out[cfg.ImportPath][d.Analyzer], vetDiagnostic{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "sedalint:", err)
+		return 1
+	}
+	return 2
+}
+
+// harvestModule collects annotations for the package under analysis plus
+// every module-local dependency. The vet config carries only export data
+// for dependencies (no sources), so module-local source directories are
+// re-derived from the module root — found by walking up from the package
+// directory to go.mod — and the module path it declares.
+func harvestModule(fset *token.FileSet, cfg vetConfig, files []*ast.File) *lint.Annotations {
+	ann := lint.NewAnnotations()
+	for _, f := range files {
+		ann.HarvestFile(cfg.ImportPath, f)
+	}
+	modRoot, modPath := findModule(cfg.Dir)
+	if modRoot == "" {
+		return ann
+	}
+	for dep := range cfg.PackageFile {
+		if dep == cfg.ImportPath || cfg.Standard[dep] {
+			continue
+		}
+		rel, ok := strings.CutPrefix(dep, modPath)
+		if !ok {
+			continue
+		}
+		dir := filepath.Join(modRoot, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		hfset := token.NewFileSet() // positions unused for harvested deps
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(hfset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				continue
+			}
+			ann.HarvestFile(dep, f)
+		}
+	}
+	return ann
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest)
+				}
+			}
+			return "", ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", ""
+		}
+		d = parent
+	}
+}

@@ -23,6 +23,11 @@
 // goroutines (e.g. a server handling requests for one session id) must
 // serialize access themselves. Distinct sessions over one engine need no
 // external locking.
+//
+// The package is annotated //seda:hot: sedalint's nilgate analyzer
+// enforces the nil-gated observability contract on every hot path here.
+//
+//seda:hot
 package core
 
 import (

@@ -66,7 +66,7 @@ func (d *Def) String() string {
 // data race.
 type Catalog struct {
 	mu   sync.RWMutex
-	defs map[string]*Def
+	defs map[string]*Def // guarded by mu
 }
 
 // NewCatalog returns an empty catalog.

@@ -63,6 +63,8 @@ func (s *Set) Encode(w *snapcodec.Writer) {
 // Decode reads a summary previously written by Encode, re-binding it to
 // col. The document→guide assignment is reconstructed from the guides'
 // document lists.
+//
+//seda:constructor
 func Decode(r *snapcodec.Reader, col *store.Collection) (*Set, error) {
 	if v := r.Int(); r.Err() == nil && v != codecVersion {
 		return nil, fmt.Errorf("dataguide: unsupported codec version %d", v)

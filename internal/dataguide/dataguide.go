@@ -14,6 +14,9 @@ import (
 
 // Guide is one merged dataguide: a path set plus the documents it
 // summarizes and per-path occurrence facts needed by connection discovery.
+// Immutable once its Set is published (sedalint genimmutable).
+//
+//seda:immutable
 type Guide struct {
 	ID    int
 	Docs  []xmldoc.DocID
@@ -94,7 +97,11 @@ type Link struct {
 	Count              int
 }
 
-// Set is the dataguide summary of one collection.
+// Set is the dataguide summary of one collection. Immutable once built
+// (sedalint genimmutable): ingest continues the §6.1 fold over a deep
+// copy, never over a published Set.
+//
+//seda:immutable
 type Set struct {
 	col       *store.Collection
 	Threshold float64
@@ -228,6 +235,8 @@ func docProfile(doc *xmldoc.Document) (map[pathdict.PathID]struct{}, map[pathdic
 // absorb merges one document profile into the guide set following §6.1:
 // subset/equal guides absorb directly; otherwise the best guide at or above
 // the overlap threshold merges; otherwise a new guide is created.
+//
+//seda:constructor
 func (s *Set) absorb(doc xmldoc.DocID, paths map[pathdict.PathID]struct{}, rep map[pathdict.PathID]bool) {
 	bestIdx, bestOverlap := -1, 0.0
 	for i, g := range s.Guides {
@@ -306,6 +315,7 @@ func Overlap(a, b []pathdict.PathID) float64 {
 	return overlap(common, len(sa), len(seen))
 }
 
+//seda:constructor
 func (s *Set) buildLinks(g *graph.Graph) {
 	agg := make(map[string]*Link)
 	for _, e := range g.Edges() {

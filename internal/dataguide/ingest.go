@@ -22,6 +22,8 @@ import (
 // deep-copied first — guides, repeatability marks, and document
 // assignments — so the old generation keeps serving concurrent readers
 // unchanged while the new documents are absorbed.
+//
+//seda:constructor
 func (s *Set) Extend(col *store.Collection, g *graph.Graph, newDocs []*xmldoc.Document) (*Set, error) {
 	ns := &Set{
 		col:       col,

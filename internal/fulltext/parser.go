@@ -217,11 +217,15 @@ func (p *parser) parseUnary() (Expr, error) {
 		p.pos++
 		prefix := strings.HasSuffix(t.text, "*")
 		raw := strings.TrimSuffix(t.text, "*")
-		term := NormalizeTerm(raw)
-		if term == "" {
+		// A word must reduce to exactly one indexed token: content is
+		// matched token-wise, and a term carrying lexer-significant
+		// characters (an interior '*', say) would not survive a
+		// render/reparse round trip.
+		terms := TokenizeTerms(raw)
+		if len(terms) != 1 {
 			return nil, fmt.Errorf("fulltext: invalid word %q", t.text)
 		}
-		return Word{Term: term, Prefix: prefix}, nil
+		return Word{Term: terms[0], Prefix: prefix}, nil
 	default:
 		return nil, fmt.Errorf("fulltext: unexpected token %q", t.text)
 	}

@@ -68,6 +68,8 @@ type DiscoverStats struct {
 // FIRST append O(new documents) — the serving tier's workload — where
 // the lazy rebuild that snapshot-loaded graphs use would put an
 // O(corpus) rescan inside that first append.
+//
+//seda:constructor
 func (g *Graph) DiscoverLinks(opts DiscoverOptions) DiscoverStats {
 	opts.defaults()
 	st := &discoveryState{opts: opts, ids: make(map[string]xmldoc.NodeRef)}
@@ -179,6 +181,8 @@ func (g *Graph) resolveNode(st *discoveryState, d *xmldoc.Document, n *xmldoc.No
 // The per-value source and target tables are retained on the graph so an
 // incremental extension (ExtendValueLinks) can join newly added documents
 // against the existing ones without rescanning them.
+//
+//seda:constructor
 func (g *Graph) AddValueLinks(fromPath, toPath, label string) int {
 	st := &valueLinkState{fromPath: fromPath, toPath: toPath, label: label}
 	srcs, tgts := st.collect(g.col, g.col.Docs())

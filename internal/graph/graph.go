@@ -55,7 +55,11 @@ type Edge struct {
 }
 
 // Graph is the link-edge overlay of a collection. Build it once after the
-// collection is loaded; reads are then safe for concurrent use.
+// collection is loaded; reads are then safe for concurrent use. Published
+// graphs are shared across engine generations, so writes outside the
+// build/extend/decode paths are sedalint diagnostics (genimmutable).
+//
+//seda:immutable
 type Graph struct {
 	col   *store.Collection
 	edges []Edge
@@ -92,6 +96,8 @@ func New(col *store.Collection) *Graph {
 func (g *Graph) Collection() *store.Collection { return g.col }
 
 // AddEdge inserts a link edge after validating both endpoints resolve.
+//
+//seda:constructor
 func (g *Graph) AddEdge(from, to xmldoc.NodeRef, kind EdgeKind, label string) error {
 	if g.col.Node(from) == nil {
 		return fmt.Errorf("graph: dangling source %v", from)

@@ -112,6 +112,8 @@ func (st *valueLinkState) collect(col *store.Collection, docs []*xmldoc.Document
 // guarantees this). The receiver is not modified; the copy owns its edge
 // list, adjacency maps, and retained discovery state, so extending the
 // copy never disturbs readers of the original generation.
+//
+//seda:constructor
 func (g *Graph) CloneFor(col *store.Collection) *Graph {
 	ng := &Graph{
 		col:      col,
@@ -207,6 +209,8 @@ func (g *Graph) DiscoverIncremental(opts DiscoverOptions, newDocs []*xmldoc.Docu
 // document except the trailing excludeSuffix ones (the documents about to
 // be ingested), recording ids and dangling references without touching the
 // edge list — those edges already exist.
+//
+//seda:constructor
 func (g *Graph) rebuildDiscovery(opts DiscoverOptions, excludeSuffix int) {
 	docs := g.col.Docs()
 	docs = docs[:len(docs)-excludeSuffix]
@@ -318,6 +322,8 @@ func (g *Graph) valueStateMatches(specs []ValueLinkSpec) bool {
 
 // rebuildValueState reconstructs the value-link join tables from every
 // document except the trailing excludeSuffix ones, without adding edges.
+//
+//seda:constructor
 func (g *Graph) rebuildValueState(specs []ValueLinkSpec, excludeSuffix int) {
 	docs := g.col.Docs()
 	docs = docs[:len(docs)-excludeSuffix]

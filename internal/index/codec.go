@@ -170,6 +170,8 @@ func FromShards(col *store.Collection, shards []*Shard) (*Index, error) {
 // decodeShardBody reads the common body shared by the flat and shard
 // formats: node index, context index, per-path node lists. Decoded refs
 // must name documents inside [lo, hi).
+//
+//seda:constructor
 func decodeShardBody(r *snapcodec.Reader, col *store.Collection, lo, hi int) (*Shard, error) {
 	sh := &Shard{
 		lo:          lo,

@@ -34,6 +34,11 @@
 //
 // Every read answer is byte-identical at any shard count; the shard
 // equivalence tests in internal/core pin this.
+//
+// The package is annotated //seda:hot: sedalint's nilgate analyzer
+// enforces the nil-gated observability contract on every hot path here.
+//
+//seda:hot
 package index
 
 import (
@@ -60,7 +65,11 @@ type Posting struct {
 // Shard is one horizontal fragment of an Index: a self-contained node and
 // context index over the contiguous document range [lo, hi). Shards are
 // immutable once built and opaque outside this package; they are created
-// by BuildSharded, DecodeShard, and the shard-local ingest path.
+// by BuildSharded, DecodeShard, and the shard-local ingest path. Non-tail
+// shards are shared between engine generations by incremental ingest, so
+// the immutability contract is enforced by sedalint (genimmutable).
+//
+//seda:immutable
 type Shard struct {
 	lo, hi int // document-id range [lo, hi)
 
@@ -81,6 +90,10 @@ func (sh *Shard) Docs() int { return sh.hi - sh.lo }
 
 // Index holds the node and context indexes for one collection, fragmented
 // into one or more document-range shards (see the package comment).
+// Immutable once built (sedalint genimmutable): ingest derives a new
+// Index via Extend instead of mutating a published one.
+//
+//seda:immutable
 type Index struct {
 	col    *store.Collection
 	shards []*Shard // contiguous, in document order; len >= 1
@@ -176,6 +189,8 @@ func BuildSharded(col *store.Collection, shards, parallelism int) *Index {
 // lo), splitting the scan across at most workers goroutines and merging
 // the partial accumulators in document order, so the shard is
 // byte-identical to a sequential scan.
+//
+//seda:constructor
 func buildShardRange(docs []*xmldoc.Document, lo int, workers int) *Shard {
 	w := workers
 	if w > len(docs) {
@@ -237,6 +252,8 @@ func buildShardRange(docs []*xmldoc.Document, lo int, workers int) *Shard {
 
 // finalize normalizes the shard's posting lists, derives its sorted
 // vocabulary, and fixes its document range.
+//
+//seda:constructor
 func (sh *Shard) finalize(lo, hi int) {
 	sh.lo, sh.hi = lo, hi
 	sh.terms = sh.terms[:0]
@@ -250,6 +267,8 @@ func (sh *Shard) finalize(lo, hi int) {
 // scanDocs runs the single-threaded scan over one contiguous document
 // range. Everything it touches outside its own maps (documents, the path
 // dictionary, the tokenizer) is read-only or internally synchronized.
+//
+//seda:constructor
 func scanDocs(docs []*xmldoc.Document) *Shard {
 	sh := &Shard{
 		postings:    make(map[string][]Posting),
@@ -289,6 +308,7 @@ func scanDocs(docs []*xmldoc.Document) *Shard {
 	return sh
 }
 
+//seda:constructor
 func (sh *Shard) bumpPathTerm(term string, p pathdict.PathID) {
 	if term == "" {
 		return
@@ -304,6 +324,8 @@ func (sh *Shard) bumpPathTerm(term string, p pathdict.PathID) {
 // newIndex assembles an Index from finalized shards, deriving the
 // corpus-global aggregates. With a single shard the globals alias the
 // shard's structures — the default layout pays no merge cost or memory.
+//
+//seda:constructor
 func newIndex(col *store.Collection, shards []*Shard) *Index {
 	ix := &Index{col: col, shards: shards}
 	if len(shards) == 1 {

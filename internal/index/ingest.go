@@ -43,6 +43,8 @@ func (ix *Index) Extend(col *store.Collection, newDocs []*xmldoc.Document) *Inde
 
 // extend merges a normalized delta accumulator into a copy of the shard,
 // extending its range to [sh.lo, hi).
+//
+//seda:constructor
 func (sh *Shard) extend(delta *Shard, hi int) *Shard {
 	nsh := &Shard{
 		lo:          sh.lo,

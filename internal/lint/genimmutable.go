@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GenImmutable enforces the generation-sharing contract: values of types
+// annotated //seda:immutable (index shards, collections, dataguides,
+// graphs) are shared across engine generations after publish, so their
+// fields — and the maps and slices those fields reference — may only be
+// written inside functions annotated //seda:constructor (the Build /
+// Extend / Decode paths). Any other write is a diagnostic.
+//
+// Detected writes: assignments and op-assignments whose left side reaches
+// an immutable type through a field selector, IncDecStmt, and delete() on
+// a map reached through one. Writes through a *value copy* of an immutable
+// struct are only flagged when they pass through an index or dereference
+// (those still reach shared backing arrays or maps); a plain field store
+// on a local copy mutates nothing shared.
+var GenImmutable = &Analyzer{
+	Name: "genimmutable",
+	Doc: "flag writes to //seda:immutable types outside //seda:constructor functions\n\n" +
+		"Engine layers are immutable once a generation is published; every\n" +
+		"mutation must happen on a private value inside an annotated\n" +
+		"constructor (Build/Extend/Decode). See ARCHITECTURE.md.",
+	Run: runGenImmutable,
+}
+
+func runGenImmutable(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Function literals inside a constructor inherit its license:
+			// parallel builders do their writes from worker goroutines.
+			if pass.Ann.Constructors[funcKey(pass.Pkg.Path(), fn)] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						checkImmutableWrite(pass, lhs, "write to")
+					}
+				case *ast.IncDecStmt:
+					checkImmutableWrite(pass, st.X, "write to")
+				case *ast.CallExpr:
+					if id, ok := st.Fun.(*ast.Ident); ok && len(st.Args) > 0 {
+						if obj, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+							switch obj.Name() {
+							case "delete":
+								checkImmutableWrite(pass, st.Args[0], "delete from")
+							case "copy":
+								checkImmutableWrite(pass, st.Args[0], "copy into")
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkImmutableWrite walks the written expression outward-in and reports
+// if any step selects a field from an immutable type. indirect records
+// whether the write passed through an index or dereference before reaching
+// the selector — required for value-typed roots (see the analyzer doc).
+func checkImmutableWrite(pass *Pass, expr ast.Expr, verb string) {
+	indirect := false
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			indirect = true
+			expr = e.X
+		case *ast.StarExpr:
+			indirect = true
+			expr = e.X
+		case *ast.SelectorExpr:
+			recv := pass.TypesInfo.Types[e.X].Type
+			if recv == nil {
+				return
+			}
+			if key := typeKey(recv); key != "" && pass.Ann.ImmutableTypes[key] {
+				// Pointer receivers always alias the shared value; value
+				// receivers only leak shared state through indirection.
+				if isPointerish(recv) || indirect {
+					pass.Reportf(e.Pos(),
+						"%s field %s of //seda:immutable type %s outside a //seda:constructor function",
+						verb, e.Sel.Name, key)
+					return
+				}
+			}
+			// Keep descending: a.b.c may reach an immutable type at any
+			// link of the chain.
+			expr = e.X
+		default:
+			return
+		}
+	}
+}
+
+func isPointerish(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}

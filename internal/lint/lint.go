@@ -1,0 +1,272 @@
+// Package lint is sedalint's analysis framework: a small, dependency-free
+// re-implementation of the golang.org/x/tools/go/analysis surface (Analyzer,
+// Pass, diagnostics) plus the repo's annotation registry. The toolchain
+// image carries no module proxy access, so the framework is built directly
+// on go/ast, go/types, and `go list -export` (see load.go) instead of
+// x/tools — the analyzer API is kept shape-compatible so the analyzers
+// could be ported to a real multichecker by swapping this package out.
+//
+// # Annotation grammar
+//
+// The analyzers are driven by machine-readable comments in the code under
+// analysis rather than hard-coded type lists, so the same analyzers run
+// unchanged over the repo and over test fixtures:
+//
+//   - `//seda:immutable` on a type declaration: values of the type are
+//     shared across engine generations and must not be written after
+//     construction (analyzer genimmutable).
+//   - `//seda:constructor` on a function declaration: the function (and
+//     every function literal inside it) is a build/extend/decode path and
+//     may write //seda:immutable types.
+//   - `//seda:nilgated` on a type declaration: in a hot package, uses of a
+//     *T value must be dominated by a nil check (analyzer nilgate).
+//   - `//seda:hot` in a package comment: the package is on the query hot
+//     path; nilgate enforces the nil-gated zero-alloc contract here.
+//   - `//seda:codec` in a package comment: every function in the package
+//     decodes hostile input; stickyerr enforces error flow in all of them
+//     (functions named Decode*/decode* are in scope in every package).
+//   - `// guarded by <mu>` on a struct field: the field must only be
+//     accessed while the sibling mutex <mu> is held (analyzer lockguard).
+//   - `//seda:nolock: <reason>` on a function declaration: lockguard skips
+//     the function; the reason is mandatory and should say who holds the
+//     lock (e.g. "caller holds s.mu across the Figure-6 state machine").
+//     Functions whose name ends in "Locked" are exempt by convention.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one sedalint analysis and its entry point.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph help text shown by `sedalint help`.
+	Doc string
+	// Run performs the analysis on one package.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Ann is the module-wide annotation registry: it covers the package
+	// under analysis and every module-local dependency, so cross-package
+	// contracts (a server write to an immutable index type) resolve.
+	Ann *Annotations
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding, positioned in Fset coordinates.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Annotations is the harvested annotation registry. Keys are
+// "<pkgpath>.<TypeName>" for types, "<pkgpath>.<TypeName>.<Field>" for
+// fields, and "<pkgpath>.<FuncName>" / "<pkgpath>.<TypeName>.<Method>" for
+// functions; packages are keyed by import path.
+type Annotations struct {
+	// ImmutableTypes holds types annotated //seda:immutable.
+	ImmutableTypes map[string]bool
+	// NilgatedTypes holds types annotated //seda:nilgated.
+	NilgatedTypes map[string]bool
+	// Constructors holds functions annotated //seda:constructor.
+	Constructors map[string]bool
+	// GuardedFields maps a field key to the name of the sibling mutex
+	// field that guards it (from `// guarded by <mu>`).
+	GuardedFields map[string]string
+	// NoLock maps functions annotated //seda:nolock to their reason.
+	NoLock map[string]string
+	// HotPackages holds packages annotated //seda:hot.
+	HotPackages map[string]bool
+	// CodecPackages holds packages annotated //seda:codec.
+	CodecPackages map[string]bool
+}
+
+// NewAnnotations returns an empty registry.
+func NewAnnotations() *Annotations {
+	return &Annotations{
+		ImmutableTypes: make(map[string]bool),
+		NilgatedTypes:  make(map[string]bool),
+		Constructors:   make(map[string]bool),
+		GuardedFields:  make(map[string]string),
+		NoLock:         make(map[string]string),
+		HotPackages:    make(map[string]bool),
+		CodecPackages:  make(map[string]bool),
+	}
+}
+
+// guardedRe recognizes the field-guard annotation. It is deliberately
+// tolerant of prose ("Guarded by mu; read only when quiescent.") so the
+// doc comments the repo already carries count as annotations.
+var guardedRe = regexp.MustCompile(`(?i)\bguarded by (\w+)\b`)
+
+// noLockRe captures the mandatory reason of a //seda:nolock annotation.
+var noLockRe = regexp.MustCompile(`//seda:nolock:\s*(.+)`)
+
+func commentHas(g *ast.CommentGroup, directive string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") || strings.HasPrefix(text, directive+":") {
+			return true
+		}
+	}
+	return false
+}
+
+// HarvestFile records every annotation in f, a file of package pkgPath.
+// The harvest is purely syntactic so dependency packages can contribute
+// without being type-checked.
+func (a *Annotations) HarvestFile(pkgPath string, f *ast.File) {
+	if commentHas(f.Doc, "//seda:hot") {
+		a.HotPackages[pkgPath] = true
+	}
+	if commentHas(f.Doc, "//seda:codec") {
+		a.CodecPackages[pkgPath] = true
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			key := funcKey(pkgPath, d)
+			if commentHas(d.Doc, "//seda:constructor") {
+				a.Constructors[key] = true
+			}
+			if d.Doc != nil {
+				for _, c := range d.Doc.List {
+					if m := noLockRe.FindStringSubmatch(c.Text); m != nil {
+						a.NoLock[key] = strings.TrimSpace(m[1])
+					}
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(d.Specs) == 1 {
+					doc = d.Doc
+				}
+				key := pkgPath + "." + ts.Name.Name
+				if commentHas(doc, "//seda:immutable") {
+					a.ImmutableTypes[key] = true
+				}
+				if commentHas(doc, "//seda:nilgated") {
+					a.NilgatedTypes[key] = true
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					a.harvestFields(key, st)
+				}
+			}
+		}
+	}
+}
+
+func (a *Annotations) harvestFields(typeKey string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		guard := ""
+		for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+			if g == nil {
+				continue
+			}
+			if m := guardedRe.FindStringSubmatch(g.Text()); m != nil {
+				guard = m[1]
+			}
+		}
+		if guard == "" {
+			continue
+		}
+		for _, name := range field.Names {
+			a.GuardedFields[typeKey+"."+name.Name] = guard
+		}
+	}
+}
+
+// funcKey renders the registry key for a function declaration:
+// "pkg.Func" for functions, "pkg.Type.Method" for methods (pointer
+// receivers and type parameters are stripped).
+func funcKey(pkgPath string, d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return pkgPath + "." + d.Name.Name
+	}
+	return pkgPath + "." + recvTypeName(d.Recv.List[0].Type) + "." + d.Name.Name
+}
+
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// typeKey renders the registry key of a (possibly pointer) named type, or
+// "" when t is not a named type.
+func typeKey(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// SortDiagnostics orders ds by position then analyzer name.
+func SortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}

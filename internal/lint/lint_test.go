@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"seda/internal/lint"
+	"seda/internal/lint/linttest"
+)
+
+// Each analyzer is pinned by a fixture module under testdata: the fixture
+// contains both violations (asserted by // want comments) and clean idioms
+// that must stay silent, including every escape hatch.
+
+func TestGenImmutable(t *testing.T) {
+	linttest.Run(t, "testdata/genimmutable", lint.GenImmutable)
+}
+
+func TestNilGate(t *testing.T) {
+	linttest.Run(t, "testdata/nilgate", lint.NilGate)
+}
+
+func TestStickyErr(t *testing.T) {
+	linttest.Run(t, "testdata/stickyerr", lint.StickyErr)
+}
+
+func TestLockGuard(t *testing.T) {
+	linttest.Run(t, "testdata/lockguard", lint.LockGuard)
+}

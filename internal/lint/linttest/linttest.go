@@ -1,0 +1,129 @@
+// Package linttest runs sedalint analyzers over fixture modules and
+// checks their diagnostics against expectations written in the fixtures
+// themselves, in the style of golang.org/x/tools' analysistest:
+//
+//	s.published = true // want `write to field published`
+//
+// A fixture is a self-contained Go module under the calling package's
+// testdata directory (testdata is invisible to the go tool, so fixture
+// code is never built or vetted with the repo). Each `// want` comment
+// carries one or more quoted regular expressions; every one must match a
+// diagnostic reported on that line, and every diagnostic must be claimed
+// by a want. Fixtures use the same annotation grammar as the real tree —
+// the analyzers have no repo-specific names baked in — so a fixture both
+// documents and pins an analyzer's exact semantics.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"seda/internal/lint"
+)
+
+// wantRe captures the quoted expectation expressions of a want comment.
+// Both `"..."` and backquoted forms are accepted.
+var wantRe = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+
+var exprRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one unclaimed want regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// Run loads the fixture module at dir (relative to the test's working
+// directory), runs the analyzers over every package in it, and fails t on
+// any mismatch between diagnostics and want comments.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkgs, ann, err := lint.Load(abs, []string{"./..."})
+	if err != nil {
+		t.Fatalf("linttest: loading %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("linttest: no packages under %s", dir)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, ann, analyzers)
+	if err != nil {
+		t.Fatalf("linttest: running analyzers: %v", err)
+	}
+
+	fset := pkgs[0].Fset
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		if !claim(wants, fset.Position(d.Pos), d) {
+			t.Errorf("unexpected diagnostic %s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w.re != nil {
+			t.Errorf("%s:%d: no diagnostic matched want %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants parses every fixture file's comments for expectations.
+func collectWants(t *testing.T, pkgs []*lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(t, pkg.Fset, c)...)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
+	m := wantRe.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	var out []*expectation
+	for _, q := range exprRe.FindAllString(m[1], -1) {
+		expr, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: bad want expression %s: %v", pos, q, err)
+			return nil
+		}
+		re, err := regexp.Compile(expr)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %s: %v", pos, q, err)
+			return nil
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: q})
+	}
+	return out
+}
+
+// claim consumes the first unclaimed expectation matching the diagnostic.
+func claim(wants []*expectation, pos token.Position, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.re == nil || w.file != pos.Filename || w.line != pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) || w.re.MatchString(fmt.Sprintf("%s: %s", d.Analyzer, d.Message)) {
+			w.re = nil
+			return true
+		}
+	}
+	return false
+}

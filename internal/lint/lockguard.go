@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockGuard enforces mutex ownership comments: a struct field annotated
+// `// guarded by <mu>` may only be read or written while the sibling
+// mutex <mu> of the same object is held in the enclosing function.
+// Holding is tracked syntactically — Lock/RLock on the matching
+// `<base>.<mu>` expression dominates the access, an Unlock/RUnlock ends
+// it (a deferred unlock holds to function end), and early-return branches
+// that unlock before returning do not leak their unlock into the main
+// path.
+//
+// Two escape hatches keep the analyzer honest instead of noisy:
+//
+//   - functions whose name ends in "Locked" follow the repo convention
+//     that the caller already holds the lock;
+//   - `//seda:nolock: <reason>` on a function documents any other
+//     transfer of lock ownership (the reason is mandatory).
+//
+// Function literals are analyzed with an empty held set: a closure may
+// run after the enclosing critical section ended, so it must take the
+// lock itself (or its enclosing function carries //seda:nolock). Two
+// refinements keep that rule from lying about evaluation order: the
+// receiver and arguments of a `go`/`defer` call are evaluated at the
+// statement, so they are checked against the current held set (only a
+// literal's body escapes), and closures passed to the sort package
+// (sort.Slice and friends) run synchronously in the caller, so their
+// bodies inherit the held set.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "require `guarded by` fields to be accessed only under their mutex\n\n" +
+		"Registry, session, cache, and dictionary state document which\n" +
+		"mutex owns them; every access outside a Lock/Unlock span (or a\n" +
+		"*Locked / //seda:nolock function) is a diagnostic.",
+	Run: runLockGuard,
+}
+
+func runLockGuard(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			key := funcKey(pass.Pkg.Path(), fn)
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			if _, ok := pass.Ann.NoLock[key]; ok {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			w.walkStmts(fn.Body.List, make(heldSet))
+		}
+	}
+	return nil
+}
+
+// heldSet is the set of held mutex expressions ("m.mu"), by rendered
+// string.
+type heldSet map[string]bool
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k := range h {
+		out[k] = true
+	}
+	return out
+}
+
+func (h heldSet) intersect(o heldSet) heldSet {
+	out := make(heldSet)
+	for k := range h {
+		if o[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+// walkStmts threads the held set through a statement list and returns the
+// set at its end.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held heldSet) heldSet {
+	for _, st := range stmts {
+		held = w.walkStmt(st, held)
+	}
+	return held
+}
+
+func (w *lockWalker) walkStmt(st ast.Stmt, held heldSet) heldSet {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if mu, op, ok := lockOp(s.X); ok {
+			w.checkExprs(s.X, held) // receiver chain of the Lock call itself
+			switch op {
+			case "Lock", "RLock":
+				held = held.clone()
+				held[mu] = true
+			case "Unlock", "RUnlock":
+				held = held.clone()
+				delete(held, mu)
+			}
+			return held
+		}
+		w.checkExprs(s.X, held)
+		return held
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the mutex held to function end. For any
+		// other deferred call the receiver and arguments are evaluated at
+		// the defer statement (under the current held set) while a literal
+		// body runs after the function released its locks (empty set).
+		if _, op, ok := lockOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return held
+		}
+		w.checkCall(s.Call, held, make(heldSet))
+		return held
+	case *ast.GoStmt:
+		// Same split as defer: the call's operands are evaluated here and
+		// now, only the spawned body runs without our locks.
+		w.checkCall(s.Call, held, make(heldSet))
+		return held
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		w.checkExprs(s.Cond, held)
+		thenOut := w.walkStmts(s.Body.List, held.clone())
+		if s.Else == nil {
+			if terminates(s.Body) {
+				return held // the branch left the function; its lock state dies with it
+			}
+			return held.intersect(thenOut)
+		}
+		var elseOut heldSet
+		elseTerminates := false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseOut = w.walkStmts(e.List, held.clone())
+			elseTerminates = terminates(e)
+		case *ast.IfStmt:
+			elseOut = w.walkStmt(e, held.clone())
+		}
+		switch {
+		case terminates(s.Body) && elseTerminates:
+			return held // unreachable after the if; keep the entry state
+		case terminates(s.Body):
+			return elseOut
+		case elseTerminates:
+			return thenOut
+		default:
+			return thenOut.intersect(elseOut)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkExprs(s.Cond, held)
+		}
+		bodyOut := w.walkStmts(s.Body.List, held.clone())
+		if s.Post != nil {
+			w.walkStmt(s.Post, bodyOut)
+		}
+		return held.intersect(bodyOut)
+	case *ast.RangeStmt:
+		w.checkExprs(s.X, held)
+		bodyOut := w.walkStmts(s.Body.List, held.clone())
+		return held.intersect(bodyOut)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExprs(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.checkExprs(e, held)
+				}
+				w.walkStmts(cc.Body, held.clone())
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		w.checkStmtExprs(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, held.clone())
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.checkStmtExprs(cc.Comm, held)
+				}
+				w.walkStmts(cc.Body, held.clone())
+			}
+		}
+		return held
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	default:
+		w.checkStmtExprs(st, held)
+		return held
+	}
+}
+
+// checkStmtExprs checks the expressions of a simple statement.
+func (w *lockWalker) checkStmtExprs(st ast.Stmt, held heldSet) {
+	ast.Inspect(st, w.inspector(held))
+}
+
+// checkExprs checks every guarded-field access inside e against held.
+func (w *lockWalker) checkExprs(e ast.Expr, held heldSet) {
+	ast.Inspect(e, w.inspector(held))
+}
+
+// inspector returns the shared ast.Inspect callback: guarded selectors are
+// checked against held, function literals against litHeld (empty unless
+// the literal is a synchronous sort callback).
+func (w *lockWalker) inspector(held heldSet) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if w.isSyncCallback(x) {
+				w.checkCall(x, held, held)
+				return false
+			}
+		case *ast.FuncLit:
+			w.walkStmts(x.Body.List, make(heldSet))
+			return false
+		case *ast.SelectorExpr:
+			w.checkAccess(x, held)
+		}
+		return true
+	}
+}
+
+// checkCall checks a call's operands against held while function-literal
+// bodies among them run against litHeld.
+func (w *lockWalker) checkCall(call *ast.CallExpr, held, litHeld heldSet) {
+	for _, e := range append([]ast.Expr{call.Fun}, call.Args...) {
+		if lit, ok := e.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, litHeld.clone())
+			continue
+		}
+		w.checkExprs(e, held)
+	}
+}
+
+// isSyncCallback reports whether the call invokes its closure arguments
+// synchronously in the calling goroutine, so they inherit the held set.
+// The sort package's comparator/swapper callbacks are the one stdlib shape
+// the repo uses inside critical sections.
+func (w *lockWalker) isSyncCallback(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := w.pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sort"
+}
+
+// checkAccess reports a guarded-field access with its mutex not held.
+func (w *lockWalker) checkAccess(sel *ast.SelectorExpr, held heldSet) {
+	selInfo, ok := w.pass.TypesInfo.Selections[sel]
+	if !ok || selInfo.Kind() != types.FieldVal {
+		return
+	}
+	ownerKey := typeKey(selInfo.Recv())
+	if ownerKey == "" {
+		return
+	}
+	guard, guarded := w.pass.Ann.GuardedFields[ownerKey+"."+sel.Sel.Name]
+	if !guarded {
+		return
+	}
+	need := exprString(sel.X) + "." + guard
+	if held[need] {
+		return
+	}
+	w.pass.Reportf(sel.Pos(),
+		"access to %s.%s (guarded by %s) without holding %s (hold it, name the function *Locked, or annotate //seda:nolock: <reason>)",
+		exprString(sel.X), sel.Sel.Name, guard, need)
+}
+
+// lockOp recognizes `<base>.<mu>.Lock()` / RLock / Unlock / RUnlock calls
+// and returns the rendered "<base>.<mu>" expression and the operation.
+func lockOp(e ast.Expr) (mu, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return exprString(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}

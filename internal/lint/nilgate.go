@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilGate preserves the zero-alloc untraced contract (pinned by the
+// AllocsPerRun test in internal/topk): in packages annotated //seda:hot,
+// a value of a pointer type annotated //seda:nilgated (*topk.Metrics,
+// *topk.Trace) may only be dereferenced — field read or method call —
+// under a dominating nil check of that same expression. The accepted
+// idioms are exactly the ones the hot paths use:
+//
+//	if m := opts.Metrics; m != nil { m.observe(...) }
+//	if opts.Trace != nil { opts.Trace.Waves = ... }
+//	if tr == nil { return }; tr.KthScore = ...
+//
+// Methods declared *on* a nilgated type are exempt: the gate lives at
+// their call sites (and nil-receiver methods may deliberately self-check).
+var NilGate = &Analyzer{
+	Name: "nilgate",
+	Doc: "require nil checks before using //seda:nilgated values in //seda:hot packages\n\n" +
+		"The disabled (nil) observability path must stay allocation- and\n" +
+		"work-free; every dereference of a nilgated handle in a hot package\n" +
+		"needs a dominating nil check.",
+	Run: runNilGate,
+}
+
+func runNilGate(pass *Pass) error {
+	if !pass.Ann.HotPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			g := &nilGateWalker{pass: pass}
+			// The receiver of a method on a nilgated type is the caller's
+			// problem: mark it known-non-nil for the whole body.
+			if fn.Recv != nil && len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+				if recvType := pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]; recvType != nil {
+					if key := typeKey(recvType.Type()); key != "" && pass.Ann.NilgatedTypes[key] {
+						g.walkStmts(fn.Body.List, set(nil, fn.Recv.List[0].Names[0].Name))
+						continue
+					}
+				}
+			}
+			g.walkStmts(fn.Body.List, nil)
+		}
+	}
+	return nil
+}
+
+// nilGateWalker tracks, per lexical region, the set of expression strings
+// proven non-nil by a dominating check.
+type nilGateWalker struct {
+	pass *Pass
+}
+
+func set(s map[string]bool, k string) map[string]bool {
+	out := make(map[string]bool, len(s)+1)
+	for key := range s {
+		out[key] = true
+	}
+	out[k] = true
+	return out
+}
+
+// guarded reports whether e has a nilgated pointer type.
+func (g *nilGateWalker) guarded(e ast.Expr) bool {
+	tv, ok := g.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); !isPtr {
+		return false
+	}
+	key := typeKey(tv.Type)
+	return key != "" && g.pass.Ann.NilgatedTypes[key]
+}
+
+// walkStmts processes a statement list with the inherited non-nil set;
+// returned is the (possibly extended) set for the caller's continuation —
+// an `if x == nil { return }` extends the tail of the enclosing block.
+func (g *nilGateWalker) walkStmts(stmts []ast.Stmt, nonNil map[string]bool) map[string]bool {
+	for _, st := range stmts {
+		nonNil = g.walkStmt(st, nonNil)
+	}
+	return nonNil
+}
+
+func (g *nilGateWalker) walkStmt(st ast.Stmt, nonNil map[string]bool) map[string]bool {
+	switch s := st.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			g.checkExprStmtShallow(s.Init, nonNil)
+		}
+		g.checkExpr(s.Cond, nonNil, true)
+		thenSet := nonNil
+		for _, e := range nilCheckedExprs(s.Cond, true) {
+			thenSet = set(thenSet, exprString(e))
+		}
+		g.walkStmts(s.Body.List, thenSet)
+		if s.Else != nil {
+			elseSet := nonNil
+			for _, e := range nilCheckedExprs(s.Cond, false) {
+				elseSet = set(elseSet, exprString(e))
+			}
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				g.walkStmts(e.List, elseSet)
+			case *ast.IfStmt:
+				g.walkStmt(e, elseSet)
+			}
+		}
+		// `if x == nil { return }` proves x for the rest of the block.
+		if terminates(s.Body) && s.Else == nil {
+			for _, e := range nilCheckedExprs(s.Cond, false) {
+				nonNil = set(nonNil, exprString(e))
+			}
+		}
+		return nonNil
+	case *ast.BlockStmt:
+		g.walkStmts(s.List, nonNil)
+		return nonNil
+	case *ast.ForStmt:
+		if s.Init != nil {
+			nonNil = g.walkStmt(s.Init, nonNil)
+		}
+		if s.Cond != nil {
+			g.checkExpr(s.Cond, nonNil, true)
+		}
+		if s.Post != nil {
+			g.checkExprStmtShallow(s.Post, nonNil)
+		}
+		g.walkStmts(s.Body.List, nonNil)
+		return nonNil
+	case *ast.RangeStmt:
+		g.checkExpr(s.X, nonNil, false)
+		g.walkStmts(s.Body.List, nonNil)
+		return nonNil
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			nonNil = g.walkStmt(s.Init, nonNil)
+		}
+		if s.Tag != nil {
+			g.checkExpr(s.Tag, nonNil, false)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					g.checkExpr(e, nonNil, false)
+				}
+				g.walkStmts(cc.Body, nonNil)
+			}
+		}
+		return nonNil
+	case *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt, *ast.GoStmt, *ast.DeferStmt:
+		// Rare in hot paths; fall back to a conservative deep check.
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				g.checkOne(e, nonNil)
+			}
+			return true
+		})
+		return nonNil
+	default:
+		g.checkExprStmtShallow(st, nonNil)
+		// Assignments to a tracked expression invalidate its proof.
+		if as, ok := st.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				delete(nonNil, exprString(lhs))
+			}
+		}
+		return nonNil
+	}
+}
+
+// checkExprStmtShallow checks every expression in a simple statement.
+func (g *nilGateWalker) checkExprStmtShallow(st ast.Stmt, nonNil map[string]bool) {
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			// A closure runs later; its body gets a fresh walk with no
+			// inherited proofs (the checked value may change by then —
+			// hot-path closures re-check).
+			g.walkStmts(e.Body.List, nil)
+			return false
+		case ast.Expr:
+			g.checkOne(e, nonNil)
+		}
+		return true
+	})
+}
+
+// checkExpr checks e and, when cond is a condition, skips the nil
+// comparisons themselves (comparing a handle to nil is the gate, not a
+// dereference).
+func (g *nilGateWalker) checkExpr(e ast.Expr, nonNil map[string]bool, cond bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if x, ok := n.(ast.Expr); ok {
+			g.checkOne(x, nonNil)
+		}
+		return true
+	})
+}
+
+// checkOne reports a dereference of an unproven nilgated value. Only
+// selector uses dereference; passing, comparing, or storing the pointer
+// value is always safe.
+func (g *nilGateWalker) checkOne(e ast.Expr, nonNil map[string]bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if !g.guarded(sel.X) {
+		return
+	}
+	// Selecting a *method value* through a package-qualified identifier
+	// (pkg.Func) never reaches here: pkg idents have no type.
+	if nonNil[exprString(sel.X)] {
+		return
+	}
+	g.pass.Reportf(sel.Pos(),
+		"use of //seda:nilgated value %s without a dominating nil check (hot-path contract: nil disables instrumentation at zero cost)",
+		exprString(sel.X))
+}
+
+// nilCheckedExprs extracts the expressions proven non-nil when cond
+// evaluates to the given branch. then=true: `x != nil` and `a != nil &&
+// b != nil`. then=false (else branch / negated): `x == nil`.
+func nilCheckedExprs(cond ast.Expr, then bool) []ast.Expr {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return nilCheckedExprs(c.X, then)
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.NEQ, token.EQL:
+			want := token.NEQ
+			if !then {
+				want = token.EQL
+			}
+			if c.Op != want {
+				return nil
+			}
+			if isNilIdent(c.Y) {
+				return []ast.Expr{c.X}
+			}
+			if isNilIdent(c.X) {
+				return []ast.Expr{c.Y}
+			}
+		case token.LAND:
+			if then {
+				return append(nilCheckedExprs(c.X, true), nilCheckedExprs(c.Y, true)...)
+			}
+		case token.LOR:
+			if !then {
+				// !(a == nil || b == nil) proves both.
+				return append(nilCheckedExprs(c.X, false), nilCheckedExprs(c.Y, false)...)
+			}
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return nilCheckedExprs(c.X, !then)
+		}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block always transfers control out
+// (return, panic, continue, break, goto) — the early-return gate shape.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[" + exprString(x.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	case *ast.BasicLit:
+		return x.Value
+	default:
+		return "?"
+	}
+}

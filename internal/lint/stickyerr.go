@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// StickyErr enforces the snapcodec error-flow contract: inside packages
+// annotated //seda:codec and inside every function named Decode*/decode*
+// (the hostile-input decoding paths), an error produced by a call must
+// flow somewhere — be assigned to a non-blank variable, returned, or
+// checked — never silently discarded. Raw io.Reader reads are flagged
+// outright: decoders must consume input through the error-sticky
+// snapcodec.Reader primitives so one truncation check covers the whole
+// structure.
+//
+// Diagnostics:
+//   - a call whose results include an error used as a bare statement
+//     (including go/defer) — the error vanishes;
+//   - an assignment that lands an error result in the blank identifier;
+//   - a call to io.Reader.Read / io.ReadFull / io.ReadAll inside a
+//     decoding function.
+//
+// Methods on *strings.Builder and *bytes.Buffer are exempt — their error
+// results are documented to always be nil.
+var StickyErr = &Analyzer{
+	Name: "stickyerr",
+	Doc: "require decode-path errors to flow to the sticky error or the caller\n\n" +
+		"In //seda:codec packages and Decode* functions every error must be\n" +
+		"consumed; hostile input may fail at any primitive and a dropped\n" +
+		"error turns truncation into silent corruption.",
+	Run: runStickyErr,
+}
+
+func runStickyErr(pass *Pass) error {
+	codecPkg := pass.Ann.CodecPackages[pass.Pkg.Path()]
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			inScope := codecPkg ||
+				strings.HasPrefix(name, "Decode") || strings.HasPrefix(name, "decode")
+			if !inScope {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := st.X.(*ast.CallExpr); ok {
+						checkDiscardedCall(pass, call)
+					}
+				case *ast.GoStmt:
+					checkDiscardedCall(pass, st.Call)
+				case *ast.DeferStmt:
+					checkDiscardedCall(pass, st.Call)
+				case *ast.AssignStmt:
+					checkBlankError(pass, st)
+				case *ast.CallExpr:
+					checkRawRead(pass, st)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// errorResultIndex returns the index of the first error in the call's
+// result tuple, or -1.
+func errorResultIndex(pass *Pass, call *ast.CallExpr) int {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return -1
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return i
+			}
+		}
+		return -1
+	}
+	if isErrorType(tv.Type) {
+		return 0
+	}
+	return -1
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr) {
+	if errorResultIndex(pass, call) < 0 || exemptNeverFails(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"decode path discards the error returned by %s (must flow to the sticky error or be returned)",
+		callName(call))
+}
+
+func checkBlankError(pass *Pass, st *ast.AssignStmt) {
+	// Multi-value form: x, _ := f() — locate the error position.
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok || exemptNeverFails(pass, call) {
+			return
+		}
+		i := errorResultIndex(pass, call)
+		if i < 0 || i >= len(st.Lhs) {
+			return
+		}
+		if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(st.Pos(),
+				"decode path assigns the error returned by %s to the blank identifier",
+				callName(call))
+		}
+		return
+	}
+	// Parallel form: _ = f().
+	for i, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || i >= len(st.Rhs) {
+			continue
+		}
+		call, ok := st.Rhs[i].(*ast.CallExpr)
+		if !ok || exemptNeverFails(pass, call) {
+			continue
+		}
+		if errorResultIndex(pass, call) >= 0 {
+			pass.Reportf(st.Pos(),
+				"decode path assigns the error returned by %s to the blank identifier",
+				callName(call))
+		}
+	}
+}
+
+// checkRawRead flags direct io reads inside decoding functions.
+func checkRawRead(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// io.ReadFull / io.ReadAll.
+	if pkgID, ok := sel.X.(*ast.Ident); ok {
+		if obj, isPkg := pass.TypesInfo.Uses[pkgID].(*types.PkgName); isPkg && obj.Imported().Path() == "io" {
+			if sel.Sel.Name == "ReadFull" || sel.Sel.Name == "ReadAll" {
+				pass.Reportf(call.Pos(),
+					"raw io.%s in a decode path: consume input through the error-sticky snapcodec.Reader primitives",
+					sel.Sel.Name)
+			}
+			return
+		}
+	}
+	// r.Read(buf) where r's method set satisfies io.Reader via an interface
+	// or a concrete reader type.
+	if sel.Sel.Name != "Read" {
+		return
+	}
+	selInfo, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return
+	}
+	sig, ok := selInfo.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return
+	}
+	slice, ok := sig.Params().At(0).Type().(*types.Slice)
+	if !ok {
+		return
+	}
+	if basic, ok := slice.Elem().(*types.Basic); !ok || basic.Kind() != types.Byte {
+		return
+	}
+	if !isErrorType(sig.Results().At(1).Type()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"raw io.Reader read in a decode path: consume input through the error-sticky snapcodec.Reader primitives")
+}
+
+// exemptNeverFails whitelists the stdlib writers whose error results are
+// documented to always be nil.
+func exemptNeverFails(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch typeKey(tv.Type) {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return exprString(f)
+	default:
+		return "call"
+	}
+}

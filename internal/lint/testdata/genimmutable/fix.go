@@ -1,0 +1,48 @@
+// Package genimmutablefix exercises the genimmutable analyzer: writes to
+// //seda:immutable types are diagnostics unless the enclosing function is
+// a //seda:constructor.
+package genimmutablefix
+
+// Shard is a published, generation-shared structure.
+//
+//seda:immutable
+type Shard struct {
+	terms    map[string][]int
+	postings []int
+	lo, hi   int
+}
+
+// Wrapper embeds a shard pointer; writes through the chain are caught at
+// the immutable link.
+type Wrapper struct {
+	s *Shard
+	n int
+}
+
+// New builds a shard; construction-phase writes are licensed.
+//
+//seda:constructor
+func New() *Shard {
+	s := &Shard{terms: make(map[string][]int)}
+	s.lo = 1 // constructor writes are fine
+	s.terms["a"] = append(s.terms["a"], 1)
+	fill := func() { s.hi = 2 } // closures inherit the license
+	fill()
+	return s
+}
+
+func mutate(s *Shard, w *Wrapper, v Shard) {
+	s.lo = 3                           // want `write to field lo of //seda:immutable type`
+	s.terms["b"] = nil                 // want `write to field terms`
+	s.postings = append(s.postings, 1) // want `write to field postings`
+	s.hi++                             // want `write to field hi`
+	delete(s.terms, "a")               // want `delete from field terms`
+	w.s.lo = 4                         // want `write to field lo`
+	w.n = 5                            // Wrapper itself is not immutable
+	v.lo = 6                           // value copy: the shared shard is unharmed
+	v.postings[0] = 7                  // want `write to field postings`
+	local := Shard{terms: map[string][]int{
+		"seed": nil, // composite literals construct, not mutate
+	}}
+	_ = local
+}

@@ -1,0 +1,3 @@
+module genimmutablefix
+
+go 1.24

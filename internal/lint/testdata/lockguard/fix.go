@@ -1,0 +1,88 @@
+// Package lockguardfix exercises the lockguard analyzer: fields annotated
+// `guarded by <mu>` may only be touched while that sibling mutex is held.
+package lockguardfix
+
+import (
+	"sort"
+	"sync"
+)
+
+// Table is a locked registry in the repo's shape.
+type Table struct {
+	mu      sync.Mutex
+	entries map[string]int // guarded by mu
+	order   []string       // guarded by mu
+	hits    int            // guarded by mu
+}
+
+func (t *Table) get(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hits++ // deferred unlock holds to function end
+	return t.entries[k]
+}
+
+func (t *Table) bare(k string) int {
+	return t.entries[k] // want `access to t.entries \(guarded by mu\) without holding t.mu`
+}
+
+func (t *Table) window(k string) int {
+	t.mu.Lock()
+	v := t.entries[k]
+	t.mu.Unlock()
+	t.hits++ // want `access to t.hits`
+	return v
+}
+
+func (t *Table) earlyReturn(k string) int {
+	t.mu.Lock()
+	if v, ok := t.entries[k]; ok {
+		t.mu.Unlock()
+		return v
+	}
+	t.hits++ // the unlocking branch returned; still held here
+	t.mu.Unlock()
+	return 0
+}
+
+func (t *Table) branches(cold bool) {
+	t.mu.Lock()
+	if cold {
+		t.mu.Unlock()
+	}
+	t.hits++ // want `access to t.hits` (held on only one branch)
+}
+
+// sortLocked is exempt by the *Locked naming convention.
+func (t *Table) sortLocked() {
+	sort.Slice(t.order, func(i, j int) bool { return t.order[i] < t.order[j] })
+}
+
+func (t *Table) sorted() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// sort closures run synchronously: the held set carries in.
+	sort.Slice(t.order, func(i, j int) bool { return t.order[i] < t.order[j] })
+}
+
+func (t *Table) spawn() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	use(t.hits) // a go statement evaluates arguments immediately: fine
+	go use(t.hits)
+	go func() {
+		t.hits++ // want `access to t.hits` (the goroutine runs unlocked)
+	}()
+}
+
+// fresh builds an unshared Table; the analyzer still flags it, and the
+// annotation records why that is safe.
+//
+//seda:nolock: the table is private to this constructor until returned
+func fresh() *Table {
+	t := &Table{entries: make(map[string]int)}
+	t.entries["seed"] = 1
+	return t
+}
+
+func use(int) {}

@@ -1,0 +1,3 @@
+module lockguardfix
+
+go 1.24

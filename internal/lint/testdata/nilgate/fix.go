@@ -1,0 +1,59 @@
+// Package nilgatefix exercises the nilgate analyzer: in a //seda:hot
+// package, every use of a pointer to a //seda:nilgated type must be
+// dominated by a nil check, so the disabled path stays free.
+//
+//seda:hot
+package nilgatefix
+
+// Metrics is optional instrumentation; nil disables it.
+//
+//seda:nilgated
+type Metrics struct {
+	Searches int
+	Waves    int
+}
+
+// Inc is a method on the gated type itself: the receiver was gated at the
+// call site, so it may use itself freely.
+func (m *Metrics) Inc() { m.Searches++ }
+
+// Options carries an optional metrics handle.
+type Options struct {
+	Metrics *Metrics
+}
+
+func ungated(m *Metrics, opts Options) {
+	m.Searches++           // want `use of //seda:nilgated value m without a dominating nil check`
+	_ = opts.Metrics.Waves // want `use of //seda:nilgated value opts.Metrics`
+}
+
+func gated(m *Metrics, opts Options) {
+	if m != nil {
+		m.Searches++ // gated: fine
+	}
+	if mm := opts.Metrics; mm != nil {
+		mm.Waves++ // the repo's assign-and-test idiom
+	}
+	if m == nil {
+		return
+	}
+	m.Waves++ // early-return gate extends to the tail
+}
+
+func regated(m *Metrics) {
+	if m != nil {
+		m.Inc()
+	}
+	m = nil
+	_ = m.Searches // want `use of //seda:nilgated value m` (reassignment kills the proof)
+}
+
+func closures(m *Metrics) {
+	if m == nil {
+		return
+	}
+	f := func() {
+		m.Waves++ // want `use of //seda:nilgated value m` (a closure may run after the gate)
+	}
+	f()
+}

@@ -1,0 +1,3 @@
+module nilgatefix
+
+go 1.24

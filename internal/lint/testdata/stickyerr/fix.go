@@ -1,0 +1,49 @@
+// Package stickyerrfix exercises the stickyerr analyzer: in a
+// //seda:codec package (and in any Decode* function elsewhere), every
+// error must reach the sticky error or a return, and input is consumed
+// through sticky primitives, not raw io.Reader calls.
+//
+//seda:codec
+package stickyerrfix
+
+import (
+	"bytes"
+	"io"
+	"strings"
+)
+
+// Reader is a stand-in for the error-sticky decode reader.
+type Reader struct {
+	err error
+}
+
+// Err returns the sticky error.
+func (r *Reader) Err() error { return r.err }
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func discards(r io.Reader, buf []byte) {
+	fallible()       // want `discards the error returned by fallible`
+	go fallible()    // want `discards the error returned by fallible`
+	defer fallible() // want `discards the error returned by fallible`
+	_ = fallible()   // want `assigns the error returned by fallible to the blank identifier`
+	n, _ := pair()   // want `assigns the error returned by pair to the blank identifier`
+	_ = n
+	io.ReadFull(r, buf) // want `raw io.ReadFull in a decode path` `discards the error returned by io.ReadFull`
+	r.Read(buf)         // want `raw io.Reader read in a decode path` `discards the error returned by r.Read`
+}
+
+func flows(r io.Reader, buf []byte) error {
+	if err := fallible(); err != nil { // checked: fine
+		return err
+	}
+	n, err := pair() // captured: fine
+	_ = n
+	var sb strings.Builder
+	sb.WriteString("x") // strings.Builder never fails: exempt
+	var bb bytes.Buffer
+	bb.WriteByte('y') // bytes.Buffer writes never fail: exempt
+	return err
+}

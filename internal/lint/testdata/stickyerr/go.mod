@@ -1,0 +1,3 @@
+module stickyerrfix
+
+go 1.24

@@ -1,0 +1,14 @@
+// Package plain has no //seda:codec directive: only Decode* functions are
+// in stickyerr's scope here.
+package plain
+
+func fallible() error { return nil }
+
+// DecodeThing is scoped by its name.
+func DecodeThing() {
+	fallible() // want `discards the error returned by fallible`
+}
+
+func helper() {
+	fallible() // out of scope: not a decode path
+}

@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPromParse feeds arbitrary text to the Prometheus exposition parser.
+// It must never panic; families it does return must carry the names and
+// sample counts the scrape-diff tooling relies on.
+func FuzzPromParse(f *testing.F) {
+	f.Add("# HELP seda_up Whether the server is up.\n# TYPE seda_up gauge\nseda_up 1\n")
+	f.Add("# TYPE seda_topk_searches_total counter\nseda_topk_searches_total 42\n")
+	f.Add("seda_latency_bucket{le=\"0.5\"} 7\nseda_latency_bucket{le=\"+Inf\"} 9\n")
+	f.Add("bare_metric_no_meta 3.14\n")
+	f.Add("# HELP broken\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		fams, err := ParseText(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		for _, fam := range fams {
+			if fam.Name == "" {
+				t.Fatalf("accepted family with empty name: %+v", fam)
+			}
+		}
+	})
+}

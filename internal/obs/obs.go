@@ -188,8 +188,8 @@ type family struct {
 	labels []string // label names for vec families
 
 	mu       sync.RWMutex
-	children map[string]*child
-	order    []string // child keys in first-observation order
+	children map[string]*child // guarded by mu
+	order    []string          // guarded by mu; child keys in first-observation order
 
 	// Func-backed families are sampled at scrape time.
 	counterFn func() uint64
@@ -214,8 +214,8 @@ type child struct {
 // operational condition.
 type Registry struct {
 	mu     sync.Mutex
-	fams   []*family
-	byName map[string]*family
+	fams   []*family          // guarded by mu
+	byName map[string]*family // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -261,6 +261,12 @@ func validLabelName(s string) bool {
 	return true
 }
 
+// register validates and publishes a family. Plain (unlabeled) families
+// arrive with their single child already in place so the family is
+// complete the moment it becomes reachable; only vec families start with
+// nil children, materialized on first With.
+//
+//seda:nolock: f is construction-private until published in byName/fams below
 func (r *Registry) register(f *family) *family {
 	if !validMetricName(f.name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
@@ -285,10 +291,9 @@ func (r *Registry) register(f *family) *family {
 
 // NewCounter registers and returns a plain counter.
 func (r *Registry) NewCounter(name, help string) *Counter {
-	f := r.register(&family{name: name, help: help, kind: kindCounter})
 	c := &Counter{}
-	f.children[""] = &child{counter: c}
-	f.order = []string{""}
+	r.register(&family{name: name, help: help, kind: kindCounter,
+		children: map[string]*child{"": {counter: c}}, order: []string{""}})
 	return c
 }
 
@@ -310,10 +315,9 @@ func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVe
 
 // NewGauge registers and returns a plain gauge.
 func (r *Registry) NewGauge(name, help string) *Gauge {
-	f := r.register(&family{name: name, help: help, kind: kindGauge})
 	g := &Gauge{}
-	f.children[""] = &child{gauge: g}
-	f.order = []string{""}
+	r.register(&family{name: name, help: help, kind: kindGauge,
+		children: map[string]*child{"": {gauge: g}}, order: []string{""}})
 	return g
 }
 
@@ -348,10 +352,9 @@ func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram
 	if buckets == nil {
 		buckets = DefBuckets
 	}
-	f := r.register(&family{name: name, help: help, kind: kindHist, buckets: buckets})
 	h := newHistogram(buckets)
-	f.children[""] = &child{hist: h}
-	f.order = []string{""}
+	r.register(&family{name: name, help: help, kind: kindHist, buckets: buckets,
+		children: map[string]*child{"": {hist: h}}, order: []string{""}})
 	return h
 }
 

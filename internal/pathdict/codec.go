@@ -35,6 +35,8 @@ func (d *Dict) Encode(w *snapcodec.Writer) {
 // Decode reads a dictionary previously written by Encode. Ids are
 // preserved: the i-th interned tag/path of the encoder is the i-th of the
 // decoded dictionary.
+//
+//seda:nolock: d is freshly constructed here and unshared until returned
 func Decode(r *snapcodec.Reader) (*Dict, error) {
 	if v := r.Int(); r.Err() == nil && v != codecVersion {
 		return nil, fmt.Errorf("pathdict: unsupported codec version %d", v)

@@ -37,11 +37,11 @@ type pathNode struct {
 // not usable; call New.
 type Dict struct {
 	mu       sync.RWMutex
-	tags     map[string]TagID
-	tagNames []string // index = TagID; [0] is a placeholder
-	children map[PathID]map[TagID]PathID
-	nodes    []pathNode // index = PathID; [0] is the virtual root (depth 0)
-	strCache []string   // lazily filled full strings, index = PathID
+	tags     map[string]TagID            // guarded by mu
+	tagNames []string                    // guarded by mu; index = TagID; [0] is a placeholder
+	children map[PathID]map[TagID]PathID // guarded by mu
+	nodes    []pathNode                  // guarded by mu; index = PathID; [0] is the virtual root (depth 0)
+	strCache []string                    // guarded by mu; lazily filled full strings, index = PathID
 }
 
 // New returns an empty dictionary.
@@ -256,7 +256,7 @@ func (d *Dict) CommonPrefix(a, b PathID) PathID {
 	if int(a) >= len(d.nodes) || int(b) >= len(d.nodes) {
 		return InvalidPath
 	}
-	da, db := depthOf(d, a), depthOf(d, b)
+	da, db := depthOfLocked(d, a), depthOfLocked(d, b)
 	for da > db {
 		a = d.nodes[a].parent
 		da--
@@ -336,7 +336,7 @@ func (d *Dict) AllPaths() []PathID {
 	return out
 }
 
-func depthOf(d *Dict, id PathID) int32 {
+func depthOfLocked(d *Dict, id PathID) int32 {
 	if id == InvalidPath {
 		return 0
 	}

@@ -1,0 +1,32 @@
+package query
+
+import (
+	"testing"
+)
+
+// FuzzParseQuery feeds arbitrary strings to the query grammar. Parse must
+// never panic, and any query it accepts must render back to a string that
+// reparses to the same rendering — the round trip the session tier's
+// cache keys and /debug endpoints depend on.
+func FuzzParseQuery(f *testing.F) {
+	f.Add("(trade_country, germany) AND (percentage, *)")
+	f.Add("(name, france) OR (religions, muslim)")
+	f.Add("(a, b) AND (c, d) OR (e, *)")
+	f.Add("( , )")
+	f.Add("unbalanced (paren")
+	f.Add("(path/with/steps, value with spaces)")
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering %q of accepted query %q does not reparse: %v", rendered, s, err)
+		}
+		if got := q2.String(); got != rendered {
+			t.Fatalf("render/reparse not stable: %q -> %q", rendered, got)
+		}
+	})
+}

@@ -27,13 +27,13 @@ import (
 type resultCache struct {
 	mu     sync.Mutex
 	max    int
-	ll     *list.List // front = most recently used
-	items  map[string]*list.Element
-	hits   uint64
-	misses uint64
+	ll     *list.List               // guarded by mu; front = most recently used
+	items  map[string]*list.Element // guarded by mu
+	hits   uint64                   // guarded by mu
+	misses uint64                   // guarded by mu
 	// bytes is the summed footprint estimate of every cached slice,
 	// maintained on put/refresh/evict so stats() never walks the list.
-	bytes int64
+	bytes int64 // guarded by mu
 }
 
 type cacheItem struct {

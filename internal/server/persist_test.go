@@ -233,7 +233,7 @@ func TestSupersededEntryDoesNotPersist(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.persist(stale, eng)
+	r.persistLocked(stale, eng)
 
 	// The file on disk still validates as the live entry's snapshot.
 	if _, err := core.LoadEngineFile(current.snapshotPath, core.Config{}, "new-source"); err != nil {

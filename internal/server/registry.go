@@ -62,7 +62,7 @@ type regEntry struct {
 	// backing). source tags the snapshot's origin so a cached file built
 	// from different inputs (another scale, other documents) is rejected.
 	snapshotPath string
-	source       string
+	source       string // guarded by buildMu
 	// discovered marks entries registered from a boot-time directory scan
 	// only — they have no source builder (build is nil; the engine comes
 	// from the snapshot file) and may be upgraded by a later
@@ -74,9 +74,9 @@ type regEntry struct {
 	cfg core.Config
 
 	buildMu sync.Mutex
-	done    atomic.Bool // set after a successful build; gates lock-free peeks
-	build   engineBuilder
-	eng     *core.Engine
+	done    atomic.Bool   // set after a successful build; gates lock-free peeks
+	build   engineBuilder // guarded by buildMu
+	eng     *core.Engine  // guarded by buildMu
 	// live mirrors eng for lock-free reads: generation checks by the async
 	// snapshot writer (which must not take buildMu — see persistGeneration)
 	// and the stats listing. Written under buildMu.
@@ -122,7 +122,7 @@ func (e *regEntry) engineLocked(r *Registry) (*core.Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.adopt(le.Engine, true)
+		e.adoptLocked(le.Engine, true)
 		r.observeEngine(le.Engine, "load")
 		return le.Engine, nil
 	}
@@ -132,7 +132,7 @@ func (e *regEntry) engineLocked(r *Registry) (*core.Engine, error) {
 		// mismatch — lands on the source build, and the rebuild's snapshot
 		// then replaces the stale file.
 		if eng, err := core.LoadEngineFile(e.snapshotPath, e.cfg, e.source); err == nil {
-			e.adopt(eng, true)
+			e.adoptLocked(eng, true)
 			r.observeEngine(eng, "load")
 			return eng, nil
 		}
@@ -142,15 +142,15 @@ func (e *regEntry) engineLocked(r *Registry) (*core.Engine, error) {
 		return nil, err
 	}
 	if e.snapshotPath != "" {
-		r.persist(e, eng)
+		r.persistLocked(e, eng)
 	}
-	e.adopt(eng, false)
+	e.adoptLocked(eng, false)
 	r.observeEngine(eng, "build")
 	return eng, nil
 }
 
-// adopt installs a built or loaded engine; callers hold buildMu.
-func (e *regEntry) adopt(eng *core.Engine, fromSnapshot bool) {
+// adoptLocked installs a built or loaded engine; callers hold buildMu.
+func (e *regEntry) adoptLocked(eng *core.Engine, fromSnapshot bool) {
 	e.eng = eng
 	e.live.Store(eng)
 	e.fromSnapshot.Store(fromSnapshot)
@@ -196,9 +196,10 @@ type Registry struct {
 	MaxEntries int
 
 	mu      sync.RWMutex
-	entries map[string]*regEntry
+	entries map[string]*regEntry // guarded by mu
 
 	// dataDir is the snapshot directory ("" = persistence disabled).
+	// Guarded by mu.
 	dataDir string
 
 	// persistMu serializes snapshot writes. Entries under one name can
@@ -442,13 +443,13 @@ func (r *Registry) register(e *regEntry) error {
 	return nil
 }
 
-// persist writes e's engine snapshot best-effort: a full disk must not
+// persistLocked writes e's engine snapshot best-effort: a full disk must not
 // take down serving, but the failure is recorded for /stats. Only the
 // entry currently registered under the name may write — a superseded
 // entry finishing a slow build skips its persist, and concurrent persists
 // serialize on persistMu — so a stale engine can never clobber the live
 // entry's snapshot on disk. Callers hold e.buildMu.
-func (r *Registry) persist(e *regEntry, eng *core.Engine) {
+func (r *Registry) persistLocked(e *regEntry, eng *core.Engine) {
 	r.persistMu.Lock()
 	defer r.persistMu.Unlock()
 	r.mu.RLock()

@@ -626,7 +626,7 @@ func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.mu.Lock()
-	q := sess.queryString()
+	q := sess.queryStringLocked()
 	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, sessionResponse{
 		Session:    sess.id,
@@ -683,7 +683,7 @@ func (s *Server) serveTopK(w http.ResponseWriter, r *http.Request, k int, explai
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	q := sess.queryString()
+	q := sess.queryStringLocked()
 	key := cacheKey(sess.eng.ID(), q, k)
 	rs, cached := s.cache.get(key)
 	resp := topkResponse{Session: sess.id, Query: q, K: k, Cached: cached}
@@ -796,7 +796,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sessionResponse{
 		Session:    sess.id,
 		Collection: sess.collection,
-		Query:      sess.queryString(),
+		Query:      sess.queryStringLocked(),
 		Created:    sess.created,
 	})
 }

@@ -26,17 +26,17 @@ type session struct {
 	// core.Session call they perform; the manager's table lock is never
 	// held at the same time.
 	mu   sync.Mutex
-	sess *core.Session
-	star *cube.Star // last BuildCube result, consumed by /analyze
+	sess *core.Session // guarded by mu
+	star *cube.Star    // guarded by mu; last BuildCube result, consumed by /analyze
 	// lastTopK is the cache key of the top-k results the session currently
 	// holds; a repeated identical GET /topk is then fully read-only (it
 	// must not clear the session's downstream summaries).
-	lastTopK string
+	lastTopK string // guarded by mu
 }
 
-// queryString renders the session's current (possibly refined) query; it
+// queryStringLocked renders the session's current (possibly refined) query; it
 // is the cache key component. Callers must hold s.mu.
-func (s *session) queryString() string { return s.sess.Query().String() }
+func (s *session) queryStringLocked() string { return s.sess.Query().String() }
 
 // sessionManager is the concurrent session table with TTL and max-count
 // eviction. All methods are safe for concurrent use; none hold the table
@@ -47,11 +47,11 @@ type sessionManager struct {
 	now func() time.Time // injectable clock for eviction tests
 
 	mu       sync.Mutex
-	sessions map[string]*session
-	lastUsed map[string]time.Time
+	sessions map[string]*session  // guarded by mu
+	lastUsed map[string]time.Time // guarded by mu
 
-	evictedTTL uint64
-	evictedLRU uint64
+	evictedTTL uint64 // guarded by mu
+	evictedLRU uint64 // guarded by mu
 }
 
 func newSessionManager(ttl time.Duration, max int, now func() time.Time) *sessionManager {

@@ -36,4 +36,10 @@
 // internal synchronization: one goroutine per instance. WriteContainer and
 // ReadContainer are stateless apart from their arguments and safe to call
 // concurrently on distinct data.
+//
+// The package is annotated //seda:codec: sedalint's stickyerr analyzer
+// requires every error produced in this package to flow to the sticky
+// error or the caller.
+//
+//seda:codec
 package snapcodec

@@ -1,0 +1,46 @@
+package snapcodec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzContainerDecode throws arbitrary bytes at the container framing.
+// ReadContainer must never panic or over-allocate on hostile input, and
+// anything it does accept must survive a write/read round trip unchanged.
+func FuzzContainerDecode(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteContainer(&valid, 3, []Section{
+		{Name: "dict", Payload: []byte{1, 2, 3}},
+		{Name: "docs", Payload: nil},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2]) // truncation
+	f.Add([]byte{})
+	f.Add([]byte("SEDA"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		version, sections, err := ReadContainer(data, 1<<20)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteContainer(&out, version, sections); err != nil {
+			t.Fatalf("re-encoding accepted container: %v", err)
+		}
+		v2, s2, err := ReadContainer(out.Bytes(), 1<<20)
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded container: %v", err)
+		}
+		if v2 != version || len(s2) != len(sections) {
+			t.Fatalf("round trip changed shape: version %d->%d, sections %d->%d",
+				version, v2, len(sections), len(s2))
+		}
+		for i := range sections {
+			if s2[i].Name != sections[i].Name || !bytes.Equal(s2[i].Payload, sections[i].Payload) {
+				t.Fatalf("round trip changed section %d", i)
+			}
+		}
+	})
+}

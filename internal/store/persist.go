@@ -142,6 +142,8 @@ func encodePathCounts(w *snapcodec.Writer, m map[pathdict.PathID]int) {
 // path ids are reassigned by xmldoc.Finalize — the dictionary already
 // holds every path, so the assignment reproduces the encoder's ids — and
 // the persisted statistics are installed directly instead of rescanned.
+//
+//seda:constructor
 func Decode(r *snapcodec.Reader, dict *pathdict.Dict) (*Collection, error) {
 	if v := r.Int(); r.Err() == nil && v != codecVersion {
 		return nil, fmt.Errorf("store: unsupported codec version %d", v)

@@ -17,7 +17,11 @@ import (
 
 // Collection is an ordered set of XML documents sharing one path
 // dictionary. Documents are added once (not concurrency-safe during
-// loading); afterwards all read methods are safe for concurrent use.
+// loading); afterwards all read methods are safe for concurrent use and
+// the collection is immutable — generations share document objects, so
+// post-publish writes are sedalint diagnostics (genimmutable).
+//
+//seda:immutable
 type Collection struct {
 	dict *pathdict.Dict
 	docs []*xmldoc.Document
@@ -51,6 +55,8 @@ func (c *Collection) AddXML(name string, data []byte) (xmldoc.DocID, error) {
 
 // AddDocument registers a document already finalized against the
 // collection's dictionary (see xmldoc.Build) and returns its id.
+//
+//seda:constructor
 func (c *Collection) AddDocument(doc *xmldoc.Document) xmldoc.DocID {
 	id := xmldoc.DocID(len(c.docs))
 	doc.ID = id
@@ -81,6 +87,8 @@ func (c *Collection) AddDocument(doc *xmldoc.Document) xmldoc.DocID {
 // (xmldoc.Parse with c.Dict(), or xmldoc.Finalize); they are assigned the
 // next document ids, exactly as if they had been added to a from-scratch
 // collection after the existing documents.
+//
+//seda:constructor
 func (c *Collection) Extend(docs []*xmldoc.Document) *Collection {
 	nc := &Collection{
 		dict:        c.dict,

@@ -69,12 +69,11 @@ type Summarizer struct {
 	dict *pathdict.Dict
 
 	mu    sync.Mutex
-	cache map[[2]pathdict.PathID][]Connection
+	cache map[[2]pathdict.PathID][]Connection // guarded by mu
 	// CacheHits and CacheMisses instrument the cache for the ablation
-	// benchmarks. Guarded by mu; read them only after all Connections
-	// calls have returned.
-	CacheHits   int
-	CacheMisses int
+	// benchmarks; read them via CacheStats.
+	CacheHits   int // guarded by mu
+	CacheMisses int // guarded by mu
 	// NoCache disables the cache (ablation A3). Set it before sharing the
 	// Summarizer between goroutines.
 	NoCache bool
@@ -88,6 +87,13 @@ func NewSummarizer(dg *dataguide.Set, g *graph.Graph) *Summarizer {
 		dict:  g.Collection().Dict(),
 		cache: make(map[[2]pathdict.PathID][]Connection),
 	}
+}
+
+// CacheStats returns the hit/miss counters under the cache lock.
+func (s *Summarizer) CacheStats() (hits, misses int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.CacheHits, s.CacheMisses
 }
 
 // Connections computes the connection summary for a set of top-k results:

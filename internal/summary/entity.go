@@ -16,8 +16,8 @@ import (
 type EntityRegistry struct {
 	mu sync.RWMutex
 	// exact path (or prefix when registered with RegisterPrefix) -> label
-	exact    map[string]string
-	prefixes []prefixEntry
+	exact    map[string]string // guarded by mu
+	prefixes []prefixEntry     // guarded by mu
 }
 
 type prefixEntry struct {

@@ -44,4 +44,9 @@
 // guarantees this by making both immutable per generation (incremental
 // ingest derives a new index and graph rather than touching the ones a
 // live Searcher reads).
+//
+// The package is annotated //seda:hot: sedalint's nilgate analyzer
+// enforces the nil-gated observability contract on every hot path here.
+//
+//seda:hot
 package topk

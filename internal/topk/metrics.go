@@ -6,7 +6,10 @@ import "seda/internal/obs"
 // shared across engine generations (the serving tier owns it) so counters
 // stay monotonic across ingest swaps. All fields are pre-registered; a nil
 // *Metrics disables instrumentation entirely and the search path performs
-// no metric work at all.
+// no metric work at all — sedalint's nilgate analyzer enforces the
+// dominating nil check on every use in a hot package.
+//
+//seda:nilgated
 type Metrics struct {
 	// Searches counts completed top-k searches.
 	Searches *obs.Counter
@@ -77,7 +80,10 @@ func (m *Metrics) observe(st Stats, fetchTasks int, seconds float64) {
 // Trace is the opt-in per-search execution trace behind "explain": true.
 // Point Options.Trace at a zero Trace before Search and it is filled in
 // place; the search allocates only into the caller's Trace (the disabled
-// nil path stays allocation-free).
+// nil path stays allocation-free; nil-gating enforced by sedalint's
+// nilgate analyzer).
+//
+//seda:nilgated
 type Trace struct {
 	// Terms and Shards give the scatter dimensions; FetchTasks = Terms*Shards.
 	Terms      int `json:"terms"`

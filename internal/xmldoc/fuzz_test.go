@@ -1,0 +1,36 @@
+package xmldoc
+
+import (
+	"testing"
+
+	"seda/internal/pathdict"
+)
+
+// FuzzParseXML throws arbitrary bytes at the XML ingestion path. Parse
+// must never panic, and every document it accepts must be internally
+// consistent: each node's Dewey id resolves back to the node itself and
+// its path renders through the dictionary it was interned into.
+func FuzzParseXML(f *testing.F) {
+	f.Add([]byte("<country><name>France</name><economy gdp=\"2.9\">ok</economy></country>"))
+	f.Add([]byte("<a><b/><b><c>x</c></b></a>"))
+	f.Add([]byte("<a>&lt;escaped&gt; &amp; entities</a>"))
+	f.Add([]byte("<a><unclosed></a>"))
+	f.Add([]byte("not xml at all"))
+	f.Add([]byte("<a xmlns:x=\"u\"><x:b/></a>"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dict := pathdict.New()
+		doc, err := Parse(data, dict)
+		if err != nil {
+			return
+		}
+		doc.Walk(func(n *Node) bool {
+			if got := doc.FindByDewey(n.Dewey); got != n {
+				t.Fatalf("node %s does not resolve to itself", n.Dewey)
+			}
+			if dict.Path(n.Path) == "" {
+				t.Fatalf("node %s has unrenderable path %d", n.Dewey, n.Path)
+			}
+			return true
+		})
+	})
+}
