@@ -1,7 +1,7 @@
 GO ?= go
 SCALE ?= 0.05
 
-.PHONY: build test bench bench-smoke bench-coldstart bench-ingest bench-shards bench-serve metrics-smoke serve vet fmt-check lint fuzz-smoke vuln
+.PHONY: build test bench bench-smoke bench-coldstart bench-ingest bench-shards bench-memory bench-serve metrics-smoke serve vet fmt-check lint fuzz-smoke vuln
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPromParse -fuzztime 10s ./internal/obs
 	$(GO) test -run '^$$' -fuzz FuzzParseXML -fuzztime 10s ./internal/xmldoc
 	$(GO) test -run '^$$' -fuzz FuzzParseQuery -fuzztime 10s ./internal/query
+	$(GO) test -run '^$$' -fuzz FuzzShardDecode -fuzztime 10s ./internal/index
 
 # Known-vulnerability scan. Skips with a notice when govulncheck is not
 # on PATH (the tool needs a network fetch to install; CI installs it).
@@ -74,6 +75,13 @@ bench-ingest:
 # columns improve with GOMAXPROCS; single-core boxes record parity.
 bench-shards:
 	$(GO) run ./cmd/sedabench -exp shards -scale 0.1
+
+# Memory benchmark: SEDASNAP v3 shard compression vs the v2 encoding, plus
+# resident heap and query latency percentiles at resident budgets of
+# 100%/50%/25% of the index size, refreshing the checked-in
+# BENCH_memory.json (scale 0.1, like the rest of the BENCH trajectory).
+bench-memory:
+	$(GO) run ./cmd/sedabench -exp memory -scale 0.1
 
 # Serving-tier benchmark: open-loop HTTP latency percentiles (p50/p95/p99)
 # against a live in-process sedad surface, refreshing the checked-in

@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|coldstart|ingest|shards|serve|all")
+	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|coldstart|ingest|shards|memory|serve|all")
 	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = paper size)")
 	out := flag.String("out", ".", "directory for BENCH_<name>.json result files (empty disables)")
 	par := flag.Int("parallelism", 0, "worker goroutines for engine builds and searches (0 = all cores, 1 = sequential)")
@@ -123,6 +123,19 @@ func main() {
 		}
 	}
 
+	// memory measures the v3 shard compression and the paged-residency
+	// memory/latency trade per corpus, so it manages its own result file.
+	if *exp == "all" || *exp == "memory" {
+		fmt.Println("==== memory ====")
+		start := time.Now()
+		res := memoryExp(*scale)
+		res.NsPerOp = time.Since(start).Nanoseconds()
+		fmt.Printf("(memory in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			writeMemoryResult(*out, res)
+		}
+	}
+
 	// serve measures the HTTP tier under open-loop load and validates the
 	// /metrics exposition; it writes percentile fields of its own.
 	if *exp == "all" || *exp == "serve" {
@@ -138,7 +151,7 @@ func main() {
 
 	if *exp != "all" {
 		switch *exp {
-		case "table1", "intext", "sweep", "figure3", "controlflow", "ablations", "coldstart", "ingest", "shards", "serve":
+		case "table1", "intext", "sweep", "figure3", "controlflow", "ablations", "coldstart", "ingest", "shards", "memory", "serve":
 		default:
 			fmt.Fprintf(os.Stderr, "sedabench: unknown experiment %q\n", *exp)
 			os.Exit(2)

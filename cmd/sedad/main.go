@@ -12,6 +12,8 @@
 //	sedad -parallelism 1               # sequential builds and searches
 //	sedad -data ./data                 # disk-backed: engines persist as
 //	                                   # snapshots and survive restarts
+//	sedad -resident-budget 64MB        # page index shards in on demand and
+//	                                   # evict cold ones past the budget
 //	sedad -slowlog 250ms               # log top-k searches >= 250ms
 //	sedad -pprof                       # profiling at /debug/pprof/
 //
@@ -23,16 +25,49 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"seda"
 )
+
+// parseByteSize parses a human byte size: a non-negative number with an
+// optional KB/MB/GB (or K/M/G, case-insensitive, optionally ending in iB)
+// suffix, binary units. "" and "0" mean disabled (0 bytes).
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(s)
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"B", 1},
+	} {
+		if strings.HasSuffix(upper, u.suffix) {
+			mult = u.mult
+			upper = strings.TrimSuffix(upper, u.suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(strings.TrimSpace(upper), 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte size %q (use e.g. 64MB, 1.5GB, or a plain byte count)", s)
+	}
+	return int64(n * float64(mult)), nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -43,6 +78,7 @@ func main() {
 	preload := flag.String("preload", "", "comma-separated builtin corpora to register at startup (worldfactbook,mondial,googlebase,recipeml)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for engine builds and top-k searches (0 = all cores, 1 = sequential)")
 	shards := flag.Int("shards", 0, "horizontal index shards per collection (0 = single shard; answers are identical at any setting)")
+	residentBudget := flag.String("resident-budget", "", "per-collection shard residency budget, e.g. 64MB or 1.5GB (empty or 0 = fully resident; answers are identical at any setting)")
 	data := flag.String("data", "", "snapshot directory: persist engines after first build and reload them at boot (empty = memory-only)")
 	slowlog := flag.Duration("slowlog", 0, "log top-k searches taking at least this long, with their request id (0 disables)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
@@ -52,6 +88,10 @@ func main() {
 	}
 	if *shards < 0 || *shards > seda.MaxShards {
 		log.Fatalf("sedad: -shards must be in 0..%d", seda.MaxShards)
+	}
+	budget, err := parseByteSize(*residentBudget)
+	if err != nil {
+		log.Fatalf("sedad: -resident-budget: %v", err)
 	}
 
 	logger := log.New(os.Stderr, "sedad ", log.LstdFlags|log.Lmsgprefix)
@@ -71,6 +111,7 @@ func main() {
 		BuiltinScale:       *scale,
 		Parallelism:        *parallelism,
 		Shards:             *shards,
+		ResidentBudget:     budget,
 		AccessLog:          logger,
 		SlowQueryThreshold: *slowlog,
 		EnablePprof:        *pprofOn,
@@ -93,7 +134,7 @@ func main() {
 		if name == "" {
 			continue
 		}
-		if err := srv.Registry().RegisterBuiltin(name, name, *scale, seda.Config{Parallelism: *parallelism, Shards: *shards}); err != nil {
+		if err := srv.Registry().RegisterBuiltin(name, name, *scale, seda.Config{Parallelism: *parallelism, Shards: *shards, ResidentBudget: budget}); err != nil {
 			logger.Fatalf("preload %s: %v", name, err)
 		}
 		logger.Printf("registered builtin collection %q (scale %g, built on first use)", name, *scale)

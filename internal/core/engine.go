@@ -85,6 +85,15 @@ type Config struct {
 	// from the snapshot fingerprint (a loaded engine adopts the layout
 	// stored in the snapshot).
 	Shards int
+	// ResidentBudget bounds the total exact encoded bytes of index shards
+	// whose decoded form is held in memory. 0 (the default) keeps every
+	// shard fully resident. A positive budget enables paging: shards
+	// decode on first touch and the least-recently-touched ones are
+	// evicted back to their encoded payloads when the budget is exceeded.
+	// Like Parallelism, it is environment, not identity: answers are
+	// byte-identical at every budget, the field is excluded from the
+	// snapshot fingerprint, and it is never persisted.
+	ResidentBudget int64
 }
 
 // Engine is the per-collection SEDA runtime.
@@ -110,6 +119,12 @@ type Engine struct {
 
 	// id is the process-local engine serial (see ID).
 	id uint64
+
+	// pager, when non-nil, enforces cfg.ResidentBudget over the index's
+	// decoded shards (see internal/index.Pager). Ingest-derived
+	// generations share it, so the budget spans the shards actually
+	// serving queries.
+	pager *index.Pager
 
 	// ingestMu serializes AddDocuments calls against this engine (each call
 	// derives a new generation; see ingest.go).
@@ -194,6 +209,13 @@ func NewEngine(col *store.Collection, cfg Config) (*Engine, error) {
 	}
 	e.BuildTimings["index"] = indexTime
 
+	// A freshly built engine is fully resident; attaching the pager
+	// immediately evicts down to the configured budget.
+	if p := index.NewPager(cfg.ResidentBudget); p != nil {
+		e.pager = p
+		e.ix.AttachPager(p)
+	}
+
 	e.finish()
 	return e, nil
 }
@@ -243,6 +265,25 @@ func (e *Engine) SetSearchMetrics(m *topk.Metrics) { e.searchMetrics.Store(m) }
 // SearchMetrics returns the installed metric family set (nil when search
 // instrumentation is off).
 func (e *Engine) SearchMetrics() *topk.Metrics { return e.searchMetrics.Load() }
+
+// SetPagingMetrics installs the paging metric family set on the engine's
+// pager (a no-op for fully resident engines). Like SetSearchMetrics, the
+// serving tier calls it once after build or load; ingest-derived
+// generations share the pager and therefore the metrics.
+func (e *Engine) SetPagingMetrics(m *index.PagingMetrics) {
+	if e.pager != nil {
+		e.pager.SetMetrics(m)
+	}
+}
+
+// PagerStats snapshots the pager's accounting. ok is false when the
+// engine is fully resident (no budget configured).
+func (e *Engine) PagerStats() (st index.PagerStats, ok bool) {
+	if e.pager == nil {
+		return index.PagerStats{}, false
+	}
+	return e.pager.Stats(), true
+}
 
 // Collection returns the engine's collection.
 func (e *Engine) Collection() *store.Collection { return e.col }

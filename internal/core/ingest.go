@@ -140,8 +140,12 @@ func (e *Engine) AddDocuments(docs []*xmldoc.Document) (*Engine, error) {
 	ne.builder = cube.NewBuilder(col, ne.catalog)
 	ne.entities = e.entities
 	// The metric family set is shared too, so search counters stay
-	// monotonic across generation swaps.
+	// monotonic across generation swaps. The pager likewise: the new
+	// index's shards already carry it (non-tail shards are shared and the
+	// extended tail was admitted by index.Extend), so the resident budget
+	// keeps spanning the generation actually serving queries.
 	ne.searchMetrics.Store(e.searchMetrics.Load())
+	ne.pager = e.pager
 	ne.BuildTimings["ingest"] = time.Since(t0)
 	return ne, nil
 }

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seda/internal/index"
+	"seda/internal/obs"
+	"seda/internal/snapcodec"
+)
+
+// The tentpole invariant of lazy residency: a paged engine — shards
+// decoded on first touch, cold ones evicted back to their encoded
+// sections under a byte budget — answers top-k, context summaries, and
+// connection summaries byte-identically to a fully-resident engine, at
+// any budget, including after eviction→page-in cycles and incremental
+// ingest. Run under -race (make test does) to also exercise the
+// lock-free hot path against concurrent page-ins.
+
+// TestPagedEquivalence is the acceptance criterion, across all four
+// corpora.
+func TestPagedEquivalence(t *testing.T) {
+	for _, c := range corpusConfigs() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			raw := renderXML(t, c.gen(c.scale))
+			cfg := c.cfg
+			cfg.Shards = 4
+			full := scratchEngine(t, raw, cfg)
+			queries := pickQueries(full)
+			if len(queries) == 0 {
+				t.Fatal("no queries derived from vocabulary")
+			}
+			want := renderAnswers(t, full, queries)
+			var total int64
+			for _, st := range full.ShardStats() {
+				total += st.Bytes
+			}
+
+			path := filepath.Join(t.TempDir(), "paged.snap")
+			if err := SaveEngineFile(path, full, ""); err != nil {
+				t.Fatal(err)
+			}
+
+			// A 1-byte budget is the pathological floor: every page-in
+			// immediately overflows the budget, so the pager thrashes and
+			// every query wave crosses evict→page-in cycles.
+			for _, budget := range []int64{1, total / 2} {
+				budget := budget
+				t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+					t.Parallel()
+					pcfg := cfg
+					pcfg.ResidentBudget = budget
+					paged, err := LoadEngineFile(path, pcfg, "")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := paged.NumShards(); got != 4 {
+						t.Fatalf("paged NumShards = %d, want 4", got)
+					}
+					st, ok := paged.PagerStats()
+					if !ok {
+						t.Fatal("paged engine reports no pager")
+					}
+					if st.Budget != budget {
+						t.Fatalf("pager budget = %d, want %d", st.Budget, budget)
+					}
+					// Render twice: the second pass re-touches shards the
+					// first pass may have evicted.
+					if got := renderAnswers(t, paged, queries); got != want {
+						t.Errorf("paged engine diverges from resident\n--- resident ---\n%s\n--- paged ---\n%s", want, got)
+					}
+					if got := renderAnswers(t, paged, queries); got != want {
+						t.Errorf("paged engine diverges on re-query after eviction")
+					}
+					st, _ = paged.PagerStats()
+					if st.PageIns == 0 {
+						t.Error("paged engine answered without a single page-in")
+					}
+					if budget < total && st.Evictions == 0 {
+						t.Errorf("budget %d < corpus %d bytes but no evictions", budget, total)
+					}
+					if budget == 1 {
+						resident := 0
+						for _, ss := range paged.ShardStats() {
+							if ss.Resident {
+								resident++
+							}
+						}
+						if resident > 1 {
+							t.Errorf("1-byte budget left %d shards resident", resident)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestPagedIngestEquivalence: incremental ingest on a paged engine — the
+// tail shard extension pages in what it extends, the inherited pager keeps
+// evicting — still answers byte-identically to a fully-resident build of
+// the final document set.
+func TestPagedIngestEquivalence(t *testing.T) {
+	c := corpusConfigs()[0]
+	raw := renderXML(t, c.gen(c.scale))
+	cfg := c.cfg
+	cfg.Shards = 4
+	full := scratchEngine(t, raw, cfg)
+	queries := pickQueries(full)
+	want := renderAnswers(t, full, queries)
+
+	cut := len(raw) * 3 / 5
+	base := scratchEngine(t, raw[:cut], cfg)
+	path := filepath.Join(t.TempDir(), "base.snap")
+	if err := SaveEngineFile(path, base, ""); err != nil {
+		t.Fatal(err)
+	}
+	pcfg := cfg
+	pcfg.ResidentBudget = 1
+	paged, err := LoadEngineFile(path, pcfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := paged.AddDocumentsXML(raw[cut:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := next.PagerStats(); !ok {
+		t.Fatal("ingest generation dropped the pager")
+	}
+	if got := renderAnswers(t, next, queries); got != want {
+		t.Errorf("paged engine after ingest diverges\n--- resident ---\n%s\n--- paged+ingest ---\n%s", want, got)
+	}
+}
+
+// TestPagingMetrics: page-ins and evictions reach an installed
+// PagingMetrics set and render in Prometheus exposition.
+func TestPagingMetrics(t *testing.T) {
+	c := corpusConfigs()[0]
+	raw := renderXML(t, c.gen(c.scale))
+	cfg := c.cfg
+	cfg.Shards = 4
+	full := scratchEngine(t, raw, cfg)
+	queries := pickQueries(full)
+
+	path := filepath.Join(t.TempDir(), "m.snap")
+	if err := SaveEngineFile(path, full, ""); err != nil {
+		t.Fatal(err)
+	}
+	pcfg := cfg
+	pcfg.ResidentBudget = 1
+	paged, err := LoadEngineFile(path, pcfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	paged.SetPagingMetrics(index.NewPagingMetrics(reg))
+	renderAnswers(t, paged, queries)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, metric := range []string{
+		"seda_paging_pageins_total",
+		"seda_paging_evictions_total",
+		"seda_paging_resident_bytes",
+		"seda_paging_pagein_seconds",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("exposition missing %s", metric)
+		}
+	}
+	if strings.Contains(text, "seda_paging_pageins_total 0\n") {
+		t.Error("page-ins never reached the metric set")
+	}
+
+	// A metric set attached to an engine with shards already resident
+	// (the serving tier adopts built engines that never paged anything
+	// in) must still report their bytes: SetMetrics reconciles the gauge
+	// with the pager's accounting, and a replaced set gives them back.
+	st, _ := paged.PagerStats()
+	reg2 := obs.NewRegistry()
+	paged.SetPagingMetrics(index.NewPagingMetrics(reg2))
+	buf.Reset()
+	if err := reg2.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("seda_paging_resident_bytes %d\n", st.ResidentBytes)
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("re-attached metric set does not report the resident bytes: want %q in exposition", want)
+	}
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "seda_paging_resident_bytes 0\n") {
+		t.Error("replaced metric set kept the engine's resident bytes")
+	}
+}
+
+// saveEngineV2 writes eng in the retired v2 container layout (container
+// version 2, one uncompressed shardCodecV1 section per shard) so the
+// compatibility path stays covered without checked-in binary fixtures.
+func saveEngineV2(t *testing.T, eng *Engine, source string) []byte {
+	t.Helper()
+	var meta snapcodec.Writer
+	meta.Int(metaVersion)
+	meta.String(eng.cfg.Fingerprint())
+	meta.String(source)
+	encodeConfig(&meta, eng.cfg)
+
+	sections := []snapcodec.Section{{Name: secMeta, Payload: meta.Bytes()}}
+	add := func(name string, enc func(*snapcodec.Writer)) {
+		var sw snapcodec.Writer
+		enc(&sw)
+		sections = append(sections, snapcodec.Section{Name: name, Payload: sw.Bytes()})
+	}
+	add(secPathdict, eng.col.Dict().Encode)
+	add(secCollection, eng.col.Encode)
+	add(secGraph, eng.g.Encode)
+	for s := 0; s < eng.ix.NumShards(); s++ {
+		s := s
+		add(fmt.Sprintf("%s%d", secIndexShard, s), func(sw *snapcodec.Writer) {
+			eng.ix.EncodeShardLegacy(sw, s)
+		})
+	}
+	if eng.dg != nil {
+		add(secDataguide, eng.dg.Encode)
+	}
+	var buf bytes.Buffer
+	if err := snapcodec.WriteContainer(&buf, 2, sections); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestV2SnapshotStillLoads: a container written in the v2 layout
+// (uncompressed per-shard sections) loads under the v3 decoder — resident,
+// via LoadEngineAuto, and paged — with byte-identical answers. Legacy
+// sections decode fully resident even under a budget; the pager still
+// attaches and evicts them down.
+func TestV2SnapshotStillLoads(t *testing.T) {
+	c := corpusConfigs()[0]
+	raw := renderXML(t, c.gen(c.scale))
+	cfg := c.cfg
+	cfg.Shards = 4
+	eng := scratchEngine(t, raw, cfg)
+	queries := pickQueries(eng)
+	want := renderAnswers(t, eng, queries)
+
+	data := saveEngineV2(t, eng, "v2-compat")
+
+	loaded, err := LoadEngine(bytes.NewReader(data), cfg, "v2-compat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.NumShards(); got != 4 {
+		t.Fatalf("v2 snapshot loaded with %d shards, want 4", got)
+	}
+	if got := renderAnswers(t, loaded, queries); got != want {
+		t.Errorf("v2-loaded engine diverges\n--- built ---\n%s\n--- loaded ---\n%s", want, got)
+	}
+
+	pcfg := cfg
+	pcfg.ResidentBudget = 1
+	paged, err := LoadEngine(bytes.NewReader(data), pcfg, "v2-compat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := paged.PagerStats(); !ok {
+		t.Fatal("budgeted load of a v2 container attached no pager")
+	}
+	if got := renderAnswers(t, paged, queries); got != want {
+		t.Error("paged load of a v2 container diverges")
+	}
+
+	// A v3 save of the v2-loaded engine is the compressed layout — and
+	// re-saving the original engine must produce the same bytes, so
+	// upgraded snapshots stay deterministic.
+	var up, direct bytes.Buffer
+	if err := SaveEngine(&up, loaded, "v2-compat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveEngine(&direct, eng, "v2-compat"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(up.Bytes(), direct.Bytes()) {
+		t.Error("v2→v3 upgrade save differs from a direct v3 save")
+	}
+}
+
+// TestV3ShardCompression pins the headline perf claim: the delta-coded v3
+// shard sections are at least 30% smaller than the uncompressed v2
+// encoding, on every bench corpus.
+func TestV3ShardCompression(t *testing.T) {
+	for _, c := range corpusConfigs() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			raw := renderXML(t, c.gen(c.scale))
+			cfg := c.cfg
+			cfg.Shards = 4
+			eng := scratchEngine(t, raw, cfg)
+			var v2, v3 int64
+			for s := 0; s < eng.ix.NumShards(); s++ {
+				var lw, cw snapcodec.Writer
+				eng.ix.EncodeShardLegacy(&lw, s)
+				eng.ix.EncodeShard(&cw, s)
+				v2 += int64(lw.Len())
+				v3 += int64(cw.Len())
+			}
+			if v2 == 0 {
+				t.Fatal("empty index")
+			}
+			ratio := float64(v3) / float64(v2)
+			t.Logf("%s: v2 %d B, v3 %d B (%.1f%% of v2)", c.name, v2, v3, 100*ratio)
+			if ratio > 0.70 {
+				t.Errorf("v3 shard sections are %.1f%% of v2, want <= 70%%", 100*ratio)
+			}
+		})
+	}
+}

@@ -40,9 +40,11 @@ import (
 // payloads carry their own versions; this one gates the container shape
 // and the section roster. Version 2 replaced the single "index" section
 // with one "index.<n>" section per shard, so snapshot encode and decode
-// parallelize across shards; version-1 containers still load (as a
-// single-shard engine).
-const snapshotFormatVersion = 2
+// parallelize across shards; version 3 switched the shard sections to the
+// delta-compressed posting codec (see internal/index). Version-1
+// containers still load (as a single-shard engine), and version-2
+// containers load via the shard codec's own version gate.
+const snapshotFormatVersion = 3
 
 // Section names of the engine container, in write order. The graph and
 // dataguide sections are corpus-global (both are built from per-shard
@@ -74,10 +76,12 @@ var (
 
 // Fingerprint returns the canonical identity of the engine-shaping parts
 // of a Config. Two configs with equal fingerprints build identical engines
-// from the same data. Parallelism and Shards are deliberately excluded:
-// they change build scheduling and the execution-plane layout, never a
-// query answer (a loaded engine adopts the shard layout stored in the
-// snapshot's section roster). Every string element is
+// from the same data. Parallelism, Shards, and ResidentBudget are
+// deliberately excluded: they change build scheduling, the
+// execution-plane layout, and shard residency, never a query answer (a
+// loaded engine adopts the shard layout stored in the snapshot's section
+// roster, and paged answers are byte-identical to resident ones). Every
+// string element is
 // %q-quoted so the encoding is injective — delimiter characters inside
 // attribute names or paths cannot make two different configs collide.
 func (cfg Config) Fingerprint() string {
@@ -206,9 +210,11 @@ func SaveEngineFile(path string, e *Engine, source string) error {
 // LoadEngine reads a snapshot from r and verifies it was built under cfg:
 // a fingerprint difference (or, when source is non-empty, a source-tag
 // difference) returns ErrConfigMismatch and the caller should rebuild.
-// cfg.Parallelism applies to the loaded engine's searches; cfg.Shards is
-// ignored — the engine adopts the shard layout stored in the snapshot
-// (shard count never changes a query answer).
+// cfg.Parallelism applies to the loaded engine's searches and
+// cfg.ResidentBudget to its shard residency (> 0 defers shard payload
+// decodes to first touch and evicts cold shards past the budget);
+// cfg.Shards is ignored — the engine adopts the shard layout stored in
+// the snapshot (shard count never changes a query answer).
 func LoadEngine(r io.Reader, cfg Config, source string) (*Engine, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -243,7 +249,9 @@ type LoadedEngine struct {
 // engine snapshot is adopted together with its stored config (no
 // fingerprint check — the snapshot is the authority), while a v1
 // collection.gob stream falls back to store.Load plus a full NewEngine
-// rebuild under fallback. fallback.Parallelism applies in both cases.
+// rebuild under fallback. fallback.Parallelism and
+// fallback.ResidentBudget apply in both cases (for a rebuilt v1 stream
+// the budget takes effect via NewEngine).
 func LoadEngineAuto(path string, fallback Config) (*LoadedEngine, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -251,7 +259,7 @@ func LoadEngineAuto(path string, fallback Config) (*LoadedEngine, error) {
 	}
 	if len(data) >= len(snapcodec.Magic) && string(data[:len(snapcodec.Magic)]) == snapcodec.Magic {
 		le := &LoadedEngine{FromSnapshot: true}
-		le.Engine, err = loadEngineInto(data, nil, "", le)
+		le.Engine, err = loadEngineInto(data, nil, "", fallback.ResidentBudget, le)
 		if err != nil {
 			return nil, err
 		}
@@ -307,7 +315,11 @@ func resolveParallelism(p int) int {
 // source when source is non-empty); when nil the stored config is adopted.
 func loadEngine(data []byte, want *Config, source string) (*Engine, error) {
 	le := &LoadedEngine{}
-	eng, err := loadEngineInto(data, want, source, le)
+	var budget int64
+	if want != nil {
+		budget = want.ResidentBudget
+	}
+	eng, err := loadEngineInto(data, want, source, budget, le)
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +330,13 @@ func loadEngine(data []byte, want *Config, source string) (*Engine, error) {
 	return eng, nil
 }
 
-func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) (*Engine, error) {
+// loadEngineInto decodes a snapshot container. budget > 0 enables paged
+// residency: shard sections are parsed but their posting payloads stay
+// encoded until first touch, and a pager evicts decoded shards back to
+// those payloads whenever their total exact encoded size exceeds budget.
+// Like Parallelism, the budget is environment, not identity — it comes
+// from the caller, never from the snapshot.
+func loadEngineInto(data []byte, want *Config, source string, budget int64, le *LoadedEngine) (*Engine, error) {
 	t0 := time.Now()
 	version, sections, err := snapcodec.ReadContainer(data, snapshotFormatVersion)
 	if err != nil {
@@ -445,11 +463,15 @@ func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) 
 		},
 	}
 	if version >= 2 {
+		decodeShard := index.DecodeShard
+		if budget > 0 {
+			decodeShard = index.DecodeShardPaged
+		}
 		for i := range shardPayloads {
 			i := i
 			jobs = append(jobs, func() {
 				t := time.Now()
-				shards[i], shardErrs[i] = index.DecodeShard(snapcodec.NewReader(shardPayloads[i]), col)
+				shards[i], shardErrs[i] = decodeShard(snapcodec.NewReader(shardPayloads[i]), col)
 				shardTimes[i] = time.Since(t)
 			})
 		}
@@ -517,6 +539,7 @@ func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) 
 	// config means a re-save (or a registry re-persist after ingest)
 	// preserves the layout.
 	storedCfg.Shards = ix.NumShards()
+	storedCfg.ResidentBudget = budget
 	le.Config = storedCfg
 
 	e := &Engine{
@@ -527,6 +550,10 @@ func loadEngineInto(data []byte, want *Config, source string, le *LoadedEngine) 
 		cfg:          storedCfg,
 		parallelism:  resolveParallelism(storedCfg.Parallelism),
 		BuildTimings: timings,
+	}
+	if p := index.NewPager(budget); p != nil {
+		e.pager = p
+		ix.AttachPager(p)
 	}
 	timings["load"] = time.Since(t0)
 	e.finish()

@@ -62,10 +62,10 @@ func testSnapshotFrameLayout(t *testing.T, cfg Config, wantSections []string) {
 		t.Fatalf("magic = %q, want %q", data[:8], "SEDASNAP")
 	}
 	off = 8
-	// Frame 2: container format version (currently 2: per-shard index
-	// sections).
-	if v := uvarint("container version"); v != 2 {
-		t.Fatalf("container version = %d, want 2", v)
+	// Frame 2: container format version (currently 3: per-shard index
+	// sections carrying the delta-compressed shard codec).
+	if v := uvarint("container version"); v != 3 {
+		t.Fatalf("container version = %d, want 3", v)
 	}
 	// Frame 3: section count. A full engine (dataguides enabled) carries
 	// the documented sections in write order: the corpus-global layers

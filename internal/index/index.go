@@ -48,6 +48,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"seda/internal/fulltext"
 	"seda/internal/pathdict"
@@ -73,11 +74,36 @@ type Posting struct {
 type Shard struct {
 	lo, hi int // document-id range [lo, hi)
 
-	postings    map[string][]Posting // node index, (doc, Dewey)-ordered
-	terms       []string             // sorted shard vocabulary
-	pathTerms   map[string]map[pathdict.PathID]int
-	termDocFreq map[string]int // # shard documents containing term
-	pathNodes   map[pathdict.PathID][]xmldoc.NodeRef
+	// Resident summary: always decoded, sized by the vocabulary and the
+	// path roster rather than the posting volume. Everything the scatter
+	// planner, the Figure-8 context summary, and /debug/stats need lives
+	// here, so those paths never force a cold shard resident.
+	terms        []string       // sorted shard vocabulary
+	termDocFreq  map[string]int // # shard documents containing term
+	pathTerms    map[string]map[pathdict.PathID]int
+	termPostings []int             // per-term posting counts, aligned with terms
+	nPostings    int               // total postings across all terms
+	pathIDs      []pathdict.PathID // sorted distinct paths with nodes in this shard
+	pathCounts   []int             // per-path node counts, aligned with pathIDs
+
+	// Residency state. data holds the decoded posting lists and per-path
+	// node lists; raw holds the shard's encoded lazy block (see codec.go).
+	// At least one is always non-nil: eviction re-encodes before dropping
+	// data, paging in decodes raw. Readers snapshot data with one atomic
+	// load and the decoded maps are immutable, so the scatter path stays
+	// lock-free once hot; mu only serializes the page-in and eviction
+	// transitions — a re-armable once.
+	mu   sync.Mutex
+	data atomic.Pointer[shardData]
+	raw  atomic.Pointer[[]byte]
+
+	// pager, when set, applies the byte-budgeted LRU to this shard.
+	pager atomic.Pointer[Pager]
+	// lastUse is the pager's logical LRU clock value at the last touch.
+	lastUse atomic.Int64
+	// encBytes caches the shard's exact encoded payload size in bytes
+	// (0 = not yet computed).
+	encBytes atomic.Int64
 
 	// fetches counts MatchTermShard evaluations served by this shard since
 	// build or load. Runtime-only observability state: it is not persisted
@@ -85,8 +111,62 @@ type Shard struct {
 	fetches atomic.Uint64
 }
 
+// shardData is the evictable decoded state of a shard. It is immutable
+// once published: eviction and page-in swap the pointer, never the maps,
+// so readers holding a snapshot keep a consistent view.
+type shardData struct {
+	postings  map[string][]Posting // node index, (doc, Dewey)-ordered
+	pathNodes map[pathdict.PathID][]xmldoc.NodeRef
+}
+
 // Docs returns the number of documents in the shard's range.
 func (sh *Shard) Docs() int { return sh.hi - sh.lo }
+
+// hot returns the shard's decoded state, paging it in on first touch. The
+// resident fast path is one atomic load (plus an LRU clock store when a
+// pager is attached).
+func (sh *Shard) hot() *shardData {
+	if d := sh.data.Load(); d != nil {
+		if p := sh.pager.Load(); p != nil {
+			p.touch(sh)
+		}
+		return d
+	}
+	return sh.pageIn()
+}
+
+// pageIn decodes the shard's encoded lazy block and publishes it. The
+// block was fully validated when the snapshot loaded, so a decode failure
+// here is an internal invariant violation, not a data condition.
+func (sh *Shard) pageIn() *shardData {
+	sh.mu.Lock()
+	if d := sh.data.Load(); d != nil { // lost the race: someone else paged in
+		sh.mu.Unlock()
+		if p := sh.pager.Load(); p != nil {
+			p.touch(sh)
+		}
+		return d
+	}
+	start := time.Now()
+	rawp := sh.raw.Load()
+	if rawp == nil {
+		sh.mu.Unlock()
+		panic(fmt.Sprintf("index: shard [%d,%d) has neither decoded state nor an encoded payload", sh.lo, sh.hi))
+	}
+	d, err := sh.decodeLazy(*rawp)
+	if err != nil {
+		sh.mu.Unlock()
+		panic(fmt.Sprintf("index: paging in pre-validated shard [%d,%d): %v", sh.lo, sh.hi, err))
+	}
+	sh.data.Store(d)
+	sh.mu.Unlock()
+	// Admit outside mu: the pager may evict other shards, and no shard
+	// lock may be held while another shard's is taken.
+	if p := sh.pager.Load(); p != nil {
+		p.admit(sh, true, time.Since(start))
+	}
+	return d
+}
 
 // Index holds the node and context indexes for one collection, fragmented
 // into one or more document-range shards (see the package comment).
@@ -199,7 +279,7 @@ func buildShardRange(docs []*xmldoc.Document, lo int, workers int) *Shard {
 	if w < 1 {
 		w = 1
 	}
-	accs := make([]*Shard, w)
+	accs := make([]*shardAcc, w)
 	if w == 1 {
 		accs[0] = scanDocs(docs)
 	} else {
@@ -220,103 +300,145 @@ func buildShardRange(docs []*xmldoc.Document, lo int, workers int) *Shard {
 	// contiguous document ranges, so per-path node lists concatenate back
 	// into (doc, Dewey) order, and per-term posting runs are re-sorted by
 	// normalizePostings anyway.
-	sh := accs[0]
-	for _, acc := range accs[1:] {
-		for term, ps := range acc.postings {
-			sh.postings[term] = append(sh.postings[term], ps...)
+	acc := accs[0]
+	for _, a := range accs[1:] {
+		for term, ps := range a.postings {
+			acc.postings[term] = append(acc.postings[term], ps...)
 		}
-		for term, paths := range acc.pathTerms {
-			m, ok := sh.pathTerms[term]
+		for term, paths := range a.pathTerms {
+			m, ok := acc.pathTerms[term]
 			if !ok {
-				sh.pathTerms[term] = paths
+				acc.pathTerms[term] = paths
 				continue
 			}
 			for pid, n := range paths {
 				m[pid] += n
 			}
 		}
-		for term, n := range acc.termDocFreq {
-			sh.termDocFreq[term] += n // accumulators hold disjoint documents
+		for term, n := range a.termDocFreq {
+			acc.termDocFreq[term] += n // accumulators hold disjoint documents
 		}
-		for pid, refs := range acc.pathNodes {
-			if cur, ok := sh.pathNodes[pid]; ok {
-				sh.pathNodes[pid] = append(cur, refs...)
+		for pid, refs := range a.pathNodes {
+			if cur, ok := acc.pathNodes[pid]; ok {
+				acc.pathNodes[pid] = append(cur, refs...)
 			} else {
-				sh.pathNodes[pid] = refs
+				acc.pathNodes[pid] = refs
 			}
 		}
 	}
-	sh.finalize(lo, lo+len(docs))
-	return sh
+	return acc.finalize(lo, lo+len(docs))
 }
 
-// finalize normalizes the shard's posting lists, derives its sorted
-// vocabulary, and fixes its document range.
-//
-//seda:constructor
-func (sh *Shard) finalize(lo, hi int) {
-	sh.lo, sh.hi = lo, hi
-	sh.terms = sh.terms[:0]
-	for term, ps := range sh.postings {
-		sh.postings[term] = normalizePostings(ps)
-		sh.terms = append(sh.terms, term)
-	}
-	sort.Strings(sh.terms)
+// shardAcc accumulates the map-backed index structures of one contiguous
+// scan range. Accumulators merge in document order and finalize into an
+// immutable Shard.
+type shardAcc struct {
+	postings    map[string][]Posting
+	pathTerms   map[string]map[pathdict.PathID]int
+	termDocFreq map[string]int
+	pathNodes   map[pathdict.PathID][]xmldoc.NodeRef
 }
 
-// scanDocs runs the single-threaded scan over one contiguous document
-// range. Everything it touches outside its own maps (documents, the path
-// dictionary, the tokenizer) is read-only or internally synchronized.
-//
-//seda:constructor
-func scanDocs(docs []*xmldoc.Document) *Shard {
-	sh := &Shard{
+func newShardAcc() *shardAcc {
+	return &shardAcc{
 		postings:    make(map[string][]Posting),
 		pathTerms:   make(map[string]map[pathdict.PathID]int),
 		termDocFreq: make(map[string]int),
 		pathNodes:   make(map[pathdict.PathID][]xmldoc.NodeRef),
 	}
+}
+
+// finalize normalizes the accumulator's posting lists and seals it into a
+// Shard covering [lo, hi).
+//
+//seda:constructor
+func (acc *shardAcc) finalize(lo, hi int) *Shard {
+	for term, ps := range acc.postings {
+		acc.postings[term] = normalizePostings(ps)
+	}
+	return sealShard(lo, hi, acc)
+}
+
+// sealShard constructs the immutable Shard from already-normalized
+// accumulator maps: the sorted vocabulary and path roster, the summary
+// counts, and the decoded state published as resident.
+//
+//seda:constructor
+func sealShard(lo, hi int, acc *shardAcc) *Shard {
+	sh := &Shard{
+		lo: lo, hi: hi,
+		termDocFreq: acc.termDocFreq,
+		pathTerms:   acc.pathTerms,
+	}
+	sh.terms = make([]string, 0, len(acc.postings))
+	for term := range acc.postings {
+		sh.terms = append(sh.terms, term)
+	}
+	sort.Strings(sh.terms)
+	sh.termPostings = make([]int, len(sh.terms))
+	for i, t := range sh.terms {
+		n := len(acc.postings[t])
+		sh.termPostings[i] = n
+		sh.nPostings += n
+	}
+	sh.pathIDs = make([]pathdict.PathID, 0, len(acc.pathNodes))
+	for p := range acc.pathNodes {
+		sh.pathIDs = append(sh.pathIDs, p)
+	}
+	sort.Slice(sh.pathIDs, func(i, j int) bool { return sh.pathIDs[i] < sh.pathIDs[j] })
+	sh.pathCounts = make([]int, len(sh.pathIDs))
+	for i, p := range sh.pathIDs {
+		sh.pathCounts[i] = len(acc.pathNodes[p])
+	}
+	sh.data.Store(&shardData{postings: acc.postings, pathNodes: acc.pathNodes})
+	return sh
+}
+
+// scanDocs runs the single-threaded scan over one contiguous document
+// range. Everything it touches outside its own maps (documents, the path
+// dictionary, the tokenizer) is read-only or internally synchronized.
+func scanDocs(docs []*xmldoc.Document) *shardAcc {
+	acc := newShardAcc()
 	lastDocForTerm := make(map[string]xmldoc.DocID)
 	for _, doc := range docs {
 		d := doc
 		d.Walk(func(n *xmldoc.Node) bool {
 			ref := store.RefOf(d, n)
-			sh.pathNodes[n.Path] = append(sh.pathNodes[n.Path], ref)
+			acc.pathNodes[n.Path] = append(acc.pathNodes[n.Path], ref)
 			// Tag names are keywords in the context index.
-			sh.bumpPathTerm(fulltext.NormalizeTerm(n.Tag), n.Path)
+			acc.bumpPathTerm(fulltext.NormalizeTerm(n.Tag), n.Path)
 			if n.Text != "" {
 				toks := fulltext.Tokenize(n.Text)
 				var cur string
 				var curPost *Posting
 				for _, tk := range toks {
-					sh.bumpPathTerm(tk.Term, n.Path)
+					acc.bumpPathTerm(tk.Term, n.Path)
 					if tk.Term != cur || curPost == nil {
-						sh.postings[tk.Term] = append(sh.postings[tk.Term], Posting{Ref: ref, Path: n.Path})
-						curPost = &sh.postings[tk.Term][len(sh.postings[tk.Term])-1]
+						acc.postings[tk.Term] = append(acc.postings[tk.Term], Posting{Ref: ref, Path: n.Path})
+						curPost = &acc.postings[tk.Term][len(acc.postings[tk.Term])-1]
 						cur = tk.Term
 					}
 					curPost.Positions = append(curPost.Positions, int32(tk.Pos))
 					if last, ok := lastDocForTerm[tk.Term]; !ok || last != d.ID {
 						lastDocForTerm[tk.Term] = d.ID
-						sh.termDocFreq[tk.Term]++
+						acc.termDocFreq[tk.Term]++
 					}
 				}
 			}
 			return true
 		})
 	}
-	return sh
+	return acc
 }
 
-//seda:constructor
-func (sh *Shard) bumpPathTerm(term string, p pathdict.PathID) {
+func (acc *shardAcc) bumpPathTerm(term string, p pathdict.PathID) {
 	if term == "" {
 		return
 	}
-	m, ok := sh.pathTerms[term]
+	m, ok := acc.pathTerms[term]
 	if !ok {
 		m = make(map[pathdict.PathID]int)
-		sh.pathTerms[term] = m
+		acc.pathTerms[term] = m
 	}
 	m[p]++
 }
@@ -360,7 +482,7 @@ func newIndex(col *store.Collection, shards []*Shard) *Index {
 
 	seen := make(map[pathdict.PathID]struct{})
 	for _, sh := range shards {
-		for p := range sh.pathNodes {
+		for _, p := range sh.pathIDs { // resident roster: assembling never pages
 			if _, ok := seen[p]; !ok {
 				seen[p] = struct{}{}
 				ix.allPaths = append(ix.allPaths, p)
@@ -404,33 +526,29 @@ type ShardStats struct {
 	Terms int
 	// Postings is the shard's total posting count.
 	Postings int
-	// Bytes estimates the shard's in-memory node-index footprint: term
-	// bytes plus fixed per-posting and per-position costs. It is a
-	// deterministic estimate for capacity planning, not an exact heap
-	// measurement.
+	// Bytes is the shard's exact encoded (SEDASNAP v3 section) size: the
+	// deterministic cost unit the resident-budget pager charges for the
+	// shard, derived from the encoded section rather than estimated.
 	Bytes int64
+	// Resident reports whether the shard's decoded posting lists are in
+	// memory right now (always true without a pager).
+	Resident bool
 	// Fetches counts term-match evaluations (scatter tasks) served by the
 	// shard since build or load — the scatter-fanout view of query load.
 	Fetches uint64
 }
 
-// shardStats computes the stats of one shard. The per-posting constant
-// covers the Posting struct and its slice headers; positions add 4 bytes
-// each.
+// stats reads entirely from the resident summary and the cached encoded
+// size: reporting never pages a cold shard in.
 func (sh *Shard) stats() ShardStats {
-	st := ShardStats{
+	return ShardStats{
 		Lo: sh.lo, Hi: sh.hi, Docs: sh.hi - sh.lo,
-		Terms: len(sh.terms), Fetches: sh.fetches.Load(),
+		Terms:    len(sh.terms),
+		Postings: sh.nPostings,
+		Bytes:    sh.exactBytes(),
+		Resident: sh.data.Load() != nil,
+		Fetches:  sh.fetches.Load(),
 	}
-	const perPosting = 64
-	for term, ps := range sh.postings {
-		st.Postings += len(ps)
-		st.Bytes += int64(len(term)) + int64(len(ps))*perPosting
-		for i := range ps {
-			st.Bytes += int64(4 * len(ps[i].Positions))
-		}
-	}
-	return st
 }
 
 // ShardStats reports per-shard document, term, posting, and byte counts
@@ -444,22 +562,36 @@ func (ix *Index) ShardStats() []ShardStats {
 }
 
 // Lookup returns the postings of term in (doc, Dewey) order (nil if
-// absent). With multiple shards the per-shard lists are concatenated into
-// a fresh slice; either way the returned slice must not be modified.
+// absent). When exactly one shard holds the term its list is returned
+// without copying; otherwise the contributing per-shard lists are
+// concatenated into a fresh slice. Either way the returned slice must not
+// be modified. Shards whose vocabulary lacks the term are skipped via the
+// resident summary, so absent terms page nothing in.
 func (ix *Index) Lookup(term string) []Posting {
-	if len(ix.shards) == 1 {
-		return ix.shards[0].postings[term]
-	}
-	var total int
+	var single []Posting
+	contributing, total := 0, 0
 	for _, sh := range ix.shards {
-		total += len(sh.postings[term])
+		if sh.termDocFreq[term] == 0 {
+			continue
+		}
+		if ps := sh.hot().postings[term]; len(ps) > 0 {
+			contributing++
+			total += len(ps)
+			single = ps
+		}
 	}
-	if total == 0 {
+	switch contributing {
+	case 0:
 		return nil
+	case 1:
+		return single
 	}
 	out := make([]Posting, 0, total)
 	for _, sh := range ix.shards {
-		out = append(out, sh.postings[term]...)
+		if sh.termDocFreq[term] == 0 {
+			continue
+		}
+		out = append(out, sh.hot().postings[term]...)
 	}
 	return out
 }
@@ -472,7 +604,10 @@ func (ix *Index) LookupPrefix(prefix string) []Posting {
 	lo := sort.SearchStrings(ix.terms, prefix)
 	for i := lo; i < len(ix.terms) && strings.HasPrefix(ix.terms[i], prefix); i++ {
 		for _, sh := range ix.shards {
-			if ps := sh.postings[ix.terms[i]]; len(ps) > 0 {
+			if sh.termDocFreq[ix.terms[i]] == 0 {
+				continue
+			}
+			if ps := sh.hot().postings[ix.terms[i]]; len(ps) > 0 {
 				lists = append(lists, ps)
 			}
 		}
@@ -480,14 +615,19 @@ func (ix *Index) LookupPrefix(prefix string) []Posting {
 	return mergePostings(lists)
 }
 
-// lookupPrefixShard is LookupPrefix restricted to one shard.
+// lookupPrefixShard is LookupPrefix restricted to one shard. The sorted
+// vocabulary scan is resident; the shard pages in only when at least one
+// term matches the prefix.
 func (ix *Index) lookupPrefixShard(s int, prefix string) []Posting {
 	sh := ix.shards[s]
 	var lists [][]Posting
-	lo := sort.SearchStrings(sh.terms, prefix)
-	for i := lo; i < len(sh.terms) && strings.HasPrefix(sh.terms[i], prefix); i++ {
-		if ps := sh.postings[sh.terms[i]]; len(ps) > 0 {
-			lists = append(lists, ps)
+	i := sort.SearchStrings(sh.terms, prefix)
+	if i < len(sh.terms) && strings.HasPrefix(sh.terms[i], prefix) {
+		d := sh.hot()
+		for ; i < len(sh.terms) && strings.HasPrefix(sh.terms[i], prefix); i++ {
+			if ps := d.postings[sh.terms[i]]; len(ps) > 0 {
+				lists = append(lists, ps)
+			}
 		}
 	}
 	return mergePostings(lists)
@@ -624,12 +764,18 @@ func (ix *Index) PhrasePostings(terms []string) []Posting {
 
 func (ix *Index) phrasePostingsShard(s int, terms []string) []Posting {
 	sh := ix.shards[s]
+	for _, t := range terms {
+		if sh.termDocFreq[t] == 0 {
+			return nil // a missing member term kills every phrase here
+		}
+	}
+	d := sh.hot()
 	var out []Posting
-	for _, p := range sh.postings[terms[0]] {
+	for _, p := range d.postings[terms[0]] {
 		ok := true
 		offsets := p.Positions // candidate phrase start positions
 		for k := 1; k < len(terms) && ok; k++ {
-			next := sh.findPosting(terms[k], p.Ref)
+			next := d.findPosting(terms[k], p.Ref)
 			if next == nil {
 				ok = false
 				break
@@ -650,8 +796,8 @@ func (ix *Index) phrasePostingsShard(s int, terms []string) []Posting {
 	return out
 }
 
-func (sh *Shard) findPosting(term string, ref xmldoc.NodeRef) *Posting {
-	ps := sh.postings[term]
+func (d *shardData) findPosting(term string, ref xmldoc.NodeRef) *Posting {
+	ps := d.postings[term]
 	i := sort.Search(len(ps), func(i int) bool { return !ps[i].Ref.Less(ref) })
 	if i < len(ps) && ps[i].Ref.Equal(ref) {
 		return &ps[i]
@@ -671,32 +817,52 @@ func (ix *Index) DocFreq(term string) int { return ix.termDocFreq[term] }
 // NumTerms returns the vocabulary size of the node index.
 func (ix *Index) NumTerms() int { return len(ix.terms) }
 
+// pathCountAt returns the number of the shard's nodes at path p, answered
+// from the resident roster (never pages).
+func (sh *Shard) pathCountAt(p pathdict.PathID) int {
+	i := sort.Search(len(sh.pathIDs), func(i int) bool { return sh.pathIDs[i] >= p })
+	if i < len(sh.pathIDs) && sh.pathIDs[i] == p {
+		return sh.pathCounts[i]
+	}
+	return 0
+}
+
 // NodesAtPath returns all nodes with the given path in (doc, Dewey) order.
-// With multiple shards the per-shard lists are concatenated into a fresh
-// slice; either way the returned slice must not be modified.
+// When exactly one shard holds the path its list is returned without
+// copying; otherwise the contributing lists are concatenated into a fresh
+// slice. Either way the returned slice must not be modified. Shards
+// without the path are skipped via the resident roster.
 func (ix *Index) NodesAtPath(p pathdict.PathID) []xmldoc.NodeRef {
-	if len(ix.shards) == 1 {
-		return ix.shards[0].pathNodes[p]
-	}
-	var total int
+	var last *Shard
+	contributing, total := 0, 0
 	for _, sh := range ix.shards {
-		total += len(sh.pathNodes[p])
+		if n := sh.pathCountAt(p); n > 0 {
+			contributing++
+			total += n
+			last = sh
+		}
 	}
-	if total == 0 {
+	switch contributing {
+	case 0:
 		return nil
+	case 1:
+		return last.hot().pathNodes[p]
 	}
 	out := make([]xmldoc.NodeRef, 0, total)
 	for _, sh := range ix.shards {
-		out = append(out, sh.pathNodes[p]...)
+		if sh.pathCountAt(p) > 0 {
+			out = append(out, sh.hot().pathNodes[p]...)
+		}
 	}
 	return out
 }
 
-// nodesAtPathLen is len(NodesAtPath(p)) without the concatenation.
+// nodesAtPathLen is len(NodesAtPath(p)) without the concatenation; it
+// reads only the resident roster.
 func (ix *Index) nodesAtPathLen(p pathdict.PathID) int {
 	n := 0
 	for _, sh := range ix.shards {
-		n += len(sh.pathNodes[p])
+		n += sh.pathCountAt(p)
 	}
 	return n
 }

@@ -194,7 +194,7 @@ func TestBuildParallelMatchesSequential(t *testing.T) {
 	seq := BuildParallel(c, 1)
 	for _, p := range []int{2, 3, 8} {
 		par := BuildParallel(c, p)
-		if !reflect.DeepEqual(par.shards[0].postings, seq.shards[0].postings) {
+		if !reflect.DeepEqual(par.shards[0].hot().postings, seq.shards[0].hot().postings) {
 			t.Errorf("parallelism %d: postings differ", p)
 		}
 		if !reflect.DeepEqual(par.terms, seq.terms) {
@@ -206,7 +206,7 @@ func TestBuildParallelMatchesSequential(t *testing.T) {
 		if !reflect.DeepEqual(par.termDocFreq, seq.termDocFreq) {
 			t.Errorf("parallelism %d: doc frequencies differ", p)
 		}
-		if !reflect.DeepEqual(par.shards[0].pathNodes, seq.shards[0].pathNodes) {
+		if !reflect.DeepEqual(par.shards[0].hot().pathNodes, seq.shards[0].hot().pathNodes) {
 			t.Errorf("parallelism %d: path-node lists differ", p)
 		}
 		if !reflect.DeepEqual(par.allPaths, seq.allPaths) {

@@ -1,8 +1,6 @@
 package index
 
 import (
-	"sort"
-
 	"seda/internal/pathdict"
 	"seda/internal/store"
 	"seda/internal/xmldoc"
@@ -37,82 +35,83 @@ func (ix *Index) Extend(col *store.Collection, newDocs []*xmldoc.Document) *Inde
 	tail := ix.shards[len(ix.shards)-1]
 	shards := make([]*Shard, len(ix.shards))
 	copy(shards, ix.shards)
-	shards[len(shards)-1] = tail.extend(delta, col.NumDocs())
+	nt := tail.extend(delta, col.NumDocs())
+	shards[len(shards)-1] = nt
+	// The new tail joins the old tail's paging regime (non-tail shards
+	// carry their pager already, being shared pointers).
+	if p := tail.pager.Load(); p != nil {
+		nt.pager.Store(p)
+		p.admit(nt, false, 0)
+	}
 	return newIndex(col, shards)
 }
 
-// extend merges a normalized delta accumulator into a copy of the shard,
-// extending its range to [sh.lo, hi).
+// extend merges a delta accumulator into a copy of the shard, extending
+// its range to [sh.lo, hi). The receiver pages in if it was evicted.
 //
 //seda:constructor
-func (sh *Shard) extend(delta *Shard, hi int) *Shard {
-	nsh := &Shard{
-		lo:          sh.lo,
-		hi:          hi,
-		postings:    make(map[string][]Posting, len(sh.postings)+len(delta.postings)),
+func (sh *Shard) extend(delta *shardAcc, hi int) *Shard {
+	old := sh.hot()
+	acc := &shardAcc{
+		postings:    make(map[string][]Posting, len(old.postings)+len(delta.postings)),
 		pathTerms:   make(map[string]map[pathdict.PathID]int, len(sh.pathTerms)),
 		termDocFreq: make(map[string]int, len(sh.termDocFreq)+len(delta.termDocFreq)),
-		pathNodes:   make(map[pathdict.PathID][]xmldoc.NodeRef, len(sh.pathNodes)),
+		pathNodes:   make(map[pathdict.PathID][]xmldoc.NodeRef, len(old.pathNodes)),
 	}
-	for t, ps := range sh.postings {
-		nsh.postings[t] = ps
+	for t, ps := range old.postings {
+		acc.postings[t] = ps
 	}
 	for t, m := range sh.pathTerms {
-		nsh.pathTerms[t] = m
+		acc.pathTerms[t] = m
 	}
 	for t, n := range sh.termDocFreq {
-		nsh.termDocFreq[t] = n
+		acc.termDocFreq[t] = n
 	}
-	for p, refs := range sh.pathNodes {
-		nsh.pathNodes[p] = refs
+	for p, refs := range old.pathNodes {
+		acc.pathNodes[p] = refs
 	}
 
 	for term, ps := range delta.postings {
 		dp := normalizePostings(ps)
-		if old, ok := nsh.postings[term]; ok {
-			merged := make([]Posting, 0, len(old)+len(dp))
-			merged = append(merged, old...)
+		if cur, ok := acc.postings[term]; ok {
+			merged := make([]Posting, 0, len(cur)+len(dp))
+			merged = append(merged, cur...)
 			merged = append(merged, dp...)
-			nsh.postings[term] = merged
+			acc.postings[term] = merged
 		} else {
-			nsh.postings[term] = dp
+			acc.postings[term] = dp
 		}
 	}
 	for term, paths := range delta.pathTerms {
-		old, ok := nsh.pathTerms[term]
+		cur, ok := acc.pathTerms[term]
 		if !ok {
-			nsh.pathTerms[term] = paths
+			acc.pathTerms[term] = paths
 			continue
 		}
-		m := make(map[pathdict.PathID]int, len(old)+len(paths))
-		for p, n := range old {
+		m := make(map[pathdict.PathID]int, len(cur)+len(paths))
+		for p, n := range cur {
 			m[p] = n
 		}
 		for p, n := range paths {
 			m[p] += n
 		}
-		nsh.pathTerms[term] = m
+		acc.pathTerms[term] = m
 	}
 	for term, n := range delta.termDocFreq {
-		nsh.termDocFreq[term] += n // new documents are disjoint from old ones
+		acc.termDocFreq[term] += n // new documents are disjoint from old ones
 	}
 	for p, refs := range delta.pathNodes {
-		if old, ok := nsh.pathNodes[p]; ok {
-			merged := make([]xmldoc.NodeRef, 0, len(old)+len(refs))
-			merged = append(merged, old...)
+		if cur, ok := acc.pathNodes[p]; ok {
+			merged := make([]xmldoc.NodeRef, 0, len(cur)+len(refs))
+			merged = append(merged, cur...)
 			merged = append(merged, refs...)
-			nsh.pathNodes[p] = merged
+			acc.pathNodes[p] = merged
 		} else {
-			nsh.pathNodes[p] = refs
+			acc.pathNodes[p] = refs
 		}
 	}
 
-	nsh.terms = make([]string, 0, len(nsh.postings))
-	for t := range nsh.postings {
-		nsh.terms = append(nsh.terms, t)
-	}
-	sort.Strings(nsh.terms)
-	return nsh
+	return sealShard(sh.lo, hi, acc)
 }
 
 // Terms returns the node index's vocabulary in sorted order. The returned

@@ -117,11 +117,18 @@ func (ix *Index) matchByContextScan(t query.Term, s int) ([]Match, error) {
 	dict := ix.col.Dict()
 	sh := ix.shards[s]
 	candSet := make(map[string]candidate)
-	for p, refs := range sh.pathNodes {
+	// Walk the resident path roster and page the shard in only when a
+	// path actually matches the context: a scan that matches nothing in
+	// this shard leaves a cold shard cold.
+	var d *shardData
+	for _, p := range sh.pathIDs {
 		if !t.Context.Matches(dict, p) {
 			continue
 		}
-		for _, ref := range refs {
+		if d == nil {
+			d = sh.hot()
+		}
+		for _, ref := range d.pathNodes[p] {
 			candSet[refKey(ref)] = candidate{ref: ref}
 		}
 	}
@@ -283,13 +290,19 @@ func mergeToSingle(cs [][]probe) [][]probe {
 // the corpus-wide SLCA.
 func (ix *Index) clauseAnchors(clause []probe, s int) []xmldoc.NodeRef {
 	sh := ix.shards[s]
+	var d *shardData
 	lists := make([][]Posting, 0, len(clause))
 	for _, pr := range clause {
 		var ps []Posting
 		if pr.prefix {
 			ps = ix.lookupPrefixShard(s, pr.term)
-		} else {
-			ps = sh.postings[pr.term]
+		} else if sh.termDocFreq[pr.term] > 0 {
+			// The resident vocabulary gates the probe: a term absent from
+			// this shard fails the clause without paging anything in.
+			if d == nil {
+				d = sh.hot()
+			}
+			ps = d.postings[pr.term]
 		}
 		if len(ps) == 0 {
 			return nil // clause cannot be satisfied in this shard

@@ -1,0 +1,273 @@
+package index
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"seda/internal/snapcodec"
+	"seda/internal/store"
+)
+
+// The v3 shard codec's contract: the compressed payload round-trips both
+// resident and paged decodes to identical shard state, re-encodes
+// byte-identically from any residency (resident, paged-cold, evicted),
+// and rejects malformed payloads at decode time — page-in afterwards is
+// infallible by construction.
+
+func encodeShardBytes(ix *Index, s int) []byte {
+	var w snapcodec.Writer
+	ix.EncodeShard(&w, s)
+	return w.Bytes()
+}
+
+func TestShardCodecV3RoundTrip(t *testing.T) {
+	col, _ := buildFixture(t)
+	ix := BuildSharded(col, 2, 2)
+	for s := 0; s < ix.NumShards(); s++ {
+		orig := ix.shards[s]
+		data := encodeShardBytes(ix, s)
+
+		resident, err := DecodeShard(snapcodec.NewReader(data), col)
+		if err != nil {
+			t.Fatalf("shard %d: DecodeShard: %v", s, err)
+		}
+		if resident.data.Load() == nil {
+			t.Fatalf("shard %d: resident decode left shard cold", s)
+		}
+		paged, err := DecodeShardPaged(snapcodec.NewReader(data), col)
+		if err != nil {
+			t.Fatalf("shard %d: DecodeShardPaged: %v", s, err)
+		}
+		if paged.data.Load() != nil {
+			t.Fatalf("shard %d: paged decode materialized the lazy block", s)
+		}
+		if paged.raw.Load() == nil {
+			t.Fatalf("shard %d: paged decode kept no encoded payload", s)
+		}
+
+		// Summary state matches without paging; a paged re-encode splices
+		// the stored lazy block and must reproduce the payload exactly.
+		if !reflect.DeepEqual(paged.terms, orig.terms) ||
+			!reflect.DeepEqual(paged.termDocFreq, orig.termDocFreq) ||
+			!reflect.DeepEqual(paged.pathTerms, orig.pathTerms) ||
+			!reflect.DeepEqual(paged.pathIDs, orig.pathIDs) {
+			t.Fatalf("shard %d: paged summary state differs", s)
+		}
+		var cold snapcodec.Writer
+		paged.encodeInto(&cold)
+		if !bytes.Equal(cold.Bytes(), data) {
+			t.Errorf("shard %d: cold re-encode differs from stored payload", s)
+		}
+
+		// First touch materializes state identical to the original build.
+		for _, sh := range []*Shard{resident, paged} {
+			d := sh.hot()
+			if !reflect.DeepEqual(d.postings, orig.hot().postings) {
+				t.Errorf("shard %d: postings differ after decode", s)
+			}
+			if !reflect.DeepEqual(d.pathNodes, orig.hot().pathNodes) {
+				t.Errorf("shard %d: path-node lists differ after decode", s)
+			}
+			var w snapcodec.Writer
+			sh.encodeInto(&w)
+			if !bytes.Equal(w.Bytes(), data) {
+				t.Errorf("shard %d: hot re-encode differs from stored payload", s)
+			}
+		}
+
+		// Evict → re-encode → page back in: the cycle is lossless.
+		if !paged.tryEvict() {
+			t.Fatalf("shard %d: tryEvict on a hot shard reported no transition", s)
+		}
+		if paged.data.Load() != nil {
+			t.Fatalf("shard %d: shard still resident after eviction", s)
+		}
+		var evicted snapcodec.Writer
+		paged.encodeInto(&evicted)
+		if !bytes.Equal(evicted.Bytes(), data) {
+			t.Errorf("shard %d: evicted re-encode differs from stored payload", s)
+		}
+		if !reflect.DeepEqual(paged.hot().postings, orig.hot().postings) {
+			t.Errorf("shard %d: postings differ after evict→page-in", s)
+		}
+	}
+}
+
+// TestShardCodecLegacyStillDecodes: a shardCodecV1 payload (as SEDASNAP v2
+// containers carried) decodes to the same state under both entry points;
+// paged decodes of legacy payloads come up fully resident (no lazy block).
+func TestShardCodecLegacyStillDecodes(t *testing.T) {
+	col, _ := buildFixture(t)
+	ix := BuildSharded(col, 2, 1)
+	for s := 0; s < ix.NumShards(); s++ {
+		orig := ix.shards[s]
+		var w snapcodec.Writer
+		ix.EncodeShardLegacy(&w, s)
+		for _, decode := range []func(*snapcodec.Reader, *store.Collection) (*Shard, error){
+			DecodeShard, DecodeShardPaged,
+		} {
+			sh, err := decode(snapcodec.NewReader(w.Bytes()), col)
+			if err != nil {
+				t.Fatalf("shard %d: legacy decode: %v", s, err)
+			}
+			if sh.data.Load() == nil {
+				t.Fatalf("shard %d: legacy payload decoded cold", s)
+			}
+			if !reflect.DeepEqual(sh.hot().postings, orig.hot().postings) {
+				t.Errorf("shard %d: legacy postings differ", s)
+			}
+			if !reflect.DeepEqual(sh.hot().pathNodes, orig.hot().pathNodes) {
+				t.Errorf("shard %d: legacy path-node lists differ", s)
+			}
+			if !reflect.DeepEqual(sh.termDocFreq, orig.termDocFreq) {
+				t.Errorf("shard %d: legacy doc freqs differ", s)
+			}
+		}
+	}
+}
+
+// TestShardStatsExactBytes: the satellite replacing the old perPosting=64
+// estimator — ShardStats reports each shard's exact encoded payload size.
+func TestShardStatsExactBytes(t *testing.T) {
+	col, _ := buildFixture(t)
+	ix := BuildSharded(col, 2, 1)
+	for s, st := range ix.ShardStats() {
+		want := int64(len(encodeShardBytes(ix, s)))
+		if st.Bytes != want {
+			t.Errorf("shard %d: Bytes = %d, want exact encoded size %d", s, st.Bytes, want)
+		}
+		if !st.Resident {
+			t.Errorf("shard %d: built shard reported non-resident", s)
+		}
+	}
+}
+
+func TestShardCodecHostileInputs(t *testing.T) {
+	col := store.NewCollection()
+	if _, err := col.AddXML("doc0", []byte(`<a><b>hello world</b><b>world again</b></a>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.AddXML("doc1", []byte(`<a><b>hello again</b></a>`)); err != nil {
+		t.Fatal(err)
+	}
+	ix := BuildSharded(col, 1, 1)
+	data := encodeShardBytes(ix, 0)
+
+	// Truncation sweep: every prefix errors from both decoders — the paged
+	// decoder validates the lazy block up front, so a truncated payload
+	// can never defer its failure to page-in time.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeShard(snapcodec.NewReader(data[:cut]), col); err == nil {
+			t.Errorf("cut=%d: resident decode accepted a truncated payload", cut)
+		}
+		if _, err := DecodeShardPaged(snapcodec.NewReader(data[:cut]), col); err == nil {
+			t.Errorf("cut=%d: paged decode accepted a truncated payload", cut)
+		}
+	}
+
+	// Byte-flip sweep: no flip may panic either decoder, and any flip the
+	// paged decoder accepts must page in cleanly (decode validates, page-in
+	// trusts).
+	for i := range data {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0xFF
+		if sh, err := DecodeShardPaged(snapcodec.NewReader(bad), col); err == nil {
+			sh.hot()
+		}
+		_, _ = DecodeShard(snapcodec.NewReader(bad), col)
+	}
+
+	// Alloc bombs: giant counts in a tiny payload must be rejected by the
+	// count guards, not trusted as allocation sizes.
+	bomb := func(build func(w *snapcodec.Writer)) {
+		t.Helper()
+		var w snapcodec.Writer
+		build(&w)
+		if _, err := DecodeShard(snapcodec.NewReader(w.Bytes()), col); err == nil {
+			t.Error("alloc-bomb payload decoded successfully")
+		}
+		if _, err := DecodeShardPaged(snapcodec.NewReader(w.Bytes()), col); err == nil {
+			t.Error("alloc-bomb payload paged-decoded successfully")
+		}
+	}
+	bomb(func(w *snapcodec.Writer) { // vocabulary count far beyond the payload
+		w.Int(shardCodecV2)
+		w.Int(0)
+		w.Int(2)
+		w.Int(1 << 30)
+	})
+	bomb(func(w *snapcodec.Writer) { // posting count far beyond the lazy block
+		w.Int(shardCodecV2)
+		w.Int(0)
+		w.Int(2)
+		w.Int(1) // one term
+		w.String("hello")
+		w.Int(1)       // doc freq
+		w.Int(1 << 28) // claimed postings
+		w.Int(0)       // no context terms
+		w.Int(0)       // empty roster
+	})
+	bomb(func(w *snapcodec.Writer) { // huge dewey suffix inside the lazy block
+		w.Int(shardCodecV2)
+		w.Int(0)
+		w.Int(2)
+		w.Int(1)
+		w.String("hello")
+		w.Int(1)
+		w.Int(1)
+		w.Int(0)
+		w.Int(0)
+		// lazy block: one posting with an absurd suffix length
+		w.Int(0)       // doc gap
+		w.Int(0)       // shared prefix
+		w.Int(1 << 28) // suffix components
+	})
+	bomb(func(w *snapcodec.Writer) { // roster refCount bomb
+		w.Int(shardCodecV2)
+		w.Int(0)
+		w.Int(2)
+		w.Int(0) // no terms
+		w.Int(0) // no context terms
+		w.Int(1) // one roster path
+		w.Uvarint(3)
+		w.Int(1 << 28) // claimed refs
+	})
+}
+
+// FuzzShardDecode drives both shard decoders over mutated payloads. The
+// invariant under fuzz: no input panics either decoder, and any input the
+// paged decoder accepts must survive a full page-in → evict → page-in
+// cycle (paged validation is what lets Shard.hot treat decode failure as
+// a programming error).
+func FuzzShardDecode(f *testing.F) {
+	col := store.NewCollection()
+	if _, err := col.AddXML("doc0", []byte(`<a><b>hello world hello</b><c>world</c></a>`)); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := col.AddXML("doc1", []byte(`<a><b>again hello</b></a>`)); err != nil {
+		f.Fatal(err)
+	}
+	ix := BuildSharded(col, 2, 1)
+	for s := 0; s < ix.NumShards(); s++ {
+		var w snapcodec.Writer
+		ix.EncodeShard(&w, s)
+		f.Add(w.Bytes())
+		f.Add(w.Bytes()[:len(w.Bytes())/2])
+		var lw snapcodec.Writer
+		ix.EncodeShardLegacy(&lw, s)
+		f.Add(lw.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 2, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if sh, err := DecodeShard(snapcodec.NewReader(data), col); err == nil {
+			sh.hot()
+		}
+		if sh, err := DecodeShardPaged(snapcodec.NewReader(data), col); err == nil {
+			sh.hot()
+			sh.tryEvict()
+			sh.hot()
+		}
+	})
+}

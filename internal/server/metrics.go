@@ -19,6 +19,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"seda/internal/index"
 	"seda/internal/obs"
 	"seda/internal/topk"
 )
@@ -42,6 +43,11 @@ type serverMetrics struct {
 	// counters stay monotonic across builds, loads, and generation swaps.
 	search *topk.Metrics
 
+	// paging is the shared shard-paging metric set (seda_paging_*); the
+	// registry installs it on every adopted engine's pager. Fully
+	// resident engines have no pager and never touch it.
+	paging *index.PagingMetrics
+
 	requests *obs.CounterVec   // seda_http_requests_total{endpoint,code}
 	duration *obs.HistogramVec // seda_http_request_duration_seconds{endpoint}
 	inflight *obs.Gauge        // seda_http_inflight_requests
@@ -54,7 +60,11 @@ type serverMetrics struct {
 
 func newServerMetrics(s *Server) *serverMetrics {
 	reg := obs.NewRegistry()
-	m := &serverMetrics{reg: reg, search: topk.NewMetrics(reg)}
+	m := &serverMetrics{
+		reg:    reg,
+		search: topk.NewMetrics(reg),
+		paging: index.NewPagingMetrics(reg),
+	}
 
 	m.requests = reg.NewCounterVec("seda_http_requests_total",
 		"HTTP requests completed, by route pattern and status code.",

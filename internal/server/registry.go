@@ -14,6 +14,7 @@ import (
 
 	"seda/internal/core"
 	"seda/internal/datagen"
+	"seda/internal/index"
 	"seda/internal/store"
 	"seda/internal/topk"
 )
@@ -195,6 +196,12 @@ type Registry struct {
 	// open registration endpoint needs a bound.
 	MaxEntries int
 
+	// ResidentBudget is the shard residency budget in bytes applied to
+	// snapshot collections discovered at boot (EnableSnapshots); source
+	// registrations carry their budget in their own config. 0 = fully
+	// resident. Set it before serving.
+	ResidentBudget int64
+
 	mu      sync.RWMutex
 	entries map[string]*regEntry // guarded by mu
 
@@ -210,18 +217,22 @@ type Registry struct {
 
 	// Observers installed by SetObservers before serving; read-only after.
 	searchMetrics *topk.Metrics
+	pagingMetrics *index.PagingMetrics
 	onOp          func(op string, phases map[string]time.Duration)
 }
 
 // SetObservers installs the serving tier's instrumentation. search is a
 // shared topk metric set installed on every engine the registry adopts
 // (ingest generations inherit it, keeping search counters monotonic
-// across generation swaps); onOp receives per-layer wall times after each
-// engine lifecycle operation ("build", "load", "ingest", "save"). Either
-// may be nil. Call once, before serving — like EnableSnapshots, it is not
-// safe to race with request traffic.
-func (r *Registry) SetObservers(search *topk.Metrics, onOp func(op string, phases map[string]time.Duration)) {
+// across generation swaps); paging is the shared shard-paging metric set
+// installed on every adopted engine's pager (a no-op for fully resident
+// engines); onOp receives per-layer wall times after each engine
+// lifecycle operation ("build", "load", "ingest", "save"). Any may be
+// nil. Call once, before serving — like EnableSnapshots, it is not safe
+// to race with request traffic.
+func (r *Registry) SetObservers(search *topk.Metrics, paging *index.PagingMetrics, onOp func(op string, phases map[string]time.Duration)) {
 	r.searchMetrics = search
+	r.pagingMetrics = paging
 	r.onOp = onOp
 }
 
@@ -234,6 +245,9 @@ func (r *Registry) SetObservers(search *topk.Metrics, onOp func(op string, phase
 func (r *Registry) observeEngine(eng *core.Engine, op string) {
 	if r.searchMetrics != nil {
 		eng.SetSearchMetrics(r.searchMetrics)
+	}
+	if r.pagingMetrics != nil {
+		eng.SetPagingMetrics(r.pagingMetrics)
 	}
 	if r.onOp == nil {
 		return
@@ -287,7 +301,7 @@ func (r *Registry) EnableSnapshots(dir string, parallelism int) ([]string, error
 			name:         name,
 			snapshotPath: filepath.Join(dir, f.Name()),
 			discovered:   true,
-			cfg:          core.Config{Parallelism: parallelism},
+			cfg:          core.Config{Parallelism: parallelism, ResidentBudget: r.ResidentBudget},
 		}
 		if fi, err := f.Info(); err == nil {
 			e.snapshotBytes.Store(fi.Size())
@@ -601,9 +615,24 @@ type RegistryInfo struct {
 	Docs          int    `json:"docs,omitempty"`
 	Nodes         int    `json:"nodes,omitempty"`
 	// Shards breaks the built engine's index down by horizontal shard
-	// (document range, vocabulary, postings, estimated bytes); absent
+	// (document range, vocabulary, postings, exact encoded bytes); absent
 	// until the engine is built or loaded.
 	Shards []ShardInfo `json:"shards,omitempty"`
+	// Paging reports the engine's shard-residency accounting; absent for
+	// fully resident engines (no budget configured).
+	Paging *PagingInfo `json:"paging,omitempty"`
+}
+
+// PagingInfo is one paged engine's residency accounting on the wire.
+type PagingInfo struct {
+	// Budget is the configured resident budget in bytes; ResidentBytes
+	// the exact encoded size of the shards currently decoded, Resident
+	// their count.
+	Budget        int64  `json:"budget_bytes"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	Resident      int    `json:"resident_shards"`
+	PageIns       uint64 `json:"page_ins"`
+	Evictions     uint64 `json:"evictions"`
 }
 
 // ShardInfo is one index shard's footprint on the wire.
@@ -615,6 +644,10 @@ type ShardInfo struct {
 	Terms    int   `json:"terms"`
 	Postings int   `json:"postings"`
 	Bytes    int64 `json:"bytes"`
+	// Resident reports whether the shard's decoded form is in memory
+	// (always true without a resident budget; a paged shard flips as it
+	// is touched and evicted).
+	Resident bool `json:"resident"`
 	// Fetches counts term-fetch tasks the top-k scatter has sent to this
 	// shard since it was built or loaded (runtime state, not persisted) —
 	// uneven numbers across shards reveal a skewed document partition.
@@ -666,8 +699,17 @@ func (r *Registry) List() []RegistryInfo {
 				info.Shards = append(info.Shards, ShardInfo{
 					Lo: st.Lo, Hi: st.Hi, Docs: st.Docs,
 					Terms: st.Terms, Postings: st.Postings, Bytes: st.Bytes,
-					Fetches: st.Fetches,
+					Resident: st.Resident, Fetches: st.Fetches,
 				})
+			}
+			if ps, ok := eng.PagerStats(); ok {
+				info.Paging = &PagingInfo{
+					Budget:        ps.Budget,
+					ResidentBytes: ps.ResidentBytes,
+					Resident:      ps.Resident,
+					PageIns:       ps.PageIns,
+					Evictions:     ps.Evictions,
+				}
 			}
 		}
 		out = append(out, info)

@@ -99,6 +99,13 @@ type Options struct {
 	// over, snapshot I/O parallelizes across, and ingest extends the
 	// tail of.
 	Shards int
+	// ResidentBudget is the default per-collection shard residency budget
+	// in bytes for collections registered over HTTP without their own
+	// "resident_budget" option and for snapshots discovered at boot. 0
+	// (the default) keeps engines fully resident; > 0 pages index shards
+	// in on first touch and evicts the least-recently-used past the
+	// budget. Answers are identical at any setting.
+	ResidentBudget int64
 	// AccessLog, when non-nil, receives one line per completed request:
 	// remote address, method, path, status, duration, and request id.
 	AccessLog *log.Logger
@@ -140,6 +147,9 @@ func (o *Options) defaults() {
 	if o.Shards < 0 {
 		o.Shards = 0
 	}
+	if o.ResidentBudget < 0 {
+		o.ResidentBudget = 0
+	}
 }
 
 // Server is the sedad HTTP handler. Create one with New; it is safe for
@@ -172,6 +182,7 @@ func New(opts Options) *Server {
 	if opts.MaxCollections > 0 {
 		reg.MaxEntries = opts.MaxCollections
 	}
+	reg.ResidentBudget = opts.ResidentBudget
 	s := &Server{
 		opts:      opts,
 		registry:  reg,
@@ -184,10 +195,10 @@ func New(opts Options) *Server {
 		reqPrefix: newRequestPrefix(),
 	}
 	s.metrics = newServerMetrics(s)
-	// The registry installs the shared search metric set on every engine
-	// it adopts and reports lifecycle phase timings back into the same
-	// exposition registry.
-	reg.SetObservers(s.metrics.search, s.metrics.observeEngineOp)
+	// The registry installs the shared search and paging metric sets on
+	// every engine it adopts and reports lifecycle phase timings back into
+	// the same exposition registry.
+	reg.SetObservers(s.metrics.search, s.metrics.paging, s.metrics.observeEngineOp)
 	s.slowLog = opts.SlowQueryLog
 	if s.slowLog == nil {
 		s.slowLog = opts.AccessLog
@@ -445,6 +456,10 @@ func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, "shards must be in 0..%d", MaxShards)
 		return
 	}
+	if req.ResidentBudget < 0 {
+		writeError(w, http.StatusBadRequest, "resident_budget must be >= 0 bytes")
+		return
+	}
 	par := req.Parallelism
 	if par == 0 {
 		par = s.opts.Parallelism
@@ -453,7 +468,16 @@ func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) 
 	if shards == 0 {
 		shards = s.opts.Shards
 	}
-	cfg := core.Config{DataguideThreshold: req.DataguideThreshold, Parallelism: par, Shards: shards}
+	budget := req.ResidentBudget
+	if budget == 0 {
+		budget = s.opts.ResidentBudget
+	}
+	cfg := core.Config{
+		DataguideThreshold: req.DataguideThreshold,
+		Parallelism:        par,
+		Shards:             shards,
+		ResidentBudget:     budget,
+	}
 	var err error
 	switch {
 	case req.Builtin != "" && len(req.Documents) > 0:

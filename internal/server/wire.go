@@ -33,6 +33,12 @@ type collectionRequest struct {
 	// identical at any setting; shards parallelize search scatter,
 	// snapshot I/O, and keep ingest cost shard-local.
 	Shards int `json:"shards,omitempty"`
+	// ResidentBudget overrides the server's shard residency budget in
+	// bytes for this collection (0 = server default). A positive budget
+	// pages index shards in on first touch and evicts the
+	// least-recently-used past the budget; answers are identical at any
+	// setting.
+	ResidentBudget int64 `json:"resident_budget,omitempty"`
 }
 
 type documentPayload struct {

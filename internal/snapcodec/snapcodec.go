@@ -58,8 +58,17 @@ func (w *Writer) Int(v int) {
 	w.Uvarint(uint64(v))
 }
 
+// Svarint appends a signed value in zig-zag varint form: small magnitudes
+// of either sign stay short, which is what the delta-coded posting layout
+// needs.
+func (w *Writer) Svarint(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
 // Byte appends a single byte.
 func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Raw appends b verbatim, with no framing. Used to splice an
+// already-encoded block (a cold shard's lazy payload) into a section.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
 
 // Bool appends a boolean as one byte.
 func (w *Writer) Bool(b bool) {
@@ -135,6 +144,20 @@ func (r *Reader) Int() int {
 	return int(v)
 }
 
+// Svarint reads a zig-zag signed varint.
+func (r *Reader) Svarint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("truncated svarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
 // Count reads an element count and validates it against the bytes that
 // remain, assuming each element occupies at least elemMin bytes. This is
 // the allocation guard: a hostile length can never make a decoder allocate
@@ -205,6 +228,29 @@ func (r *Reader) String() string {
 	s := string(r.buf[r.off : r.off+n])
 	r.off += n
 	return s
+}
+
+// Tail returns the unread remainder of the payload without consuming it
+// (nil after an error). Decoders that defer part of a payload — the lazy
+// posting block of a shard section — capture it here and re-read it with a
+// fresh Reader on first touch.
+func (r *Reader) Tail() []byte {
+	if r.err != nil {
+		return nil
+	}
+	return r.buf[r.off:]
+}
+
+// Skip advances past n bytes, failing if fewer remain.
+func (r *Reader) Skip(n int) {
+	if r.err != nil {
+		return
+	}
+	if n < 0 || n > r.Remaining() {
+		r.fail("skip %d exceeds remaining %d bytes", n, r.Remaining())
+		return
+	}
+	r.off += n
 }
 
 // Dewey reads a Dewey identifier.
