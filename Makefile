@@ -1,7 +1,7 @@
 GO ?= go
 SCALE ?= 0.05
 
-.PHONY: build test bench bench-smoke bench-coldstart bench-ingest bench-shards bench-memory bench-serve metrics-smoke serve vet fmt-check lint fuzz-smoke vuln
+.PHONY: build test bench bench-smoke bench-coldstart bench-ingest bench-shards bench-memory bench-lifecycle bench-serve metrics-smoke serve vet fmt-check lint fuzz-smoke vuln
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseXML -fuzztime 10s ./internal/xmldoc
 	$(GO) test -run '^$$' -fuzz FuzzParseQuery -fuzztime 10s ./internal/query
 	$(GO) test -run '^$$' -fuzz FuzzShardDecode -fuzztime 10s ./internal/index
+	$(GO) test -run '^$$' -fuzz FuzzTombstoneDecode -fuzztime 10s ./internal/store
 
 # Known-vulnerability scan. Skips with a notice when govulncheck is not
 # on PATH (the tool needs a network fetch to install; CI installs it).
@@ -82,6 +83,13 @@ bench-shards:
 # BENCH_memory.json (scale 0.1, like the rest of the BENCH trajectory).
 bench-memory:
 	$(GO) run ./cmd/sedabench -exp memory -scale 0.1
+
+# Lifecycle benchmark: single-document delete/update latency, compaction
+# throughput at ~30% tombstones, and masked-vs-compacted query p50 per
+# builtin corpus, refreshing the checked-in BENCH_lifecycle.json (scale
+# 0.1, like the rest of the BENCH trajectory).
+bench-lifecycle:
+	$(GO) run ./cmd/sedabench -exp lifecycle -scale 0.1
 
 # Serving-tier benchmark: open-loop HTTP latency percentiles (p50/p95/p99)
 # against a live in-process sedad surface, refreshing the checked-in

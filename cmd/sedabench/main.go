@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|coldstart|ingest|shards|memory|serve|all")
+	exp := flag.String("exp", "all", "experiment: table1|figure3|controlflow|intext|sweep|ablations|coldstart|ingest|shards|memory|lifecycle|serve|all")
 	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = paper size)")
 	out := flag.String("out", ".", "directory for BENCH_<name>.json result files (empty disables)")
 	par := flag.Int("parallelism", 0, "worker goroutines for engine builds and searches (0 = all cores, 1 = sequential)")
@@ -136,6 +136,19 @@ func main() {
 		}
 	}
 
+	// lifecycle measures delete/update latency, compaction throughput, and
+	// masked-vs-compacted query p50 per corpus; it manages its own file.
+	if *exp == "all" || *exp == "lifecycle" {
+		fmt.Println("==== lifecycle ====")
+		start := time.Now()
+		res := lifecycleExp(*scale)
+		res.NsPerOp = time.Since(start).Nanoseconds()
+		fmt.Printf("(lifecycle in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			writeLifecycleResult(*out, res)
+		}
+	}
+
 	// serve measures the HTTP tier under open-loop load and validates the
 	// /metrics exposition; it writes percentile fields of its own.
 	if *exp == "all" || *exp == "serve" {
@@ -151,7 +164,7 @@ func main() {
 
 	if *exp != "all" {
 		switch *exp {
-		case "table1", "intext", "sweep", "figure3", "controlflow", "ablations", "coldstart", "ingest", "shards", "memory", "serve":
+		case "table1", "intext", "sweep", "figure3", "controlflow", "ablations", "coldstart", "ingest", "shards", "memory", "lifecycle", "serve":
 		default:
 			fmt.Fprintf(os.Stderr, "sedabench: unknown experiment %q\n", *exp)
 			os.Exit(2)

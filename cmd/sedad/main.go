@@ -79,6 +79,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for engine builds and top-k searches (0 = all cores, 1 = sequential)")
 	shards := flag.Int("shards", 0, "horizontal index shards per collection (0 = single shard; answers are identical at any setting)")
 	residentBudget := flag.String("resident-budget", "", "per-collection shard residency budget, e.g. 64MB or 1.5GB (empty or 0 = fully resident; answers are identical at any setting)")
+	compactThreshold := flag.Float64("compact-threshold", 0.3, "background-compact a collection when its tombstone ratio reaches this fraction (0 disables; compaction then runs only on explicit POST /collections/{name}/compact)")
 	data := flag.String("data", "", "snapshot directory: persist engines after first build and reload them at boot (empty = memory-only)")
 	slowlog := flag.Duration("slowlog", 0, "log top-k searches taking at least this long, with their request id (0 disables)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
@@ -92,6 +93,9 @@ func main() {
 	budget, err := parseByteSize(*residentBudget)
 	if err != nil {
 		log.Fatalf("sedad: -resident-budget: %v", err)
+	}
+	if *compactThreshold < 0 || *compactThreshold > 1 {
+		log.Fatal("sedad: -compact-threshold must be in [0, 1]")
 	}
 
 	logger := log.New(os.Stderr, "sedad ", log.LstdFlags|log.Lmsgprefix)
@@ -116,6 +120,7 @@ func main() {
 		SlowQueryThreshold: *slowlog,
 		EnablePprof:        *pprofOn,
 	})
+	srv.Registry().CompactThreshold = *compactThreshold
 	// Snapshots load before preloads so a preload of a name already on
 	// disk upgrades the discovered entry: the snapshot then serves as that
 	// collection's validated build cache.

@@ -41,10 +41,14 @@ import (
 // and the section roster. Version 2 replaced the single "index" section
 // with one "index.<n>" section per shard, so snapshot encode and decode
 // parallelize across shards; version 3 switched the shard sections to the
-// delta-compressed posting codec (see internal/index). Version-1
-// containers still load (as a single-shard engine), and version-2
-// containers load via the shard codec's own version gate.
-const snapshotFormatVersion = 3
+// delta-compressed posting codec (see internal/index); version 4 added
+// the optional "tombstones" section carrying the generation's deletion
+// mask (absent when every document is live, so an unmasked v4 container
+// differs from v3 only in the version field). Version-1 containers still
+// load (as a single-shard engine), version-2 containers load via the
+// shard codec's own version gate, and v3 containers load as tombstone-
+// free v4s.
+const snapshotFormatVersion = 4
 
 // Section names of the engine container, in write order. The graph and
 // dataguide sections are corpus-global (both are built from per-shard
@@ -55,9 +59,10 @@ const (
 	secPathdict   = "pathdict"
 	secCollection = "collection"
 	secGraph      = "graph"
-	secIndex      = "index"     // v1 only: the whole index as one section
-	secIndexShard = "index."    // v2: one section per shard ("index.0", …)
-	secDataguide  = "dataguide" // absent when the engine skipped dataguides
+	secIndex      = "index"      // v1 only: the whole index as one section
+	secIndexShard = "index."     // v2: one section per shard ("index.0", …)
+	secDataguide  = "dataguide"  // absent when the engine skipped dataguides
+	secTombstones = "tombstones" // v4: deletion mask; absent when unmasked
 )
 
 // metaVersion versions the meta-section payload.
@@ -138,6 +143,12 @@ func SaveEngine(w io.Writer, e *Engine, source string) error {
 		{secPathdict, e.col.Dict().Encode},
 		{secCollection, e.col.Encode},
 		{secGraph, e.g.Encode},
+	}
+	if dead := e.col.Tombstones(); dead.Len() > 0 {
+		// The collection section persists its statistics already masked, so
+		// the load path attaches this set without re-subtracting (see
+		// store.AttachTombstones).
+		jobs = append(jobs, job{secTombstones, dead.Encode})
 	}
 	for s := 0; s < e.ix.NumShards(); s++ {
 		s := s
@@ -409,6 +420,22 @@ func loadEngineInto(data []byte, want *Config, source string, budget int64, le *
 		return nil, fmt.Errorf("core: load engine: %w", err)
 	}
 	timings["load-collection"] = time.Since(tp)
+
+	// The v4 tombstone section, when present, attaches the deletion mask
+	// before any dependent layer decodes: FromShards re-derives the index
+	// mask from the collection's tombstones, and the graph and dataguide
+	// codecs validate against the masked collection. The persisted
+	// collection statistics were masked at save time, so nothing is
+	// subtracted here.
+	if p, ok := byName[secTombstones]; ok {
+		dead, err := store.DecodeTombstones(snapcodec.NewReader(p), col.NumDocs())
+		if err != nil {
+			return nil, fmt.Errorf("core: load engine: %w", err)
+		}
+		if col, err = col.AttachTombstones(dead); err != nil {
+			return nil, fmt.Errorf("core: load engine: %w: %v", snapcodec.ErrCorrupt, err)
+		}
+	}
 
 	// The index's shard roster: a v2 container carries index.0 … index.N-1,
 	// a v1 container one flat "index" section (decoded as a single shard).

@@ -15,21 +15,36 @@ import (
 // same edit.
 func TestSnapshotFrameLayout(t *testing.T) {
 	t.Run("one-shard", func(t *testing.T) {
-		testSnapshotFrameLayout(t, Config{},
+		testSnapshotFrameLayout(t, Config{}, nil,
 			[]string{"meta", "pathdict", "collection", "graph", "index.0", "dataguide"})
 	})
 	t.Run("two-shard", func(t *testing.T) {
 		// One index.<n> section per shard, in shard order.
-		testSnapshotFrameLayout(t, Config{Shards: 2},
+		testSnapshotFrameLayout(t, Config{Shards: 2}, nil,
 			[]string{"meta", "pathdict", "collection", "graph", "index.0", "index.1", "dataguide"})
+	})
+	t.Run("masked", func(t *testing.T) {
+		// A generation carrying tombstones adds the "tombstones" section
+		// between graph and the index shards; unmasked engines omit it
+		// (the two subtests above double as that check).
+		testSnapshotFrameLayout(t, Config{}, func(e *Engine) *Engine {
+			ne, n, err := e.DeleteDocuments("b.xml")
+			if err != nil || n != 1 {
+				t.Fatalf("DeleteDocuments: n=%d err=%v", n, err)
+			}
+			return ne
+		}, []string{"meta", "pathdict", "collection", "graph", "tombstones", "index.0", "dataguide"})
 	})
 }
 
-func testSnapshotFrameLayout(t *testing.T, cfg Config, wantSections []string) {
+func testSnapshotFrameLayout(t *testing.T, cfg Config, mutate func(*Engine) *Engine, wantSections []string) {
 	eng := scratchEngine(t, []IngestDoc{
 		{Name: "a.xml", XML: []byte(`<lab id="l1"><name>alpha</name><member ref="l2">ann</member></lab>`)},
 		{Name: "b.xml", XML: []byte(`<lab id="l2"><name>beta</name></lab>`)},
 	}, cfg)
+	if mutate != nil {
+		eng = mutate(eng)
+	}
 	var buf bytes.Buffer
 	if err := SaveEngine(&buf, eng, "spec-check"); err != nil {
 		t.Fatal(err)
@@ -62,10 +77,11 @@ func testSnapshotFrameLayout(t *testing.T, cfg Config, wantSections []string) {
 		t.Fatalf("magic = %q, want %q", data[:8], "SEDASNAP")
 	}
 	off = 8
-	// Frame 2: container format version (currently 3: per-shard index
-	// sections carrying the delta-compressed shard codec).
-	if v := uvarint("container version"); v != 3 {
-		t.Fatalf("container version = %d, want 3", v)
+	// Frame 2: container format version (currently 4: per-shard index
+	// sections carrying the delta-compressed shard codec, plus the
+	// optional tombstones section).
+	if v := uvarint("container version"); v != 4 {
+		t.Fatalf("container version = %d, want 4", v)
 	}
 	// Frame 3: section count. A full engine (dataguides enabled) carries
 	// the documented sections in write order: the corpus-global layers
@@ -113,5 +129,27 @@ func testSnapshotFrameLayout(t *testing.T, cfg Config, wantSections []string) {
 	}
 	if src := str("source tag"); src != "spec-check" {
 		t.Fatalf("stored source tag %q, want %q", src, "spec-check")
+	}
+
+	// The tombstones payload (v4, present only on masked generations):
+	// codec version uvarint (currently 1), tombstone count uvarint, then
+	// per tombstone the uvarint gap delta id-prev-1 (the first id
+	// verbatim, prev starting at -1).
+	if ts, ok := payloads["tombstones"]; ok {
+		data, off = ts, 0
+		if v := uvarint("tombstones codec version"); v != 1 {
+			t.Fatalf("tombstones codec version = %d, want 1", v)
+		}
+		n := uvarint("tombstone count")
+		if n != 1 {
+			t.Fatalf("tombstone count = %d, want 1 (b.xml)", n)
+		}
+		// b.xml is document id 1; the first gap delta is the id itself.
+		if id := uvarint("tombstone gap"); id != 1 {
+			t.Fatalf("first tombstone id = %d, want 1", id)
+		}
+		if off != len(data) {
+			t.Fatalf("%d trailing bytes after the tombstone ids", len(data)-off)
+		}
 	}
 }

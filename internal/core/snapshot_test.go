@@ -283,3 +283,97 @@ func TestLoadEngineAutoV1Compat(t *testing.T) {
 		t.Errorf("junk err = %v, want ErrNotSnapshot", err)
 	}
 }
+
+// TestMaskedSnapshotHostileInputs sweeps a v4 container carrying the
+// tombstones section with truncations and byte flips, then rewrites the
+// section payload with well-framed hostile bodies (alloc-bomb counts,
+// out-of-range ids, future codec versions) behind a valid CRC — every
+// one must error cleanly out of LoadEngine, never panic or over-allocate.
+func TestMaskedSnapshotHostileInputs(t *testing.T) {
+	e := newEngine(t)
+	masked, _, err := e.DeleteDocuments("doc1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := saveToBytes(t, masked, "")
+
+	// The masked container must actually carry the section under test.
+	_, sections, err := snapcodec.ReadContainer(data, snapshotFormatVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsIdx := -1
+	for i, s := range sections {
+		if s.Name == secTombstones {
+			tsIdx = i
+		}
+	}
+	if tsIdx < 0 {
+		t.Fatal("masked snapshot has no tombstones section")
+	}
+
+	// Truncation sweep (same stride as TestSnapshotHostileInputs).
+	for cut := 0; cut < len(data); cut += 1 + cut/512*31 {
+		if _, err := LoadEngine(bytes.NewReader(data[:cut]), Config{}, ""); err == nil {
+			t.Errorf("cut=%d: expected error", cut)
+		}
+	}
+	// A flipped byte inside the tombstones payload trips its CRC.
+	bad := append([]byte{}, data...)
+	flipped := false
+	for off := range bad {
+		if bytes.HasPrefix(data[off:], sections[tsIdx].Payload) && len(sections[tsIdx].Payload) > 0 {
+			bad[off] ^= 0xFF
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Fatal("could not locate the tombstones payload")
+	}
+	if _, err := LoadEngine(bytes.NewReader(bad), Config{}, ""); err == nil {
+		t.Error("flipped tombstones byte should fail")
+	}
+
+	// Hostile section bodies behind valid framing: rewrite the payload and
+	// re-frame (WriteContainer recomputes the CRC).
+	hostile := func(name string, body func(w *snapcodec.Writer)) {
+		var w snapcodec.Writer
+		body(&w)
+		secs := append([]snapcodec.Section{}, sections...)
+		secs[tsIdx] = snapcodec.Section{Name: secTombstones, Payload: w.Bytes()}
+		var buf bytes.Buffer
+		if err := snapcodec.WriteContainer(&buf, snapshotFormatVersion, secs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadEngine(bytes.NewReader(buf.Bytes()), Config{}, ""); err == nil {
+			t.Errorf("%s: hostile tombstones section accepted", name)
+		}
+	}
+	hostile("alloc-bomb count", func(w *snapcodec.Writer) {
+		w.Int(1) // codec version
+		w.Int(1 << 40)
+	})
+	hostile("out-of-range id", func(w *snapcodec.Writer) {
+		w.Int(1)
+		w.Int(1)
+		w.Int(1000) // id 1000 in a 4-doc collection
+	})
+	hostile("future codec version", func(w *snapcodec.Writer) {
+		w.Int(99)
+		w.Int(0)
+	})
+	hostile("truncated ids", func(w *snapcodec.Writer) {
+		w.Int(1)
+		w.Int(3) // claims 3 ids, provides none
+	})
+
+	// Control: the untouched container still loads and hides doc1.
+	loaded, err := LoadEngine(bytes.NewReader(data), Config{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumLiveDocs() != 3 || loaded.Collection().Tombstones().Len() != 1 {
+		t.Errorf("loaded masked engine: live=%d tombstones=%d", loaded.NumLiveDocs(), loaded.Collection().Tombstones().Len())
+	}
+}

@@ -121,7 +121,7 @@ type Stats struct {
 
 // Stats returns Table 1-style statistics.
 func (s *Set) Stats() Stats {
-	st := Stats{Documents: s.col.NumDocs(), Guides: len(s.Guides)}
+	st := Stats{Documents: s.col.NumLive(), Guides: len(s.Guides)}
 	if st.Guides > 0 {
 		st.Reduction = float64(st.Documents) / float64(st.Guides)
 	}
@@ -172,7 +172,7 @@ func BuildParallel(col *store.Collection, g *graph.Graph, threshold float64, par
 		return nil, fmt.Errorf("dataguide: threshold %v outside [0,1]", threshold)
 	}
 	s := &Set{col: col, Threshold: threshold, docGuide: make(map[xmldoc.DocID]int)}
-	docs := col.Docs()
+	docs := col.LiveDocs() // masked documents get no guide assignment
 	p := parallelism
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
@@ -380,7 +380,7 @@ func (s *Set) LinksBetween(a, b pathdict.PathID) []Link {
 // in its assigned guide — the correctness property of the merge algorithm.
 // Used by tests.
 func (s *Set) CoverageInvariant() error {
-	for _, doc := range s.col.Docs() {
+	for _, doc := range s.col.LiveDocs() {
 		g := s.GuideOf(doc.ID)
 		if g == nil {
 			return fmt.Errorf("dataguide: document %d has no guide", doc.ID)

@@ -35,7 +35,7 @@ func (s *Set) Summary() string {
 	dict := s.col.Dict()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d dataguides at threshold %.2f (%d documents, reduction %.1fx)\n",
-		len(s.Guides), s.Threshold, s.col.NumDocs(), s.Stats().Reduction)
+		len(s.Guides), s.Threshold, s.col.NumLive(), s.Stats().Reduction)
 	for _, g := range s.Guides {
 		roots := make(map[string]struct{})
 		for _, p := range g.Paths() {

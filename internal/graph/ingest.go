@@ -89,6 +89,9 @@ func (st *valueLinkState) collect(col *store.Collection, docs []*xmldoc.Document
 		return nil, targets
 	}
 	for _, d := range docs {
+		if !col.Alive(d.ID) {
+			continue // masked documents contribute no value-link endpoints
+		}
 		doc := d
 		doc.Walk(func(n *xmldoc.Node) bool {
 			if tp != 0 && n.Path == tp {
@@ -216,6 +219,9 @@ func (g *Graph) rebuildDiscovery(opts DiscoverOptions, excludeSuffix int) {
 	docs = docs[:len(docs)-excludeSuffix]
 	st := &discoveryState{opts: opts, ids: make(map[string]xmldoc.NodeRef)}
 	for _, d := range docs {
+		if !g.col.Alive(d.ID) {
+			continue // masked documents neither define nor hold ids
+		}
 		doc := d
 		doc.Walk(func(n *xmldoc.Node) bool {
 			st.collectID(doc, n, nil)
@@ -223,6 +229,9 @@ func (g *Graph) rebuildDiscovery(opts DiscoverOptions, excludeSuffix int) {
 		})
 	}
 	for _, d := range docs {
+		if !g.col.Alive(d.ID) {
+			continue
+		}
 		doc := d
 		doc.Walk(func(n *xmldoc.Node) bool {
 			g.resolveNode(st, doc, n, false, nil)

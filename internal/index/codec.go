@@ -114,14 +114,15 @@ func Decode(r *snapcodec.Reader, col *store.Collection) (*Index, error) {
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("index: decode: %w", err)
 	}
-	return &Index{
+	ix := &Index{
 		col:         col,
 		shards:      []*Shard{sh},
 		terms:       sh.terms,
 		termDocFreq: sh.termDocFreq,
 		pathTerms:   sh.pathTerms,
 		allPaths:    allPaths,
-	}, nil
+	}
+	return ix.maskTombstones(), nil
 }
 
 // EncodeShard appends shard s to w in the current (compressed) shard
@@ -736,7 +737,7 @@ func FromShards(col *store.Collection, shards []*Shard) (*Index, error) {
 	if err := validateShards(col, shards); err != nil {
 		return nil, err
 	}
-	return newIndex(col, shards), nil
+	return finishIndex(col, shards), nil
 }
 
 // decodeShardBody reads the uncompressed body shared by the flat and

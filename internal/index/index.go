@@ -179,11 +179,19 @@ type Index struct {
 	shards []*Shard // contiguous, in document order; len >= 1
 
 	// Corpus-global aggregates derived from the shards. With a single
-	// shard they alias the shard's own structures.
+	// shard they alias the shard's own structures. On a masked index they
+	// describe the LIVE corpus (see tombstones.go).
 	terms       []string                           // sorted term list for prefix scans
-	termDocFreq map[string]int                     // # docs containing term, for IDF
+	termDocFreq map[string]int                     // # live docs containing term, for IDF
 	pathTerms   map[string]map[pathdict.PathID]int // Fig. 8 context index (content terms + tag names)
-	allPaths    []pathdict.PathID                  // every distinct path, sorted by string
+	allPaths    []pathdict.PathID                  // every distinct live path, sorted by string
+
+	// Masking state, all nil on an unmasked index (see tombstones.go).
+	// Shard-level structures stay physical; these route read paths through
+	// the live-filter only where a shard's range overlaps the dead set.
+	dead          *store.Tombstones
+	shardDead     []bool                  // aligned with shards
+	deadPathCount map[pathdict.PathID]int // dead-node count per path
 }
 
 // Build constructs both indexes over the collection, sharding the scan
@@ -262,7 +270,7 @@ func BuildSharded(col *store.Collection, shards, parallelism int) *Index {
 			wg.Wait()
 		}
 	}
-	return newIndex(col, parts)
+	return finishIndex(col, parts)
 }
 
 // buildShardRange builds one shard over docs (whose first document has id
@@ -570,11 +578,11 @@ func (ix *Index) ShardStats() []ShardStats {
 func (ix *Index) Lookup(term string) []Posting {
 	var single []Posting
 	contributing, total := 0, 0
-	for _, sh := range ix.shards {
+	for s, sh := range ix.shards {
 		if sh.termDocFreq[term] == 0 {
 			continue
 		}
-		if ps := sh.hot().postings[term]; len(ps) > 0 {
+		if ps := ix.livePostings(s, sh.hot().postings[term]); len(ps) > 0 {
 			contributing++
 			total += len(ps)
 			single = ps
@@ -587,11 +595,11 @@ func (ix *Index) Lookup(term string) []Posting {
 		return single
 	}
 	out := make([]Posting, 0, total)
-	for _, sh := range ix.shards {
+	for s, sh := range ix.shards {
 		if sh.termDocFreq[term] == 0 {
 			continue
 		}
-		out = append(out, sh.hot().postings[term]...)
+		out = append(out, ix.livePostings(s, sh.hot().postings[term])...)
 	}
 	return out
 }
@@ -603,11 +611,11 @@ func (ix *Index) LookupPrefix(prefix string) []Posting {
 	var lists [][]Posting
 	lo := sort.SearchStrings(ix.terms, prefix)
 	for i := lo; i < len(ix.terms) && strings.HasPrefix(ix.terms[i], prefix); i++ {
-		for _, sh := range ix.shards {
+		for s, sh := range ix.shards {
 			if sh.termDocFreq[ix.terms[i]] == 0 {
 				continue
 			}
-			if ps := sh.hot().postings[ix.terms[i]]; len(ps) > 0 {
+			if ps := ix.livePostings(s, sh.hot().postings[ix.terms[i]]); len(ps) > 0 {
 				lists = append(lists, ps)
 			}
 		}
@@ -625,7 +633,7 @@ func (ix *Index) lookupPrefixShard(s int, prefix string) []Posting {
 	if i < len(sh.terms) && strings.HasPrefix(sh.terms[i], prefix) {
 		d := sh.hot()
 		for ; i < len(sh.terms) && strings.HasPrefix(sh.terms[i], prefix); i++ {
-			if ps := d.postings[sh.terms[i]]; len(ps) > 0 {
+			if ps := ix.livePostings(s, d.postings[sh.terms[i]]); len(ps) > 0 {
 				lists = append(lists, ps)
 			}
 		}
@@ -771,7 +779,9 @@ func (ix *Index) phrasePostingsShard(s int, terms []string) []Posting {
 	}
 	d := sh.hot()
 	var out []Posting
-	for _, p := range d.postings[terms[0]] {
+	// The intersection walks the first term's live postings; later terms
+	// are probed at the same (live) refs, so one filter masks the phrase.
+	for _, p := range ix.livePostings(s, d.postings[terms[0]]) {
 		ok := true
 		offsets := p.Positions // candidate phrase start positions
 		for k := 1; k < len(terms) && ok; k++ {
@@ -833,38 +843,70 @@ func (sh *Shard) pathCountAt(p pathdict.PathID) int {
 // slice. Either way the returned slice must not be modified. Shards
 // without the path are skipped via the resident roster.
 func (ix *Index) NodesAtPath(p pathdict.PathID) []xmldoc.NodeRef {
-	var last *Shard
-	contributing, total := 0, 0
-	for _, sh := range ix.shards {
-		if n := sh.pathCountAt(p); n > 0 {
-			contributing++
-			total += n
-			last = sh
+	if ix.dead == nil {
+		var last *Shard
+		contributing, total := 0, 0
+		for _, sh := range ix.shards {
+			if n := sh.pathCountAt(p); n > 0 {
+				contributing++
+				total += n
+				last = sh
+			}
 		}
-	}
-	switch contributing {
-	case 0:
-		return nil
-	case 1:
-		return last.hot().pathNodes[p]
-	}
-	out := make([]xmldoc.NodeRef, 0, total)
-	for _, sh := range ix.shards {
-		if sh.pathCountAt(p) > 0 {
-			out = append(out, sh.hot().pathNodes[p]...)
+		switch contributing {
+		case 0:
+			return nil
+		case 1:
+			return last.hot().pathNodes[p]
 		}
+		out := make([]xmldoc.NodeRef, 0, total)
+		for _, sh := range ix.shards {
+			if sh.pathCountAt(p) > 0 {
+				out = append(out, sh.hot().pathNodes[p]...)
+			}
+		}
+		return out
+	}
+	// Masked: roster counts may overstate, so contribution is decided on
+	// the filtered lists (a shard overlapping the dead set pages in even
+	// when its live contribution turns out empty — those shards are the
+	// compactor's rewrite targets anyway).
+	var single []xmldoc.NodeRef
+	var out []xmldoc.NodeRef
+	contributing := 0
+	for s, sh := range ix.shards {
+		if sh.pathCountAt(p) == 0 {
+			continue
+		}
+		refs := ix.liveRefs(s, sh.hot().pathNodes[p])
+		if len(refs) == 0 {
+			continue
+		}
+		switch contributing {
+		case 0:
+			single = refs
+		case 1:
+			out = append(append(out, single...), refs...)
+		default:
+			out = append(out, refs...)
+		}
+		contributing++
+	}
+	if contributing == 1 {
+		return single
 	}
 	return out
 }
 
 // nodesAtPathLen is len(NodesAtPath(p)) without the concatenation; it
-// reads only the resident roster.
+// reads only the resident roster (and, when masked, the dead path
+// counts).
 func (ix *Index) nodesAtPathLen(p pathdict.PathID) int {
 	n := 0
 	for _, sh := range ix.shards {
 		n += sh.pathCountAt(p)
 	}
-	return n
+	return n - ix.deadPathCount[p]
 }
 
 // AllPaths returns every distinct path of the collection, sorted by string

@@ -43,7 +43,7 @@ func (ix *Index) Extend(col *store.Collection, newDocs []*xmldoc.Document) *Inde
 		nt.pager.Store(p)
 		p.admit(nt, false, 0)
 	}
-	return newIndex(col, shards)
+	return finishIndex(col, shards)
 }
 
 // extend merges a delta accumulator into a copy of the shard, extending

@@ -128,7 +128,7 @@ func (ix *Index) matchByContextScan(t query.Term, s int) ([]Match, error) {
 		if d == nil {
 			d = sh.hot()
 		}
-		for _, ref := range d.pathNodes[p] {
+		for _, ref := range ix.liveRefs(s, d.pathNodes[p]) {
 			candSet[refKey(ref)] = candidate{ref: ref}
 		}
 	}
@@ -140,6 +140,9 @@ func (ix *Index) matchByContextScan(t query.Term, s int) ([]Match, error) {
 func (ix *Index) verify(t query.Term, cands map[string]candidate) ([]Match, error) {
 	matches := make([]Match, 0, len(cands))
 	for _, c := range cands {
+		if ix.dead.Has(c.ref.Doc) {
+			continue // masked documents never match
+		}
 		node := ix.col.Node(c.ref)
 		if node == nil {
 			continue
@@ -167,7 +170,7 @@ func (ix *Index) contentScore(e fulltext.Expr, content *fulltext.Content) float6
 	if len(tqs) == 0 {
 		return 1
 	}
-	n := float64(ix.col.NumDocs())
+	n := float64(ix.col.NumLive())
 	var s float64
 	for _, tq := range tqs {
 		tf := float64(content.TermFreq(tq.Term))
@@ -302,7 +305,7 @@ func (ix *Index) clauseAnchors(clause []probe, s int) []xmldoc.NodeRef {
 			if d == nil {
 				d = sh.hot()
 			}
-			ps = d.postings[pr.term]
+			ps = ix.livePostings(s, d.postings[pr.term])
 		}
 		if len(ps) == 0 {
 			return nil // clause cannot be satisfied in this shard

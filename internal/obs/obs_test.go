@@ -120,6 +120,33 @@ func TestFuncBackedAndInfo(t *testing.T) {
 	}
 }
 
+// TestFuncBackedVecEmptyStillExposed: a func-backed vec family with no
+// series this scrape must still emit its HELP/TYPE header — scrape
+// validators assert family presence (the metrics smoke requires
+// seda_tombstone_ratio before any collection has been deleted from),
+// and a family that vanishes when idle breaks them.
+func TestFuncBackedVecEmptyStillExposed(t *testing.T) {
+	r := NewRegistry()
+	r.NewGaugeVecFunc("seda_tombstone_ratio", "masked fraction", "collection",
+		func() map[string]float64 { return nil })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP seda_tombstone_ratio masked fraction\n",
+		"# TYPE seda_tombstone_ratio gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "seda_tombstone_ratio{") {
+		t.Errorf("empty vec emitted a sample:\n%s", out)
+	}
+}
+
 func TestLabelEscaping(t *testing.T) {
 	r := NewRegistry()
 	cv := r.NewCounterVec("seda_esc_total", "escapes", "q")

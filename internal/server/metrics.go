@@ -56,6 +56,7 @@ type serverMetrics struct {
 
 	engineOps    *obs.CounterVec   // seda_engine_ops_total{op}
 	enginePhases *obs.HistogramVec // seda_engine_phase_seconds{op,phase}
+	compactions  *obs.Counter      // seda_compactions_total
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -106,13 +107,18 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.NewGaugeVecFunc("seda_collections",
 		"Registered collections by build state.",
 		"state", s.registry.StateCounts)
+	reg.NewGaugeVecFunc("seda_tombstone_ratio",
+		"Fraction of each built collection's document-id space masked by tombstones (0 when compacted or never deleted from).",
+		"collection", s.registry.TombstoneRatios)
 
 	m.engineOps = reg.NewCounterVec("seda_engine_ops_total",
-		"Engine lifecycle operations completed (build, load, ingest, save).",
+		"Engine lifecycle operations completed (build, load, ingest, delete, update, compact, save).",
 		"op")
 	m.enginePhases = reg.NewHistogramVec("seda_engine_phase_seconds",
 		"Per-layer wall time of engine lifecycle operations.",
 		engineOpBuckets, "op", "phase")
+	m.compactions = reg.NewCounter("seda_compactions_total",
+		"Shard compactions completed (explicit POST /compact plus threshold-triggered background runs).")
 
 	reg.NewGaugeFunc("seda_uptime_seconds",
 		"Seconds since the server started.",
@@ -138,6 +144,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 // observeEngineOp is the registry's lifecycle observer (Registry.SetObservers).
 func (m *serverMetrics) observeEngineOp(op string, phases map[string]time.Duration) {
 	m.engineOps.With(op).Inc()
+	if op == "compact" {
+		m.compactions.Inc()
+	}
 	for phase, d := range phases {
 		m.enginePhases.With(op, phase).Observe(d.Seconds())
 	}

@@ -93,6 +93,10 @@ type regEntry struct {
 	// none): persistence is best-effort, but its failures must be
 	// observable (GET /debug/stats), not silent.
 	persistErr atomic.Value
+	// compacting gates the entry's background compactor: at most one
+	// threshold-triggered compaction goroutine runs per entry (see
+	// maybeCompactAsyncLocked).
+	compacting atomic.Bool
 }
 
 func (e *regEntry) engine(r *Registry) (*core.Engine, error) {
@@ -201,6 +205,14 @@ type Registry struct {
 	// registrations carry their budget in their own config. 0 = fully
 	// resident. Set it before serving.
 	ResidentBudget int64
+
+	// CompactThreshold triggers background compaction: when a delete or
+	// update leaves an entry's tombstone ratio (masked / total documents)
+	// at or above it, a per-entry compactor goroutine rewrites the engine
+	// (see lifecycle.go). 0 disables the trigger — compaction then runs
+	// only on explicit POST /collections/{name}/compact. Set it before
+	// serving.
+	CompactThreshold float64
 
 	mu      sync.RWMutex
 	entries map[string]*regEntry // guarded by mu
@@ -542,17 +554,25 @@ func (r *Registry) Ingest(name string, docs []documentPayload) (*core.Engine, er
 	if err != nil {
 		return nil, err
 	}
-	// Generation swap. state() now reports "built": the served engine no
-	// longer equals what any snapshot holds until the re-persist lands.
+	r.swapGenerationLocked(e, next, "ingest", ingestSource(e.source, docs))
+	return next, nil
+}
+
+// swapGenerationLocked installs a derived generation on the entry: the
+// engine pointer and its lock-free mirror swap atomically from a reader's
+// perspective, state() reports "built" (the served engine no longer
+// equals what any snapshot holds until the async re-persist lands), the
+// observers see the operation, and — when disk-backed — the new
+// generation re-snapshots in the background. Callers hold e.buildMu.
+func (r *Registry) swapGenerationLocked(e *regEntry, next *core.Engine, op, source string) {
 	e.eng = next
 	e.live.Store(next)
 	e.fromSnapshot.Store(false)
-	r.observeEngine(next, "ingest")
-	e.source = ingestSource(e.source, docs)
+	r.observeEngine(next, op)
+	e.source = source
 	if e.snapshotPath != "" {
 		go r.persistGeneration(e, next, e.source)
 	}
-	return next, nil
 }
 
 // ingestSource chains the entry's source tag with a content hash of the
@@ -612,8 +632,11 @@ type RegistryInfo struct {
 	// is best-effort, so "uploads survive restarts" degrading (disk full,
 	// permissions) must be visible to operators.
 	SnapshotError string `json:"snapshot_error,omitempty"`
-	Docs          int    `json:"docs,omitempty"`
-	Nodes         int    `json:"nodes,omitempty"`
+	// Docs counts LIVE documents; Tombstones the masked (deleted) ones
+	// still occupying id space until the next compaction.
+	Docs       int `json:"docs,omitempty"`
+	Tombstones int `json:"tombstones,omitempty"`
+	Nodes      int `json:"nodes,omitempty"`
 	// Shards breaks the built engine's index down by horizontal shard
 	// (document range, vocabulary, postings, exact encoded bytes); absent
 	// until the engine is built or loaded.
@@ -693,7 +716,8 @@ func (r *Registry) List() []RegistryInfo {
 		}
 		if eng := e.builtEngine(); eng != nil {
 			info.Built = true
-			info.Docs = eng.Collection().NumDocs()
+			info.Docs = eng.NumLiveDocs()
+			info.Tombstones = eng.Collection().Tombstones().Len()
 			info.Nodes = eng.Collection().NumNodes()
 			for _, st := range eng.ShardStats() {
 				info.Shards = append(info.Shards, ShardInfo{

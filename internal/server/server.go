@@ -304,6 +304,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /collections", s.handleListCollections)
 	s.mux.HandleFunc("POST /collections", s.handleCreateCollection)
 	s.mux.HandleFunc("POST /collections/{name}/documents", s.handleIngestDocuments)
+	s.mux.HandleFunc("DELETE /collections/{name}/documents/{doc}", s.handleDeleteDocument)
+	s.mux.HandleFunc("PUT /collections/{name}/documents/{doc}", s.handleUpdateDocument)
+	s.mux.HandleFunc("POST /collections/{name}/compact", s.handleCompactCollection)
 	s.mux.HandleFunc("POST /collections/{name}/catalog", s.handleCatalog)
 	s.mux.HandleFunc("POST /sessions", s.handleCreateSession)
 	s.mux.HandleFunc("GET /sessions/{id}", s.handleSessionInfo)
@@ -543,7 +546,7 @@ func (s *Server) handleIngestDocuments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ingestResponse{
 		Collection: name,
 		DocsAdded:  len(req.Documents),
-		Docs:       eng.Collection().NumDocs(),
+		Docs:       eng.NumLiveDocs(),
 		Nodes:      eng.Collection().NumNodes(),
 		State:      StateBuilt,
 	})

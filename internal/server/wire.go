@@ -52,6 +52,13 @@ type ingestRequest struct {
 	Documents []documentPayload `json:"documents"`
 }
 
+type updateRequest struct {
+	// XML is the replacement document body for
+	// PUT /collections/{name}/documents/{doc}; the document name comes
+	// from the URL.
+	XML string `json:"xml"`
+}
+
 type catalogRequest struct {
 	Facts      []defPayload `json:"facts,omitempty"`
 	Dimensions []defPayload `json:"dimensions,omitempty"`
@@ -123,9 +130,26 @@ type errorResponse struct {
 type ingestResponse struct {
 	Collection string `json:"collection"`
 	DocsAdded  int    `json:"docs_added"`
-	Docs       int    `json:"docs"`  // total documents after the append
+	Docs       int    `json:"docs"`  // live documents after the append
 	Nodes      int    `json:"nodes"` // total nodes after the append
 	State      string `json:"state"`
+}
+
+// lifecycleResponse answers the document-lifecycle endpoints (DELETE and
+// PUT on /collections/{name}/documents/{doc}, POST
+// /collections/{name}/compact).
+type lifecycleResponse struct {
+	Collection string `json:"collection"`
+	Document   string `json:"document,omitempty"`
+	// DocsDeleted counts documents masked by a DELETE (several live
+	// documents can share a name).
+	DocsDeleted int `json:"docs_deleted,omitempty"`
+	// Docs counts LIVE documents; Tombstones the masked ids still
+	// occupying id space until the next compaction.
+	Docs           int     `json:"docs"`
+	Tombstones     int     `json:"tombstones"`
+	TombstoneRatio float64 `json:"tombstone_ratio,omitempty"`
+	State          string  `json:"state"`
 }
 
 type sessionResponse struct {

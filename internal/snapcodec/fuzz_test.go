@@ -16,7 +16,23 @@ func FuzzContainerDecode(f *testing.F) {
 	}); err != nil {
 		f.Fatal(err)
 	}
+	// A v4-shaped container carrying a gap-encoded tombstones section
+	// (codec version 1, count 2, ids 1 and 3) between graph and shards —
+	// the lifecycle roster the engine snapshots write.
+	var w Writer
+	for _, v := range []int{1, 2, 1, 1} {
+		w.Int(v)
+	}
+	var masked bytes.Buffer
+	if err := WriteContainer(&masked, 4, []Section{
+		{Name: "graph", Payload: []byte{1}},
+		{Name: "tombstones", Payload: w.Bytes()},
+		{Name: "index.0", Payload: []byte{2, 0}},
+	}); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(valid.Bytes())
+	f.Add(masked.Bytes())
 	f.Add(valid.Bytes()[:len(valid.Bytes())/2]) // truncation
 	f.Add([]byte{})
 	f.Add([]byte("SEDA"))

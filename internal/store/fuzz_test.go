@@ -1,0 +1,58 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"seda/internal/snapcodec"
+	"seda/internal/xmldoc"
+)
+
+// FuzzTombstoneDecode throws arbitrary bytes at the SEDASNAP v4
+// tombstone-section decoder. DecodeTombstones must never panic or
+// allocate off a hostile count, and anything it accepts must be a
+// well-formed set inside the collection that survives an
+// encode/decode round trip unchanged.
+func FuzzTombstoneDecode(f *testing.F) {
+	seed := func(ids ...xmldoc.DocID) []byte {
+		var w snapcodec.Writer
+		NewTombstones(ids).Encode(&w)
+		return w.Bytes()
+	}
+	f.Add(seed(), 10)
+	f.Add(seed(0), 10)
+	f.Add(seed(1, 5, 130, 200), 256)
+	f.Add(seed(0, 1, 2, 3), 4)
+	f.Add(seed(4095), 4096)
+	f.Add(seed(1, 5, 130, 200)[:3], 256)               // truncation
+	f.Add([]byte{2, 0}, 10)                            // future codec version
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}, 10) // alloc bomb count
+	f.Fuzz(func(t *testing.T, data []byte, numDocs int) {
+		if numDocs < 0 || numDocs > 1<<20 {
+			return
+		}
+		got, err := DecodeTombstones(snapcodec.NewReader(data), numDocs)
+		if err != nil {
+			return
+		}
+		for _, id := range got.IDs() {
+			if int(id) < 0 || int(id) >= numDocs {
+				t.Fatalf("accepted out-of-range id %d (numDocs %d)", id, numDocs)
+			}
+		}
+		if got.Len() > numDocs {
+			t.Fatalf("accepted %d tombstones for %d documents", got.Len(), numDocs)
+		}
+		var w snapcodec.Writer
+		got.Encode(&w)
+		again, err := DecodeTombstones(snapcodec.NewReader(w.Bytes()), numDocs)
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded set: %v", err)
+		}
+		var w2 snapcodec.Writer
+		again.Encode(&w2)
+		if !bytes.Equal(w.Bytes(), w2.Bytes()) {
+			t.Fatal("round trip changed the set")
+		}
+	})
+}

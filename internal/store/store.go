@@ -26,9 +26,16 @@ type Collection struct {
 	dict *pathdict.Dict
 	docs []*xmldoc.Document
 
-	pathDocFreq map[pathdict.PathID]int // # documents containing the path
-	pathOcc     map[pathdict.PathID]int // total node occurrences of the path
-	nodeCount   int
+	pathDocFreq map[pathdict.PathID]int // # LIVE documents containing the path
+	pathOcc     map[pathdict.PathID]int // node occurrences of the path in live documents
+	nodeCount   int                     // nodes across live documents
+
+	// dead is the tombstone set masking deleted documents (nil when every
+	// document is live — the common case). Masked documents keep their ids
+	// and stay resolvable through Doc/Node (sessions pinned to older
+	// generations still read them) but are skipped by EachNode, LiveDocs,
+	// and the statistics above; see tombstones.go.
+	dead *Tombstones
 }
 
 // NewCollection returns an empty collection with a fresh dictionary.
@@ -96,6 +103,7 @@ func (c *Collection) Extend(docs []*xmldoc.Document) *Collection {
 		pathDocFreq: make(map[pathdict.PathID]int, len(c.pathDocFreq)),
 		pathOcc:     make(map[pathdict.PathID]int, len(c.pathOcc)),
 		nodeCount:   c.nodeCount,
+		dead:        c.dead, // tombstones carry forward (immutable set)
 	}
 	copy(nc.docs, c.docs)
 	for p, n := range c.pathDocFreq {
@@ -110,10 +118,12 @@ func (c *Collection) Extend(docs []*xmldoc.Document) *Collection {
 	return nc
 }
 
-// NumDocs returns the number of documents.
+// NumDocs returns the size of the document-id space, INCLUDING masked
+// (tombstoned) documents — shard ranges, codecs, and NodeRef resolution
+// all work in id space. Use NumLive for the live corpus size.
 func (c *Collection) NumDocs() int { return len(c.docs) }
 
-// NumNodes returns the total number of nodes across all documents.
+// NumNodes returns the total number of nodes across live documents.
 func (c *Collection) NumNodes() int { return c.nodeCount }
 
 // Doc returns the document with the given id, or nil if out of range.
@@ -193,9 +203,13 @@ func (c *Collection) Stats() Stats {
 	}
 }
 
-// EachNode visits every node of every document; used by index builders.
+// EachNode visits every node of every LIVE document; used by index and
+// graph builders, which must never see masked documents.
 func (c *Collection) EachNode(fn func(doc *xmldoc.Document, n *xmldoc.Node)) {
 	for _, d := range c.docs {
+		if c.dead.Has(d.ID) {
+			continue
+		}
 		d.Walk(func(n *xmldoc.Node) bool {
 			fn(d, n)
 			return true

@@ -19,7 +19,11 @@ trap cleanup EXIT INT TERM
 "$GO" build -o "$WORK/sedad" ./cmd/sedad
 "$GO" build -o "$WORK/promcheck" ./cmd/promcheck
 
-"$WORK/sedad" -addr "$ADDR" -preload worldfactbook -scale 0.05 -slowlog 5s 2>"$WORK/sedad.log" &
+# -compact-threshold 0 disables the background compactor so the
+# lifecycle phase below observes the masked ratio deterministically and
+# drives the compaction itself (the threshold path is covered by
+# TestBackgroundCompaction in CI).
+"$WORK/sedad" -addr "$ADDR" -preload worldfactbook -scale 0.05 -slowlog 5s -compact-threshold 0 2>"$WORK/sedad.log" &
 PID=$!
 
 ok=""
@@ -54,5 +58,38 @@ esac
 
 curl -fsS "$BASE/metrics" | "$WORK/promcheck" -require \
 	seda_topk_searches_total,seda_topk_search_duration_seconds,seda_http_requests_total,seda_http_request_duration_seconds,seda_topk_cache_hits_total,seda_topk_cache_misses_total,seda_engine_phase_seconds,seda_engine_ops_total,seda_sessions_active,seda_build_info,seda_uptime_seconds
+
+# Compaction under load: upload a small collection, delete a document (the
+# tombstone-ratio gauge must report the pressure), then compact while a
+# background query loop hammers the collection — the rewrite swaps
+# generations under live traffic. The final scrape must carry the
+# lifecycle families.
+curl -fsS -X POST "$BASE/collections" -d \
+	'{"name":"smokelabs","documents":[{"name":"a.xml","xml":"<lab><name>alpha</name></lab>"},{"name":"b.xml","xml":"<lab><name>beta</name></lab>"}]}' \
+	>/dev/null
+curl -fsS -X DELETE "$BASE/collections/smokelabs/documents/b.xml" >/dev/null
+case "$(curl -fsS "$BASE/metrics")" in
+*'seda_tombstone_ratio{collection="smokelabs"} 0.5'*) ;;
+*)
+	echo "metrics-smoke: tombstone-ratio gauge missing the masked collection" >&2
+	exit 1
+	;;
+esac
+(
+	for _ in $(seq 1 20); do
+		QSID="$(curl -fsS -X POST "$BASE/sessions" \
+			-d '{"collection":"smokelabs","query":"(name, alpha)"}' \
+			| sed -n 's/.*"session":"\([^"]*\)".*/\1/p')"
+		curl -fsS "$BASE/sessions/$QSID/topk?k=5" >/dev/null
+	done
+) &
+LOAD=$!
+curl -fsS -X POST "$BASE/collections/smokelabs/compact" >/dev/null
+if ! wait "$LOAD"; then
+	echo "metrics-smoke: query load failed during compaction" >&2
+	exit 1
+fi
+curl -fsS "$BASE/metrics" | "$WORK/promcheck" -require \
+	seda_compactions_total,seda_tombstone_ratio,seda_engine_ops_total
 
 echo "metrics-smoke: ok"
