@@ -1,9 +1,11 @@
 // The memory experiment: what SEDASNAP v3 buys a larger-than-RAM engine.
 // Per builtin corpus it measures the compressed shard sections against the
 // uncompressed v2 encoding, then loads the snapshot paged at resident
-// budgets of 100%, 50%, and 25% of the index's encoded size and records
-// the resident heap and query latency percentiles at each budget — the
-// memory/latency trade the `sedad -resident-budget` flag exposes.
+// budgets of 100%, 50%, and 25% of the index's encoded size — once per
+// paging backstore (heap-held encoded payloads vs disk-backed page-ins vs
+// an mmap of the snapshot) — and records the resident heap and query
+// latency percentiles at each point: the memory/latency trade the `sedad
+// -resident-budget` and `-mmap` flags expose.
 //
 // Queries are derived from each corpus's own vocabulary (mid-frequency
 // terms, one- and two-term conjunctions), so every corpus exercises the
@@ -67,8 +69,12 @@ func memoryExp(scale float64) *memoryResult {
 		// delta-coded v3 sections the snapshot below actually carries.
 		for s := 0; s < eng.NumShards(); s++ {
 			var lw, cw snapcodec.Writer
-			eng.Index().EncodeShardLegacy(&lw, s)
-			eng.Index().EncodeShard(&cw, s)
+			if err := eng.Index().EncodeShardLegacy(&lw, s); err != nil {
+				fatal(err)
+			}
+			if err := eng.Index().EncodeShard(&cw, s); err != nil {
+				fatal(err)
+			}
 			row.V2Bytes += int64(lw.Len())
 			row.V3Bytes += int64(cw.Len())
 		}
@@ -94,7 +100,7 @@ func memoryExp(scale float64) *memoryResult {
 		wantTerms := eng.Index().NumTerms()
 		eng = nil // the paged loads below must not sit on top of the build
 
-		fmt.Printf("%-16s %12d %12d %7.1f%%  ", c.name, row.V2Bytes, row.V3Bytes, 100*row.Ratio)
+		fmt.Printf("%-16s %12d %12d %7.1f%%\n", c.name, row.V2Bytes, row.V3Bytes, 100*row.Ratio)
 		for _, b := range []struct {
 			label string
 			div   int64
@@ -102,66 +108,83 @@ func memoryExp(scale float64) *memoryResult {
 			{"100%", 1}, {"50%", 2}, {"25%", 4},
 		} {
 			budget := row.V3Bytes / b.div
-			pcfg := cfg
-			pcfg.ResidentBudget = budget
+			fmt.Printf("  %4s ", b.label)
+			for _, bk := range []struct {
+				label string
+				mode  seda.BackingMode
+			}{
+				{"heap", seda.BackingHeap},
+				{"disk", seda.BackingDisk},
+				{"mmap", seda.BackingMmap},
+			} {
+				pcfg := cfg
+				pcfg.ResidentBudget = budget
+				pcfg.Backing = bk.mode
 
-			runtime.GC()
-			var m0, m1 runtime.MemStats
-			runtime.ReadMemStats(&m0)
-			paged, err := seda.LoadEngineFile(snap, pcfg)
-			if err != nil {
-				fatal(err)
-			}
-			if paged.Index().NumTerms() != wantTerms {
-				fatal(fmt.Errorf("memory: %s paged load differs from built engine", c.name))
-			}
-
-			lat := make([]time.Duration, 0, memoryQueryRounds*len(queries))
-			for round := 0; round < memoryQueryRounds; round++ {
-				for _, q := range queries {
-					start := time.Now()
-					s, err := paged.NewSession(q)
-					if err != nil {
-						fatal(err)
-					}
-					if _, err := s.TopK(10); err != nil {
-						fatal(err)
-					}
-					lat = append(lat, time.Since(start))
+				runtime.GC()
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				paged, err := seda.LoadEngineFile(snap, pcfg)
+				if err != nil {
+					fatal(err)
 				}
-			}
-			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+				if paged.Index().NumTerms() != wantTerms {
+					fatal(fmt.Errorf("memory: %s paged load differs from built engine", c.name))
+				}
 
-			// Resident heap at this budget: heap growth attributable to the
-			// loaded engine once queries have paged its working set in. GC
-			// first so the previous budget's engine does not inflate it.
-			runtime.GC()
-			runtime.ReadMemStats(&m1)
-			heap := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
-			if heap < 0 {
-				heap = 0
-			}
+				lat := make([]time.Duration, 0, memoryQueryRounds*len(queries))
+				for round := 0; round < memoryQueryRounds; round++ {
+					for _, q := range queries {
+						start := time.Now()
+						s, err := paged.NewSession(q)
+						if err != nil {
+							fatal(err)
+						}
+						if _, err := s.TopK(10); err != nil {
+							fatal(err)
+						}
+						lat = append(lat, time.Since(start))
+					}
+				}
+				sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 
-			st, ok := paged.PagerStats()
-			if !ok {
-				fatal(fmt.Errorf("memory: %s budgeted load attached no pager", c.name))
+				// Resident heap at this budget and backing: heap growth
+				// attributable to the loaded engine once queries have paged
+				// its working set in. GC first so the previous combination's
+				// engine does not inflate it. Disk backings should sit
+				// materially below heap at tight budgets — evicted shards
+				// keep no encoded payload on the heap.
+				runtime.GC()
+				runtime.ReadMemStats(&m1)
+				heap := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+				if heap < 0 {
+					heap = 0
+				}
+
+				st, ok := paged.PagerStats()
+				if !ok {
+					fatal(fmt.Errorf("memory: %s budgeted load attached no pager", c.name))
+				}
+				row.Budgets = append(row.Budgets, memoryBudget{
+					Label:            b.label,
+					Backing:          bk.label,
+					BudgetBytes:      budget,
+					HeapBytes:        heap,
+					P50Ns:            lat[len(lat)/2].Nanoseconds(),
+					P95Ns:            lat[len(lat)*95/100].Nanoseconds(),
+					Queries:          len(lat),
+					PageIns:          st.PageIns,
+					Evictions:        st.Evictions,
+					ResidentShards:   st.Resident,
+					ResidentBytes:    st.ResidentBytes,
+					EncodedHeapBytes: st.EncodedHeapBytes,
+					DiskReads:        st.DiskReads,
+				})
+				fmt.Printf(" %s %s/%v", bk.label, memoryHumanBytes(heap),
+					lat[len(lat)*95/100].Round(time.Microsecond))
 			}
-			row.Budgets = append(row.Budgets, memoryBudget{
-				Label:          b.label,
-				BudgetBytes:    budget,
-				HeapBytes:      heap,
-				P50Ns:          lat[len(lat)/2].Nanoseconds(),
-				P95Ns:          lat[len(lat)*95/100].Nanoseconds(),
-				Queries:        len(lat),
-				PageIns:        st.PageIns,
-				Evictions:      st.Evictions,
-				ResidentShards: st.Resident,
-				ResidentBytes:  st.ResidentBytes,
-			})
-			fmt.Printf(" %s: %s/%v", b.label, memoryHumanBytes(heap),
-				lat[len(lat)*95/100].Round(time.Microsecond))
+			fmt.Println()
 		}
-		fmt.Println()
 		res.Corpora = append(res.Corpora, row)
 	}
 	return res
@@ -209,6 +232,7 @@ func memoryHumanBytes(n int64) string {
 // memoryBudget is one resident-budget measurement within a corpus row.
 type memoryBudget struct {
 	Label       string `json:"label"`        // fraction of the v3 index size
+	Backing     string `json:"backing"`      // paging backstore: heap, disk, or mmap
 	BudgetBytes int64  `json:"budget_bytes"` // core.Config.ResidentBudget used
 	HeapBytes   int64  `json:"heap_bytes"`   // post-GC heap growth of the loaded engine
 	P50Ns       int64  `json:"p50_ns"`       // query latency percentiles over Queries samples
@@ -216,10 +240,12 @@ type memoryBudget struct {
 	Queries     int    `json:"queries"`
 
 	// Pager accounting at the end of the query run.
-	PageIns        uint64 `json:"pageins"`
-	Evictions      uint64 `json:"evictions"`
-	ResidentShards int    `json:"resident_shards"`
-	ResidentBytes  int64  `json:"resident_bytes"`
+	PageIns          uint64 `json:"pageins"`
+	Evictions        uint64 `json:"evictions"`
+	ResidentShards   int    `json:"resident_shards"`
+	ResidentBytes    int64  `json:"resident_bytes"`
+	EncodedHeapBytes int64  `json:"encoded_heap_bytes"` // evicted payloads still on the Go heap
+	DiskReads        uint64 `json:"disk_reads"`         // sections re-read from the snapshot file
 }
 
 // memoryCorpus is one corpus row of BENCH_memory.json.

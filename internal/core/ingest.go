@@ -105,7 +105,11 @@ func (e *Engine) AddDocuments(docs []*xmldoc.Document) (*Engine, error) {
 	}
 
 	t := time.Now()
-	ne.ix = e.ix.Extend(col, docs)
+	ix, err := e.ix.Extend(col, docs)
+	if err != nil {
+		return nil, err
+	}
+	ne.ix = ix
 	ne.BuildTimings["ingest-index"] = time.Since(t)
 
 	t = time.Now()

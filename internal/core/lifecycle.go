@@ -122,7 +122,11 @@ func (e *Engine) maskGeneration(ids []xmldoc.DocID, replacement *xmldoc.Document
 	if replacement != nil {
 		// Extend re-derives the mask from col's tombstones (finishIndex),
 		// so one index step covers both the masking and the append.
-		ne.ix = e.ix.Extend(col, newDocs)
+		ix, err := e.ix.Extend(col, newDocs)
+		if err != nil {
+			return nil, err
+		}
+		ne.ix = ix
 	} else {
 		ix, err := e.ix.WithTombstones(masked)
 		if err != nil {

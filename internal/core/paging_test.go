@@ -171,7 +171,10 @@ func TestPagingMetrics(t *testing.T) {
 		"seda_paging_pageins_total",
 		"seda_paging_evictions_total",
 		"seda_paging_resident_bytes",
+		"seda_paging_encoded_heap_bytes",
 		"seda_paging_pagein_seconds",
+		"seda_paging_disk_reads_total",
+		"seda_paging_disk_read_seconds",
 	} {
 		if !strings.Contains(text, metric) {
 			t.Errorf("exposition missing %s", metric)
@@ -179,6 +182,11 @@ func TestPagingMetrics(t *testing.T) {
 	}
 	if strings.Contains(text, "seda_paging_pageins_total 0\n") {
 		t.Error("page-ins never reached the metric set")
+	}
+	// A file-loaded budgeted engine defaults to disk-backed paging, so the
+	// disk-read family must be moving too.
+	if strings.Contains(text, "seda_paging_disk_reads_total 0\n") {
+		t.Error("disk reads never reached the metric set")
 	}
 
 	// A metric set attached to an engine with shards already resident
@@ -228,7 +236,9 @@ func saveEngineV2(t *testing.T, eng *Engine, source string) []byte {
 	for s := 0; s < eng.ix.NumShards(); s++ {
 		s := s
 		add(fmt.Sprintf("%s%d", secIndexShard, s), func(sw *snapcodec.Writer) {
-			eng.ix.EncodeShardLegacy(sw, s)
+			if err := eng.ix.EncodeShardLegacy(sw, s); err != nil {
+				t.Fatalf("legacy encode shard %d: %v", s, err)
+			}
 		})
 	}
 	if eng.dg != nil {
@@ -311,8 +321,12 @@ func TestV3ShardCompression(t *testing.T) {
 			var v2, v3 int64
 			for s := 0; s < eng.ix.NumShards(); s++ {
 				var lw, cw snapcodec.Writer
-				eng.ix.EncodeShardLegacy(&lw, s)
-				eng.ix.EncodeShard(&cw, s)
+				if err := eng.ix.EncodeShardLegacy(&lw, s); err != nil {
+					t.Fatal(err)
+				}
+				if err := eng.ix.EncodeShard(&cw, s); err != nil {
+					t.Fatal(err)
+				}
 				v2 += int64(lw.Len())
 				v3 += int64(cw.Len())
 			}

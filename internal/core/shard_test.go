@@ -172,7 +172,11 @@ func saveEngineV1(t *testing.T, eng *Engine, source string) []byte {
 	add(secPathdict, eng.col.Dict().Encode)
 	add(secCollection, eng.col.Encode)
 	add(secGraph, eng.g.Encode)
-	add(secIndex, eng.ix.Encode)
+	add(secIndex, func(w *snapcodec.Writer) {
+		if err := eng.ix.Encode(w); err != nil {
+			t.Fatalf("encode index: %v", err)
+		}
+	})
 	if eng.dg != nil {
 		add(secDataguide, eng.dg.Encode)
 	}

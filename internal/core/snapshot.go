@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -81,7 +82,7 @@ var (
 
 // Fingerprint returns the canonical identity of the engine-shaping parts
 // of a Config. Two configs with equal fingerprints build identical engines
-// from the same data. Parallelism, Shards, and ResidentBudget are
+// from the same data. Parallelism, Shards, ResidentBudget, and Backing are
 // deliberately excluded: they change build scheduling, the
 // execution-plane layout, and shard residency, never a query answer (a
 // loaded engine adopts the shard layout stored in the snapshot's section
@@ -135,44 +136,59 @@ func SaveEngine(w io.Writer, e *Engine, source string) error {
 	meta.String(source)
 	encodeConfig(&meta, e.cfg)
 
+	// Non-index layers encode infallibly (their state is always resident);
+	// an index shard may have to re-read its section from the snapshot
+	// backing store, so its encode is the one fallible job.
 	type job struct {
 		name string
-		enc  func(*snapcodec.Writer)
+		enc  func(*snapcodec.Writer) error
+	}
+	infallible := func(enc func(*snapcodec.Writer)) func(*snapcodec.Writer) error {
+		return func(w *snapcodec.Writer) error { enc(w); return nil }
 	}
 	jobs := []job{
-		{secPathdict, e.col.Dict().Encode},
-		{secCollection, e.col.Encode},
-		{secGraph, e.g.Encode},
+		{secPathdict, infallible(e.col.Dict().Encode)},
+		{secCollection, infallible(e.col.Encode)},
+		{secGraph, infallible(e.g.Encode)},
 	}
 	if dead := e.col.Tombstones(); dead.Len() > 0 {
 		// The collection section persists its statistics already masked, so
 		// the load path attaches this set without re-subtracting (see
 		// store.AttachTombstones).
-		jobs = append(jobs, job{secTombstones, dead.Encode})
+		jobs = append(jobs, job{secTombstones, infallible(dead.Encode)})
 	}
 	for s := 0; s < e.ix.NumShards(); s++ {
 		s := s
 		jobs = append(jobs, job{
 			name: fmt.Sprintf("%s%d", secIndexShard, s),
-			enc:  func(w *snapcodec.Writer) { e.ix.EncodeShard(w, s) },
+			enc:  func(w *snapcodec.Writer) error { return e.ix.EncodeShard(w, s) },
 		})
 	}
 	if e.dg != nil {
-		jobs = append(jobs, job{secDataguide, e.dg.Encode})
+		jobs = append(jobs, job{secDataguide, infallible(e.dg.Encode)})
 	}
 
 	sections := make([]snapcodec.Section, len(jobs)+1)
 	sections[0] = snapcodec.Section{Name: secMeta, Payload: meta.Bytes()}
 	encodes := make([]func(), len(jobs))
+	encErrs := make([]error, len(jobs))
 	for i := range jobs {
 		i := i
 		encodes[i] = func() {
 			var sw snapcodec.Writer
-			jobs[i].enc(&sw)
+			if err := jobs[i].enc(&sw); err != nil {
+				encErrs[i] = err
+				return
+			}
 			sections[i+1] = snapcodec.Section{Name: jobs[i].name, Payload: sw.Bytes()}
 		}
 	}
 	runJobs(encodes, e.parallelism)
+	for i, err := range encErrs {
+		if err != nil {
+			return fmt.Errorf("core: save engine: section %q: %w", jobs[i].name, err)
+		}
+	}
 	if err := snapcodec.WriteContainer(w, snapshotFormatVersion, sections); err != nil {
 		return fmt.Errorf("core: save engine: %w", err)
 	}
@@ -215,7 +231,48 @@ func SaveEngineFile(path string, e *Engine, source string) error {
 		os.Remove(name)
 		return fmt.Errorf("core: save engine: %w", err)
 	}
+	// A paged engine re-binds its shards to the file just written: the
+	// codec is canonical, so each index.<n> section is byte-equal to the
+	// shard's current encoding and eviction may now drop encoded payloads
+	// to disk (this is how a BUILT engine graduates from heap-backed to
+	// disk-backed residency). Best-effort: on failure shards keep their
+	// previous tier — an old file's refs stay readable through their open
+	// descriptors even after the rename unlinked it.
+	if e.pager != nil && e.cfg.Backing.diskEnabled() {
+		rebindBacking(path, e)
+	}
 	return nil
+}
+
+// rebindBacking points every index shard at its section inside the
+// snapshot at path. Only the container framing is scanned (ScanSections
+// skips payloads); page-in re-verifies each section's CRC anyway.
+func rebindBacking(path string, e *Engine) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	_, sections, err := snapcodec.ScanSections(f, snapshotFormatVersion)
+	f.Close()
+	if err != nil {
+		return
+	}
+	b, err := index.OpenBacking(path, e.cfg.Backing == BackingMmap)
+	if err != nil {
+		return
+	}
+	for _, sec := range sections {
+		if !strings.HasPrefix(sec.Name, secIndexShard) {
+			continue
+		}
+		s, err := strconv.Atoi(sec.Name[len(secIndexShard):])
+		if err != nil || s < 0 || s >= e.ix.NumShards() {
+			continue
+		}
+		// A size mismatch (BindBacking rejects it) leaves that shard on its
+		// previous tier; the other shards still re-bind.
+		_ = e.ix.BindBacking(s, index.NewBackingRef(b, sec.Offset, sec.Size, sec.CRC))
+	}
 }
 
 // LoadEngine reads a snapshot from r and verifies it was built under cfg:
@@ -231,16 +288,20 @@ func LoadEngine(r io.Reader, cfg Config, source string) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: load engine: %w", err)
 	}
-	return loadEngine(data, &cfg, source)
+	return loadEngine(data, "", &cfg, source)
 }
 
-// LoadEngineFile is LoadEngine over a file.
+// LoadEngineFile is LoadEngine over a file. With a positive
+// cfg.ResidentBudget the file additionally becomes the paging backstore
+// (unless cfg.Backing says BackingHeap): each shard is handed a ref to
+// its section so eviction drops the encoded payload too and page-in
+// re-reads it from disk (see Config.Backing).
 func LoadEngineFile(path string, cfg Config, source string) (*Engine, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: load engine: %w", err)
 	}
-	return loadEngine(data, &cfg, source)
+	return loadEngine(data, path, &cfg, source)
 }
 
 // LoadedEngine is the result of LoadEngineAuto.
@@ -270,7 +331,7 @@ func LoadEngineAuto(path string, fallback Config) (*LoadedEngine, error) {
 	}
 	if len(data) >= len(snapcodec.Magic) && string(data[:len(snapcodec.Magic)]) == snapcodec.Magic {
 		le := &LoadedEngine{FromSnapshot: true}
-		le.Engine, err = loadEngineInto(data, nil, "", fallback.ResidentBudget, le)
+		le.Engine, err = loadEngineInto(data, path, nil, "", fallback.ResidentBudget, fallback.Backing, le)
 		if err != nil {
 			return nil, err
 		}
@@ -324,13 +385,16 @@ func resolveParallelism(p int) int {
 // loadEngine decodes a snapshot. When want is non-nil the stored config
 // fingerprint must match want's (and the stored source tag must match
 // source when source is non-empty); when nil the stored config is adopted.
-func loadEngine(data []byte, want *Config, source string) (*Engine, error) {
+// path, when non-empty, names the snapshot file for disk-backed paging.
+func loadEngine(data []byte, path string, want *Config, source string) (*Engine, error) {
 	le := &LoadedEngine{}
 	var budget int64
+	var backing BackingMode
 	if want != nil {
 		budget = want.ResidentBudget
+		backing = want.Backing
 	}
-	eng, err := loadEngineInto(data, want, source, budget, le)
+	eng, err := loadEngineInto(data, path, want, source, budget, backing, le)
 	if err != nil {
 		return nil, err
 	}
@@ -346,26 +410,28 @@ func loadEngine(data []byte, want *Config, source string) (*Engine, error) {
 // encoded until first touch, and a pager evicts decoded shards back to
 // those payloads whenever their total exact encoded size exceeds budget.
 // Like Parallelism, the budget is environment, not identity — it comes
-// from the caller, never from the snapshot.
-func loadEngineInto(data []byte, want *Config, source string, budget int64, le *LoadedEngine) (*Engine, error) {
+// from the caller, never from the snapshot. A non-empty path names the
+// file data was read from; with a pager and a disk-enabled backing mode
+// it becomes the paging backstore (see Config.Backing).
+func loadEngineInto(data []byte, path string, want *Config, source string, budget int64, backing BackingMode, le *LoadedEngine) (*Engine, error) {
 	t0 := time.Now()
 	version, sections, err := snapcodec.ReadContainer(data, snapshotFormatVersion)
 	if err != nil {
 		return nil, fmt.Errorf("core: load engine: %w", err)
 	}
-	byName := make(map[string][]byte, len(sections))
+	byName := make(map[string]snapcodec.Section, len(sections))
 	for _, s := range sections {
 		if _, dup := byName[s.Name]; dup {
 			return nil, fmt.Errorf("core: load engine: %w: duplicate section %q", snapcodec.ErrCorrupt, s.Name)
 		}
-		byName[s.Name] = s.Payload
+		byName[s.Name] = s
 	}
 	need := func(name string) (*snapcodec.Reader, error) {
-		p, ok := byName[name]
+		s, ok := byName[name]
 		if !ok {
 			return nil, fmt.Errorf("core: load engine: %w: missing section %q", snapcodec.ErrCorrupt, name)
 		}
-		return snapcodec.NewReader(p), nil
+		return snapcodec.NewReader(s.Payload), nil
 	}
 
 	mr, err := need(secMeta)
@@ -427,8 +493,8 @@ func loadEngineInto(data []byte, want *Config, source string, budget int64, le *
 	// codecs validate against the masked collection. The persisted
 	// collection statistics were masked at save time, so nothing is
 	// subtracted here.
-	if p, ok := byName[secTombstones]; ok {
-		dead, err := store.DecodeTombstones(snapcodec.NewReader(p), col.NumDocs())
+	if s, ok := byName[secTombstones]; ok {
+		dead, err := store.DecodeTombstones(snapcodec.NewReader(s.Payload), col.NumDocs())
 		if err != nil {
 			return nil, fmt.Errorf("core: load engine: %w", err)
 		}
@@ -439,16 +505,18 @@ func loadEngineInto(data []byte, want *Config, source string, budget int64, le *
 
 	// The index's shard roster: a v2 container carries index.0 … index.N-1,
 	// a v1 container one flat "index" section (decoded as a single shard).
-	var shardPayloads [][]byte
+	// The full Sections are kept — their Offset/Size/CRC become the shards'
+	// backing refs when the snapshot file doubles as the paging backstore.
+	var shardSections []snapcodec.Section
 	if version >= 2 {
 		for {
-			p, ok := byName[fmt.Sprintf("%s%d", secIndexShard, len(shardPayloads))]
+			s, ok := byName[fmt.Sprintf("%s%d", secIndexShard, len(shardSections))]
 			if !ok {
 				break
 			}
-			shardPayloads = append(shardPayloads, p)
+			shardSections = append(shardSections, s)
 		}
-		if len(shardPayloads) == 0 {
+		if len(shardSections) == 0 {
 			return nil, fmt.Errorf("core: load engine: %w: missing section %q", snapcodec.ErrCorrupt, secIndexShard+"0")
 		}
 	}
@@ -459,9 +527,9 @@ func loadEngineInto(data []byte, want *Config, source string, budget int64, le *
 	// order so the reported failure is deterministic.
 	var (
 		g          *graph.Graph
-		shards     = make([]*index.Shard, len(shardPayloads))
-		shardErrs  = make([]error, len(shardPayloads))
-		shardTimes = make([]time.Duration, len(shardPayloads))
+		shards     = make([]*index.Shard, len(shardSections))
+		shardErrs  = make([]error, len(shardSections))
+		shardTimes = make([]time.Duration, len(shardSections))
 		ix         *index.Index
 		dg         *dataguide.Set
 		gErr       error
@@ -471,7 +539,7 @@ func loadEngineInto(data []byte, want *Config, source string, budget int64, le *
 		ixTime     time.Duration
 		dgTime     time.Duration
 	)
-	dgPayload, haveDg := byName[secDataguide]
+	dgSection, haveDg := byName[secDataguide]
 	if !haveDg && !storedCfg.SkipDataguides {
 		return nil, fmt.Errorf("core: load engine: %w: missing section %q", snapcodec.ErrCorrupt, secDataguide)
 	}
@@ -494,11 +562,11 @@ func loadEngineInto(data []byte, want *Config, source string, budget int64, le *
 		if budget > 0 {
 			decodeShard = index.DecodeShardPaged
 		}
-		for i := range shardPayloads {
+		for i := range shardSections {
 			i := i
 			jobs = append(jobs, func() {
 				t := time.Now()
-				shards[i], shardErrs[i] = decodeShard(snapcodec.NewReader(shardPayloads[i]), col)
+				shards[i], shardErrs[i] = decodeShard(snapcodec.NewReader(shardSections[i].Payload), col)
 				shardTimes[i] = time.Since(t)
 			})
 		}
@@ -521,7 +589,7 @@ func loadEngineInto(data []byte, want *Config, source string, budget int64, le *
 			t := time.Now()
 			defer func() { dgTime = time.Since(t) }()
 			var err error
-			if dg, err = dataguide.Decode(snapcodec.NewReader(dgPayload), col); err != nil {
+			if dg, err = dataguide.Decode(snapcodec.NewReader(dgSection.Payload), col); err != nil {
 				dgErr = fmt.Errorf("core: load engine: %w", err)
 			}
 		})
@@ -567,6 +635,7 @@ func loadEngineInto(data []byte, want *Config, source string, budget int64, le *
 	// preserves the layout.
 	storedCfg.Shards = ix.NumShards()
 	storedCfg.ResidentBudget = budget
+	storedCfg.Backing = backing
 	le.Config = storedCfg
 
 	e := &Engine{
@@ -581,6 +650,19 @@ func loadEngineInto(data []byte, want *Config, source string, budget int64, le *
 	if p := index.NewPager(budget); p != nil {
 		e.pager = p
 		ix.AttachPager(p)
+		// Disk-backed residency: hand each shard a ref to its section in the
+		// snapshot file, so eviction drops the encoded payload too and
+		// page-in re-reads (and re-verifies) it from disk. Best-effort — on
+		// an open or bind failure the affected shards keep their in-heap
+		// encoded payloads (the PR 8 behavior), exactly like a built
+		// not-yet-saved engine or an in-memory load.
+		if path != "" && backing.diskEnabled() && version >= 2 {
+			if b, err := index.OpenBacking(path, backing == BackingMmap); err == nil {
+				for i, sec := range shardSections {
+					_ = ix.BindBacking(i, index.NewBackingRef(b, sec.Offset, sec.Size, sec.CRC))
+				}
+			}
+		}
 	}
 	timings["load"] = time.Since(t0)
 	e.finish()

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package index
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile always fails on platforms without a usable mmap, so
+// OpenBacking silently falls back to pread — mmap is an optimization,
+// never a contract.
+func mmapFile(f *os.File) ([]byte, error) {
+	return nil, errors.New("index: mmap not supported on this platform")
+}
+
+func munmapFile(mm []byte) {}

@@ -1,0 +1,28 @@
+//go:build unix
+
+package index
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only in its entirety. The mapping is shared
+// (MAP_SHARED with PROT_READ — no copy-on-write pages to account for) and
+// outlives the descriptor, per POSIX. Zero-length files are rejected:
+// mmap(2) fails on them and an empty snapshot has no sections to serve.
+func mmapFile(f *os.File) ([]byte, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("index: cannot map %d-byte file", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(mm []byte) { syscall.Munmap(mm) }

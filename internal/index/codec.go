@@ -3,6 +3,7 @@ package index
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"seda/internal/dewey"
@@ -56,8 +57,9 @@ const (
 
 // Encode appends the index to w in its versioned flat binary form,
 // flattening shards into the corpus-global view. The backing collection is
-// not included; Decode re-binds the index to it.
-func (ix *Index) Encode(w *snapcodec.Writer) {
+// not included; Decode re-binds the index to it. The error is a
+// disk-backed page-in failure while materializing cold shards.
+func (ix *Index) Encode(w *snapcodec.Writer) error {
 	w.Int(codecVersion)
 
 	// Node index: terms in sorted order with doc freq and postings.
@@ -65,7 +67,11 @@ func (ix *Index) Encode(w *snapcodec.Writer) {
 	for _, term := range ix.terms {
 		w.String(term)
 		w.Int(ix.termDocFreq[term])
-		encodePostings(w, ix.Lookup(term))
+		ps, err := ix.Lookup(term)
+		if err != nil {
+			return err
+		}
+		encodePostings(w, ps)
 	}
 
 	encodeContextIndex(w, ix.pathTerms)
@@ -79,7 +85,10 @@ func (ix *Index) Encode(w *snapcodec.Writer) {
 	w.Int(len(pathIDs))
 	for _, id := range pathIDs {
 		w.Int(int(id))
-		refs := ix.NodesAtPath(id)
+		refs, err := ix.NodesAtPath(id)
+		if err != nil {
+			return err
+		}
 		w.Int(len(refs))
 		for _, ref := range refs {
 			encodeRef(w, ref)
@@ -92,6 +101,7 @@ func (ix *Index) Encode(w *snapcodec.Writer) {
 	for _, id := range ix.allPaths {
 		w.Int(int(id))
 	}
+	return nil
 }
 
 // Decode reads an index previously written by Encode, binding it to col.
@@ -128,18 +138,22 @@ func Decode(r *snapcodec.Reader, col *store.Collection) (*Index, error) {
 // EncodeShard appends shard s to w in the current (compressed) shard
 // binary form. A cold shard's lazy block is spliced verbatim — canonical
 // encodings make the splice byte-identical to a re-encode of the decoded
-// state, so SaveEngine stays deterministic whatever the residency.
-func (ix *Index) EncodeShard(w *snapcodec.Writer, s int) {
-	ix.shards[s].encodeInto(w)
+// state, so SaveEngine stays deterministic whatever the residency. The
+// error is a disk-backed re-read failure on a fully evicted shard.
+func (ix *Index) EncodeShard(w *snapcodec.Writer, s int) error {
+	return ix.shards[s].encodeInto(w)
 }
 
 // EncodeShardLegacy appends shard s in the superseded uncompressed layout
 // (shardCodecV1, as SEDASNAP v2 containers carried). Kept for the
 // cross-version compatibility tests and sedabench's v2-vs-v3 comparison.
 // The shard is paged in if cold.
-func (ix *Index) EncodeShardLegacy(w *snapcodec.Writer, s int) {
+func (ix *Index) EncodeShardLegacy(w *snapcodec.Writer, s int) error {
 	sh := ix.shards[s]
-	d := sh.hot()
+	d, err := sh.hot()
+	if err != nil {
+		return err
+	}
 	w.Int(shardCodecV1)
 	w.Int(sh.lo)
 	w.Int(sh.hi)
@@ -162,12 +176,15 @@ func (ix *Index) EncodeShardLegacy(w *snapcodec.Writer, s int) {
 			encodeRef(w, ref)
 		}
 	}
+	return nil
 }
 
 // encodeInto appends the shard's compressed payload: version and range,
 // the summary block, then the lazy block (re-encoded from the decoded
-// state when resident, spliced from the stored bytes when cold).
-func (sh *Shard) encodeInto(w *snapcodec.Writer) {
+// state when resident, spliced from the stored in-heap bytes or the
+// backing section when cold). The error is a disk re-read failure on a
+// fully evicted disk-backed shard.
+func (sh *Shard) encodeInto(w *snapcodec.Writer) error {
 	w.Int(shardCodecV2)
 	w.Int(sh.lo)
 	w.Int(sh.hi)
@@ -206,14 +223,30 @@ func (sh *Shard) encodeInto(w *snapcodec.Writer) {
 
 	if d := sh.data.Load(); d != nil {
 		sh.encodeLazy(w, d)
-		return
+		return nil
 	}
-	// data was nil: eviction stores raw before clearing data, so raw is set.
 	if rp := sh.raw.Load(); rp != nil {
 		w.Raw(*rp)
-		return
+		return nil
 	}
-	panic(fmt.Sprintf("index: shard [%d,%d) has neither decoded state nor an encoded payload", sh.lo, sh.hi))
+	// Fully evicted: re-read the section from the snapshot file and splice
+	// its lazy block — the codec is canonical, so the section's lazy tail
+	// IS the shard's current lazy encoding.
+	if ref := sh.backing.Load(); ref != nil {
+		payload, err := ref.payload()
+		if err != nil {
+			return fmt.Errorf("index: encoding shard [%d,%d): %w", sh.lo, sh.hi, err)
+		}
+		ll := int(sh.lazyLen.Load())
+		if ll < 0 || ll > len(payload) {
+			return fmt.Errorf("index: encoding shard [%d,%d): lazy block length %d outside payload of %d bytes", sh.lo, sh.hi, ll, len(payload))
+		}
+		w.Raw(payload[len(payload)-ll:])
+		// In mmap mode payload aliases the mapping; see pageInBacked.
+		runtime.KeepAlive(ref)
+		return nil
+	}
+	panic(fmt.Sprintf("index: shard [%d,%d) has no decoded state, encoded payload, or backing ref", sh.lo, sh.hi))
 }
 
 // exactBytes returns the exact encoded size of the shard's full payload —
@@ -225,31 +258,73 @@ func (sh *Shard) exactBytes() int64 {
 		return b
 	}
 	var w snapcodec.Writer
-	sh.encodeInto(&w)
+	if err := sh.encodeInto(&w); err != nil {
+		// Unreachable: encBytes is always cached before a shard can become
+		// disk-only (BindBacking validates against it), and the in-memory
+		// encode paths cannot fail.
+		panic(fmt.Sprintf("index: sizing shard [%d,%d): %v", sh.lo, sh.hi, err))
+	}
 	b := int64(w.Len())
 	sh.encBytes.Store(b)
 	return b
 }
 
-// tryEvict drops the shard's decoded state, re-encoding the lazy block
-// first when the shard was built or extended in memory and has no stored
-// bytes yet. Readers already holding the decoded pointer keep a
-// consistent view — the maps are immutable — so eviction never blocks or
-// corrupts in-flight queries. Reports whether a transition happened.
+// lazyLength returns the shard's encoded lazy-block length, computing and
+// caching it if needed (from the in-heap payload, or by encoding the
+// decoded state). BindBacking calls this before dropping the heap payload
+// so disk page-in can always slice the lazy block out of the section.
+func (sh *Shard) lazyLength() int64 {
+	if ll := sh.lazyLen.Load(); ll != 0 {
+		return ll
+	}
+	var ll int64
+	if rp := sh.raw.Load(); rp != nil {
+		ll = int64(len(*rp))
+	} else if d := sh.data.Load(); d != nil {
+		var w snapcodec.Writer
+		sh.encodeLazy(&w, d)
+		ll = int64(w.Len())
+	} else {
+		// Unreachable for the same reason as exactBytes: a shard goes
+		// disk-only via BindBacking, which computes this first.
+		panic(fmt.Sprintf("index: shard [%d,%d): lazy length unknown with no in-memory tier", sh.lo, sh.hi))
+	}
+	sh.lazyLen.Store(ll)
+	return ll
+}
+
+// tryEvict drops the shard's decoded state. With a backing ref this is a
+// TRUE eviction: the in-heap encoded payload is dropped too, and the next
+// touch re-reads the section from the snapshot file. Without one the
+// lazy block is re-encoded into raw first (built or extended in memory,
+// nothing on disk yet). Readers already holding the decoded pointer keep
+// a consistent view — the maps are immutable — so eviction never blocks
+// or corrupts in-flight queries. Reports whether a transition happened.
 func (sh *Shard) tryEvict() bool {
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	d := sh.data.Load()
 	if d == nil {
+		sh.mu.Unlock()
 		return false
 	}
-	if sh.raw.Load() == nil {
+	var rawChanged bool
+	if sh.backing.Load() != nil {
+		rawChanged = sh.raw.Swap(nil) != nil
+	} else if sh.raw.Load() == nil {
 		var w snapcodec.Writer
 		sh.encodeLazy(&w, d)
 		b := w.Bytes()
+		sh.lazyLen.Store(int64(len(b)))
 		sh.raw.Store(&b)
+		rawChanged = true
 	}
 	sh.data.Store(nil)
+	sh.mu.Unlock()
+	if rawChanged {
+		if p := sh.pager.Load(); p != nil {
+			p.noteRaw(sh)
+		}
+	}
 	return true
 }
 
@@ -543,6 +618,7 @@ func decodeShardV3(r *snapcodec.Reader, col *store.Collection, paged bool, total
 		}
 		sh.data.Store(d)
 	}
+	sh.lazyLen.Store(int64(len(lazy)))
 	sh.encBytes.Store(int64(total))
 	return sh, nil
 }

@@ -13,7 +13,9 @@ func TestCodecRoundTrip(t *testing.T) {
 	col, ix := buildFixture(t)
 
 	var w snapcodec.Writer
-	ix.Encode(&w)
+	if err := ix.Encode(&w); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
 	got, err := Decode(snapcodec.NewReader(w.Bytes()), col)
 	if err != nil {
 		t.Fatalf("Decode: %v", err)
@@ -23,7 +25,7 @@ func TestCodecRoundTrip(t *testing.T) {
 		t.Fatalf("NumTerms = %d, want %d", got.NumTerms(), ix.NumTerms())
 	}
 	for _, term := range ix.terms {
-		if !reflect.DeepEqual(got.Lookup(term), ix.Lookup(term)) {
+		if !reflect.DeepEqual(mustLookup(t, got, term), mustLookup(t, ix, term)) {
 			t.Errorf("postings mismatch for %q", term)
 		}
 		if got.DocFreq(term) != ix.DocFreq(term) {
@@ -39,21 +41,23 @@ func TestCodecRoundTrip(t *testing.T) {
 		t.Error("AllPaths mismatch")
 	}
 	for _, p := range ix.AllPaths() {
-		if !reflect.DeepEqual(got.NodesAtPath(p), ix.NodesAtPath(p)) {
+		if !reflect.DeepEqual(mustNodesAtPath(t, got, p), mustNodesAtPath(t, ix, p)) {
 			t.Errorf("NodesAtPath mismatch for %d", p)
 		}
 	}
 
 	// Phrase evaluation exercises positions, which are delta-encoded.
 	if !reflect.DeepEqual(
-		got.PhrasePostings([]string{"united", "states"}),
-		ix.PhrasePostings([]string{"united", "states"})) {
+		mustPhrasePostings(t, got, []string{"united", "states"}),
+		mustPhrasePostings(t, ix, []string{"united", "states"})) {
 		t.Error("phrase postings mismatch")
 	}
 
 	// Deterministic re-encode.
 	var w2 snapcodec.Writer
-	got.Encode(&w2)
+	if err := got.Encode(&w2); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
 	if !bytes.Equal(w.Bytes(), w2.Bytes()) {
 		t.Error("re-encoded bytes differ")
 	}
@@ -66,7 +70,9 @@ func TestCodecHostileInputs(t *testing.T) {
 	}
 	ix := Build(col)
 	var w snapcodec.Writer
-	ix.Encode(&w)
+	if err := ix.Encode(&w); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
 	data := w.Bytes()
 	for cut := 0; cut < len(data); cut++ {
 		if _, err := Decode(snapcodec.NewReader(data[:cut]), col); err == nil {

@@ -1,0 +1,56 @@
+package index
+
+import (
+	"testing"
+
+	"seda/internal/pathdict"
+	"seda/internal/xmldoc"
+)
+
+// The fixtures in this package are heap-resident (no disk backing), so
+// the fallible read APIs cannot actually fail; these helpers unwrap them.
+
+func mustLookup(tb testing.TB, ix *Index, term string) []Posting {
+	tb.Helper()
+	ps, err := ix.Lookup(term)
+	if err != nil {
+		tb.Fatalf("Lookup(%q): %v", term, err)
+	}
+	return ps
+}
+
+func mustLookupPrefix(tb testing.TB, ix *Index, prefix string) []Posting {
+	tb.Helper()
+	ps, err := ix.LookupPrefix(prefix)
+	if err != nil {
+		tb.Fatalf("LookupPrefix(%q): %v", prefix, err)
+	}
+	return ps
+}
+
+func mustPhrasePostings(tb testing.TB, ix *Index, terms []string) []Posting {
+	tb.Helper()
+	ps, err := ix.PhrasePostings(terms)
+	if err != nil {
+		tb.Fatalf("PhrasePostings(%v): %v", terms, err)
+	}
+	return ps
+}
+
+func mustNodesAtPath(tb testing.TB, ix *Index, p pathdict.PathID) []xmldoc.NodeRef {
+	tb.Helper()
+	refs, err := ix.NodesAtPath(p)
+	if err != nil {
+		tb.Fatalf("NodesAtPath(%d): %v", p, err)
+	}
+	return refs
+}
+
+func mustHot(tb testing.TB, sh *Shard) *shardData {
+	tb.Helper()
+	d, err := sh.hot()
+	if err != nil {
+		tb.Fatalf("hot() on shard [%d,%d): %v", sh.lo, sh.hi, err)
+	}
+	return d
+}

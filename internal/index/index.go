@@ -87,15 +87,27 @@ type Shard struct {
 	pathCounts   []int             // per-path node counts, aligned with pathIDs
 
 	// Residency state. data holds the decoded posting lists and per-path
-	// node lists; raw holds the shard's encoded lazy block (see codec.go).
-	// At least one is always non-nil: eviction re-encodes before dropping
-	// data, paging in decodes raw. Readers snapshot data with one atomic
-	// load and the decoded maps are immutable, so the scatter path stays
-	// lock-free once hot; mu only serializes the page-in and eviction
-	// transitions — a re-armable once.
-	mu   sync.Mutex
-	data atomic.Pointer[shardData]
-	raw  atomic.Pointer[[]byte]
+	// node lists; raw holds the shard's encoded lazy block (see codec.go);
+	// backing, when set, points at the shard's encoded section inside the
+	// snapshot file (see backing.go). The residency invariant: data, raw,
+	// or backing is always non-nil. Without a backing ref eviction
+	// re-encodes into raw before dropping data (PR 8 behavior); with one,
+	// eviction drops BOTH data and raw — page-in re-reads the section from
+	// disk, re-verifies its CRC, and decodes. Readers snapshot data with
+	// one atomic load and the decoded maps are immutable, so the scatter
+	// path stays lock-free once hot; mu only serializes the page-in and
+	// eviction transitions — a re-armable once that doubles as the
+	// per-shard singleflight: N concurrent queries on one cold shard queue
+	// on mu, the winner decodes, the losers find data published and return
+	// it, so the shard pays exactly one page-in.
+	mu      sync.Mutex
+	data    atomic.Pointer[shardData]
+	raw     atomic.Pointer[[]byte]
+	backing atomic.Pointer[BackingRef]
+	// lazyLen caches the length of the shard's encoded lazy block (the
+	// payload suffix after the summary; 0 = not yet computed). Disk
+	// page-in slices the lazy block out of the re-read section with it.
+	lazyLen atomic.Int64
 
 	// pager, when set, applies the byte-budgeted LRU to this shard.
 	pager atomic.Pointer[Pager]
@@ -124,39 +136,53 @@ func (sh *Shard) Docs() int { return sh.hi - sh.lo }
 
 // hot returns the shard's decoded state, paging it in on first touch. The
 // resident fast path is one atomic load (plus an LRU clock store when a
-// pager is attached).
-func (sh *Shard) hot() *shardData {
+// pager is attached). The error is always nil for shards whose encoded
+// payload is in memory; only the disk-backed cold path can fail (the file
+// is outside the process's control), and then with an error classified
+// under snapcodec.ErrCorrupt — never a panic.
+func (sh *Shard) hot() (*shardData, error) {
 	if d := sh.data.Load(); d != nil {
 		if p := sh.pager.Load(); p != nil {
 			p.touch(sh)
 		}
-		return d
+		return d, nil
 	}
 	return sh.pageIn()
 }
 
-// pageIn decodes the shard's encoded lazy block and publishes it. The
-// block was fully validated when the snapshot loaded, so a decode failure
-// here is an internal invariant violation, not a data condition.
-func (sh *Shard) pageIn() *shardData {
+// pageIn decodes the shard's encoded lazy block — from the in-heap
+// payload, or by re-reading its section from the snapshot file — and
+// publishes it. sh.mu is the singleflight: concurrent callers queue here,
+// and whoever loses the race finds data published and returns it without
+// a second decode or disk read.
+func (sh *Shard) pageIn() (*shardData, error) {
 	sh.mu.Lock()
 	if d := sh.data.Load(); d != nil { // lost the race: someone else paged in
 		sh.mu.Unlock()
 		if p := sh.pager.Load(); p != nil {
 			p.touch(sh)
 		}
-		return d
+		return d, nil
 	}
 	start := time.Now()
-	rawp := sh.raw.Load()
-	if rawp == nil {
+	var d *shardData
+	if rawp := sh.raw.Load(); rawp != nil {
+		// In-heap payload: fully validated when the snapshot loaded, so a
+		// decode failure here is an internal invariant violation.
+		var err error
+		if d, err = sh.decodeLazy(*rawp); err != nil {
+			sh.mu.Unlock()
+			panic(fmt.Sprintf("index: paging in pre-validated shard [%d,%d): %v", sh.lo, sh.hi, err))
+		}
+	} else if ref := sh.backing.Load(); ref != nil {
+		var err error
+		if d, err = sh.pageInBacked(ref); err != nil {
+			sh.mu.Unlock()
+			return nil, err
+		}
+	} else {
 		sh.mu.Unlock()
-		panic(fmt.Sprintf("index: shard [%d,%d) has neither decoded state nor an encoded payload", sh.lo, sh.hi))
-	}
-	d, err := sh.decodeLazy(*rawp)
-	if err != nil {
-		sh.mu.Unlock()
-		panic(fmt.Sprintf("index: paging in pre-validated shard [%d,%d): %v", sh.lo, sh.hi, err))
+		panic(fmt.Sprintf("index: shard [%d,%d) has no decoded state, encoded payload, or backing ref", sh.lo, sh.hi))
 	}
 	sh.data.Store(d)
 	sh.mu.Unlock()
@@ -165,7 +191,16 @@ func (sh *Shard) pageIn() *shardData {
 	if p := sh.pager.Load(); p != nil {
 		p.admit(sh, true, time.Since(start))
 	}
-	return d
+	return d, nil
+}
+
+// backingTier names the shard's coldest available residency tier: where
+// its encoded payload would live after eviction.
+func (sh *Shard) backingTier() string {
+	if ref := sh.backing.Load(); ref != nil {
+		return ref.Tier()
+	}
+	return TierHeap
 }
 
 // Index holds the node and context indexes for one collection, fragmented
@@ -541,6 +576,11 @@ type ShardStats struct {
 	// Resident reports whether the shard's decoded posting lists are in
 	// memory right now (always true without a pager).
 	Resident bool
+	// Backing names the shard's coldest residency tier — where its encoded
+	// payload lives after eviction: TierHeap (in-heap encoded bytes, the
+	// only tier for built-not-yet-saved engines), TierDisk (pread from the
+	// snapshot file), or TierMmap (sliced from the mapped snapshot).
+	Backing string
 	// Fetches counts term-match evaluations (scatter tasks) served by the
 	// shard since build or load — the scatter-fanout view of query load.
 	Fetches uint64
@@ -555,6 +595,7 @@ func (sh *Shard) stats() ShardStats {
 		Postings: sh.nPostings,
 		Bytes:    sh.exactBytes(),
 		Resident: sh.data.Load() != nil,
+		Backing:  sh.backingTier(),
 		Fetches:  sh.fetches.Load(),
 	}
 }
@@ -574,15 +615,20 @@ func (ix *Index) ShardStats() []ShardStats {
 // without copying; otherwise the contributing per-shard lists are
 // concatenated into a fresh slice. Either way the returned slice must not
 // be modified. Shards whose vocabulary lacks the term are skipped via the
-// resident summary, so absent terms page nothing in.
-func (ix *Index) Lookup(term string) []Posting {
+// resident summary, so absent terms page nothing in. The error is a
+// disk-backed page-in failure (see Shard.hot).
+func (ix *Index) Lookup(term string) ([]Posting, error) {
 	var single []Posting
 	contributing, total := 0, 0
 	for s, sh := range ix.shards {
 		if sh.termDocFreq[term] == 0 {
 			continue
 		}
-		if ps := ix.livePostings(s, sh.hot().postings[term]); len(ps) > 0 {
+		d, err := sh.hot()
+		if err != nil {
+			return nil, err
+		}
+		if ps := ix.livePostings(s, d.postings[term]); len(ps) > 0 {
 			contributing++
 			total += len(ps)
 			single = ps
@@ -590,24 +636,28 @@ func (ix *Index) Lookup(term string) []Posting {
 	}
 	switch contributing {
 	case 0:
-		return nil
+		return nil, nil
 	case 1:
-		return single
+		return single, nil
 	}
 	out := make([]Posting, 0, total)
 	for s, sh := range ix.shards {
 		if sh.termDocFreq[term] == 0 {
 			continue
 		}
-		out = append(out, ix.livePostings(s, sh.hot().postings[term])...)
+		d, err := sh.hot()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ix.livePostings(s, d.postings[term])...)
 	}
-	return out
+	return out, nil
 }
 
 // LookupPrefix returns merged postings of all terms starting with prefix,
 // in (doc, Dewey) order, by a k-way merge of the already-sorted per-term
 // (and per-shard) posting lists.
-func (ix *Index) LookupPrefix(prefix string) []Posting {
+func (ix *Index) LookupPrefix(prefix string) ([]Posting, error) {
 	var lists [][]Posting
 	lo := sort.SearchStrings(ix.terms, prefix)
 	for i := lo; i < len(ix.terms) && strings.HasPrefix(ix.terms[i], prefix); i++ {
@@ -615,30 +665,37 @@ func (ix *Index) LookupPrefix(prefix string) []Posting {
 			if sh.termDocFreq[ix.terms[i]] == 0 {
 				continue
 			}
-			if ps := ix.livePostings(s, sh.hot().postings[ix.terms[i]]); len(ps) > 0 {
+			d, err := sh.hot()
+			if err != nil {
+				return nil, err
+			}
+			if ps := ix.livePostings(s, d.postings[ix.terms[i]]); len(ps) > 0 {
 				lists = append(lists, ps)
 			}
 		}
 	}
-	return mergePostings(lists)
+	return mergePostings(lists), nil
 }
 
 // lookupPrefixShard is LookupPrefix restricted to one shard. The sorted
 // vocabulary scan is resident; the shard pages in only when at least one
 // term matches the prefix.
-func (ix *Index) lookupPrefixShard(s int, prefix string) []Posting {
+func (ix *Index) lookupPrefixShard(s int, prefix string) ([]Posting, error) {
 	sh := ix.shards[s]
 	var lists [][]Posting
 	i := sort.SearchStrings(sh.terms, prefix)
 	if i < len(sh.terms) && strings.HasPrefix(sh.terms[i], prefix) {
-		d := sh.hot()
+		d, err := sh.hot()
+		if err != nil {
+			return nil, err
+		}
 		for ; i < len(sh.terms) && strings.HasPrefix(sh.terms[i], prefix); i++ {
 			if ps := ix.livePostings(s, d.postings[sh.terms[i]]); len(ps) > 0 {
 				lists = append(lists, ps)
 			}
 		}
 	}
-	return mergePostings(lists)
+	return mergePostings(lists), nil
 }
 
 // mergePostings k-way-merges sorted posting lists into one list in (doc,
@@ -744,7 +801,7 @@ func mergePositions(dst, src []int32) []int32 {
 }
 
 // LookupQuery resolves a TermQuery (exact or prefix) to postings.
-func (ix *Index) LookupQuery(tq fulltext.TermQuery) []Posting {
+func (ix *Index) LookupQuery(tq fulltext.TermQuery) ([]Posting, error) {
 	if tq.Prefix {
 		return ix.LookupPrefix(tq.Term)
 	}
@@ -756,28 +813,35 @@ func (ix *Index) LookupQuery(tq fulltext.TermQuery) []Posting {
 // intersection runs shard-locally (a node and all its phrase terms live in
 // one shard); shards where a later phrase term is absent simply contribute
 // nothing.
-func (ix *Index) PhrasePostings(terms []string) []Posting {
+func (ix *Index) PhrasePostings(terms []string) ([]Posting, error) {
 	if len(terms) == 0 {
-		return nil
+		return nil, nil
 	}
 	if len(terms) == 1 {
 		return ix.Lookup(terms[0])
 	}
 	var out []Posting
 	for s := range ix.shards {
-		out = append(out, ix.phrasePostingsShard(s, terms)...)
+		ps, err := ix.phrasePostingsShard(s, terms)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps...)
 	}
-	return out
+	return out, nil
 }
 
-func (ix *Index) phrasePostingsShard(s int, terms []string) []Posting {
+func (ix *Index) phrasePostingsShard(s int, terms []string) ([]Posting, error) {
 	sh := ix.shards[s]
 	for _, t := range terms {
 		if sh.termDocFreq[t] == 0 {
-			return nil // a missing member term kills every phrase here
+			return nil, nil // a missing member term kills every phrase here
 		}
 	}
-	d := sh.hot()
+	d, err := sh.hot()
+	if err != nil {
+		return nil, err
+	}
 	var out []Posting
 	// The intersection walks the first term's live postings; later terms
 	// are probed at the same (live) refs, so one filter masks the phrase.
@@ -803,7 +867,7 @@ func (ix *Index) phrasePostingsShard(s int, terms []string) []Posting {
 			out = append(out, Posting{Ref: p.Ref, Path: p.Path, Positions: offsets})
 		}
 	}
-	return out
+	return out, nil
 }
 
 func (d *shardData) findPosting(term string, ref xmldoc.NodeRef) *Posting {
@@ -842,7 +906,7 @@ func (sh *Shard) pathCountAt(p pathdict.PathID) int {
 // copying; otherwise the contributing lists are concatenated into a fresh
 // slice. Either way the returned slice must not be modified. Shards
 // without the path are skipped via the resident roster.
-func (ix *Index) NodesAtPath(p pathdict.PathID) []xmldoc.NodeRef {
+func (ix *Index) NodesAtPath(p pathdict.PathID) ([]xmldoc.NodeRef, error) {
 	if ix.dead == nil {
 		var last *Shard
 		contributing, total := 0, 0
@@ -855,17 +919,25 @@ func (ix *Index) NodesAtPath(p pathdict.PathID) []xmldoc.NodeRef {
 		}
 		switch contributing {
 		case 0:
-			return nil
+			return nil, nil
 		case 1:
-			return last.hot().pathNodes[p]
+			d, err := last.hot()
+			if err != nil {
+				return nil, err
+			}
+			return d.pathNodes[p], nil
 		}
 		out := make([]xmldoc.NodeRef, 0, total)
 		for _, sh := range ix.shards {
 			if sh.pathCountAt(p) > 0 {
-				out = append(out, sh.hot().pathNodes[p]...)
+				d, err := sh.hot()
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, d.pathNodes[p]...)
 			}
 		}
-		return out
+		return out, nil
 	}
 	// Masked: roster counts may overstate, so contribution is decided on
 	// the filtered lists (a shard overlapping the dead set pages in even
@@ -878,7 +950,11 @@ func (ix *Index) NodesAtPath(p pathdict.PathID) []xmldoc.NodeRef {
 		if sh.pathCountAt(p) == 0 {
 			continue
 		}
-		refs := ix.liveRefs(s, sh.hot().pathNodes[p])
+		d, err := sh.hot()
+		if err != nil {
+			return nil, err
+		}
+		refs := ix.liveRefs(s, d.pathNodes[p])
 		if len(refs) == 0 {
 			continue
 		}
@@ -893,9 +969,9 @@ func (ix *Index) NodesAtPath(p pathdict.PathID) []xmldoc.NodeRef {
 		contributing++
 	}
 	if contributing == 1 {
-		return single
+		return single, nil
 	}
-	return out
+	return out, nil
 }
 
 // nodesAtPathLen is len(NodesAtPath(p)) without the concatenation; it

@@ -41,7 +41,7 @@ func buildFixture(t testing.TB) (*store.Collection, *Index) {
 
 func TestLookupBasics(t *testing.T) {
 	_, ix := buildFixture(t)
-	ps := ix.Lookup("united")
+	ps := mustLookup(t, ix, "united")
 	if len(ps) != 4 {
 		t.Fatalf("postings(united) = %d, want 4", len(ps))
 	}
@@ -51,7 +51,7 @@ func TestLookupBasics(t *testing.T) {
 			t.Errorf("postings out of order at %d", i)
 		}
 	}
-	if ix.Lookup("nonexistent") != nil {
+	if mustLookup(t, ix, "nonexistent") != nil {
 		t.Error("unknown term should have nil postings")
 	}
 	if ix.DocFreq("united") != 4 {
@@ -64,36 +64,36 @@ func TestLookupBasics(t *testing.T) {
 
 func TestLookupPrefix(t *testing.T) {
 	_, ix := buildFixture(t)
-	got := ix.LookupPrefix("germ")
+	got := mustLookupPrefix(t, ix, "germ")
 	if len(got) != 1 {
 		t.Fatalf("LookupPrefix(germ) = %d postings", len(got))
 	}
 	// "10.082t" and "15.3%" both start with "1".
-	ones := ix.LookupPrefix("1")
+	ones := mustLookupPrefix(t, ix, "1")
 	if len(ones) < 2 {
 		t.Errorf("LookupPrefix(1) = %d, want >= 2", len(ones))
 	}
-	if ix.LookupPrefix("zzz") != nil {
+	if mustLookupPrefix(t, ix, "zzz") != nil {
 		t.Error("no-match prefix should be nil")
 	}
 }
 
 func TestPhrasePostings(t *testing.T) {
 	_, ix := buildFixture(t)
-	ps := ix.PhrasePostings([]string{"united", "states"})
+	ps := mustPhrasePostings(t, ix, []string{"united", "states"})
 	if len(ps) != 4 {
 		t.Fatalf("phrase postings = %d, want 4", len(ps))
 	}
-	if got := ix.PhrasePostings([]string{"states", "united"}); got != nil {
+	if got := mustPhrasePostings(t, ix, []string{"states", "united"}); got != nil {
 		t.Errorf("reversed phrase matched: %v", got)
 	}
-	if got := ix.PhrasePostings([]string{"pacific", "states"}); got != nil {
+	if got := mustPhrasePostings(t, ix, []string{"pacific", "states"}); got != nil {
 		t.Errorf("cross-node phrase in direct text matched: %v", got)
 	}
-	if ix.PhrasePostings(nil) != nil {
+	if mustPhrasePostings(t, ix, nil) != nil {
 		t.Error("empty phrase should be nil")
 	}
-	single := ix.PhrasePostings([]string{"pacific"})
+	single := mustPhrasePostings(t, ix, []string{"pacific"})
 	if len(single) != 1 {
 		t.Errorf("single-term phrase = %d", len(single))
 	}
@@ -166,7 +166,7 @@ func TestNodesAtPath(t *testing.T) {
 	c, ix := buildFixture(t)
 	dict := c.Dict()
 	p := dict.LookupPath("/country/economy/import_partners/item")
-	refs := ix.NodesAtPath(p)
+	refs := mustNodesAtPath(t, ix, p)
 	if len(refs) != 2 {
 		t.Fatalf("NodesAtPath(item) = %d, want 2", len(refs))
 	}
@@ -194,7 +194,7 @@ func TestBuildParallelMatchesSequential(t *testing.T) {
 	seq := BuildParallel(c, 1)
 	for _, p := range []int{2, 3, 8} {
 		par := BuildParallel(c, p)
-		if !reflect.DeepEqual(par.shards[0].hot().postings, seq.shards[0].hot().postings) {
+		if !reflect.DeepEqual(mustHot(t, par.shards[0]).postings, mustHot(t, seq.shards[0]).postings) {
 			t.Errorf("parallelism %d: postings differ", p)
 		}
 		if !reflect.DeepEqual(par.terms, seq.terms) {
@@ -206,7 +206,7 @@ func TestBuildParallelMatchesSequential(t *testing.T) {
 		if !reflect.DeepEqual(par.termDocFreq, seq.termDocFreq) {
 			t.Errorf("parallelism %d: doc frequencies differ", p)
 		}
-		if !reflect.DeepEqual(par.shards[0].hot().pathNodes, seq.shards[0].hot().pathNodes) {
+		if !reflect.DeepEqual(mustHot(t, par.shards[0]).pathNodes, mustHot(t, seq.shards[0]).pathNodes) {
 			t.Errorf("parallelism %d: path-node lists differ", p)
 		}
 		if !reflect.DeepEqual(par.allPaths, seq.allPaths) {
@@ -243,21 +243,21 @@ func TestBuildShardedMatchesSingleShard(t *testing.T) {
 			t.Errorf("shards %d: path orders differ", n)
 		}
 		for _, term := range one.terms {
-			if !reflect.DeepEqual(sharded.Lookup(term), one.Lookup(term)) {
+			if !reflect.DeepEqual(mustLookup(t, sharded, term), mustLookup(t, one, term)) {
 				t.Errorf("shards %d: Lookup(%q) differs", n, term)
 			}
 		}
 		for _, prefix := range []string{"", "u", "un", "germ", "1", "zzz"} {
-			if !reflect.DeepEqual(sharded.LookupPrefix(prefix), one.LookupPrefix(prefix)) {
+			if !reflect.DeepEqual(mustLookupPrefix(t, sharded, prefix), mustLookupPrefix(t, one, prefix)) {
 				t.Errorf("shards %d: LookupPrefix(%q) differs", n, prefix)
 			}
 		}
-		if !reflect.DeepEqual(sharded.PhrasePostings([]string{"united", "states"}),
-			one.PhrasePostings([]string{"united", "states"})) {
+		if !reflect.DeepEqual(mustPhrasePostings(t, sharded, []string{"united", "states"}),
+			mustPhrasePostings(t, one, []string{"united", "states"})) {
 			t.Errorf("shards %d: PhrasePostings differ", n)
 		}
 		for _, p := range one.allPaths {
-			if !reflect.DeepEqual(sharded.NodesAtPath(p), one.NodesAtPath(p)) {
+			if !reflect.DeepEqual(mustNodesAtPath(t, sharded, p), mustNodesAtPath(t, one, p)) {
 				t.Errorf("shards %d: NodesAtPath(%d) differs", n, p)
 			}
 		}

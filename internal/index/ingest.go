@@ -30,28 +30,38 @@ import (
 // changed posting lists, context-index entries, and per-path node lists
 // are fresh slices or maps, unchanged ones — and every non-tail shard —
 // are shared.
-func (ix *Index) Extend(col *store.Collection, newDocs []*xmldoc.Document) *Index {
+func (ix *Index) Extend(col *store.Collection, newDocs []*xmldoc.Document) (*Index, error) {
 	delta := scanDocs(newDocs)
 	tail := ix.shards[len(ix.shards)-1]
 	shards := make([]*Shard, len(ix.shards))
 	copy(shards, ix.shards)
-	nt := tail.extend(delta, col.NumDocs())
+	nt, err := tail.extend(delta, col.NumDocs())
+	if err != nil {
+		return nil, err
+	}
 	shards[len(shards)-1] = nt
 	// The new tail joins the old tail's paging regime (non-tail shards
-	// carry their pager already, being shared pointers).
+	// carry their pager already, being shared pointers). Its backing ref,
+	// if any, does NOT carry over: the extended shard's encoding differs
+	// from the stored section, so the new tail runs heap-backed until the
+	// next save re-binds it.
 	if p := tail.pager.Load(); p != nil {
 		nt.pager.Store(p)
 		p.admit(nt, false, 0)
 	}
-	return finishIndex(col, shards)
+	return finishIndex(col, shards), nil
 }
 
 // extend merges a delta accumulator into a copy of the shard, extending
-// its range to [sh.lo, hi). The receiver pages in if it was evicted.
+// its range to [sh.lo, hi). The receiver pages in if it was evicted; the
+// error is a disk-backed page-in failure.
 //
 //seda:constructor
-func (sh *Shard) extend(delta *shardAcc, hi int) *Shard {
-	old := sh.hot()
+func (sh *Shard) extend(delta *shardAcc, hi int) (*Shard, error) {
+	old, err := sh.hot()
+	if err != nil {
+		return nil, err
+	}
 	acc := &shardAcc{
 		postings:    make(map[string][]Posting, len(old.postings)+len(delta.postings)),
 		pathTerms:   make(map[string]map[pathdict.PathID]int, len(sh.pathTerms)),
@@ -111,7 +121,7 @@ func (sh *Shard) extend(delta *shardAcc, hi int) *Shard {
 		}
 	}
 
-	return sealShard(sh.lo, hi, acc)
+	return sealShard(sh.lo, hi, acc), nil
 }
 
 // Terms returns the node index's vocabulary in sorted order. The returned

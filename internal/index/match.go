@@ -69,7 +69,11 @@ func (ix *Index) MatchTermShard(t query.Term, s int) ([]Match, error) {
 	}
 	anchorSet := make(map[string]xmldoc.NodeRef)
 	for _, clause := range clauses {
-		for _, ref := range ix.clauseAnchors(clause, s) {
+		anchors, err := ix.clauseAnchors(clause, s)
+		if err != nil {
+			return nil, err
+		}
+		for _, ref := range anchors {
 			anchorSet[refKey(ref)] = ref
 		}
 	}
@@ -126,7 +130,10 @@ func (ix *Index) matchByContextScan(t query.Term, s int) ([]Match, error) {
 			continue
 		}
 		if d == nil {
-			d = sh.hot()
+			var err error
+			if d, err = sh.hot(); err != nil {
+				return nil, err
+			}
 		}
 		for _, ref := range ix.liveRefs(s, d.pathNodes[p]) {
 			candSet[refKey(ref)] = candidate{ref: ref}
@@ -291,28 +298,34 @@ func mergeToSingle(cs [][]probe) [][]probe {
 // that have no posting descendant. An anchor's whole ancestor chain lives
 // in its own document, so per-shard SLCA concatenated over shards equals
 // the corpus-wide SLCA.
-func (ix *Index) clauseAnchors(clause []probe, s int) []xmldoc.NodeRef {
+func (ix *Index) clauseAnchors(clause []probe, s int) ([]xmldoc.NodeRef, error) {
 	sh := ix.shards[s]
 	var d *shardData
 	lists := make([][]Posting, 0, len(clause))
 	for _, pr := range clause {
 		var ps []Posting
 		if pr.prefix {
-			ps = ix.lookupPrefixShard(s, pr.term)
+			var err error
+			if ps, err = ix.lookupPrefixShard(s, pr.term); err != nil {
+				return nil, err
+			}
 		} else if sh.termDocFreq[pr.term] > 0 {
 			// The resident vocabulary gates the probe: a term absent from
 			// this shard fails the clause without paging anything in.
 			if d == nil {
-				d = sh.hot()
+				var err error
+				if d, err = sh.hot(); err != nil {
+					return nil, err
+				}
 			}
 			ps = ix.livePostings(s, d.postings[pr.term])
 		}
 		if len(ps) == 0 {
-			return nil // clause cannot be satisfied in this shard
+			return nil, nil // clause cannot be satisfied in this shard
 		}
 		lists = append(lists, ps)
 	}
-	return slca(lists)
+	return slca(lists), nil
 }
 
 // event is one posting occurrence tagged with the probe index it satisfies.

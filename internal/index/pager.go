@@ -33,6 +33,7 @@ type Pager struct {
 
 	pageIns   atomic.Uint64
 	evictions atomic.Uint64
+	diskReads atomic.Uint64
 
 	// metrics, when set, mirrors the pager's activity into the shared
 	// obs families (nil until the serving tier installs them).
@@ -41,6 +42,14 @@ type Pager struct {
 	mu      sync.Mutex
 	tracked map[*Shard]struct{} // guarded by mu
 	used    int64               // guarded by mu: sum of tracked shards' exact bytes
+
+	// encHeap charges each shard whose ENCODED payload currently lives on
+	// the Go heap (Shard.raw) — the honesty gauge behind
+	// seda_paging_encoded_heap_bytes: a heap-backed shard keeps paying
+	// after eviction, a disk-backed one genuinely drops to zero. Guarded
+	// by mu; reconciled by noteRaw after any raw transition.
+	encHeap map[*Shard]int64
+	encUsed int64 // guarded by mu: sum of encHeap
 }
 
 // NewPager returns a pager enforcing the given resident budget in bytes.
@@ -49,7 +58,11 @@ func NewPager(budget int64) *Pager {
 	if budget <= 0 {
 		return nil
 	}
-	return &Pager{budget: budget, tracked: make(map[*Shard]struct{})}
+	return &Pager{
+		budget:  budget,
+		tracked: make(map[*Shard]struct{}),
+		encHeap: make(map[*Shard]int64),
+	}
 }
 
 // Budget returns the configured resident budget in bytes.
@@ -69,14 +82,50 @@ func (p *Pager) SetMetrics(m *PagingMetrics) {
 	}
 	if old != nil {
 		old.ResidentBytes.Add(-float64(p.used))
+		old.EncodedHeapBytes.Add(-float64(p.encUsed))
 	}
 	if m != nil {
 		m.ResidentBytes.Add(float64(p.used))
+		m.EncodedHeapBytes.Add(float64(p.encUsed))
 	}
 }
 
 // touch stamps sh with the next LRU clock tick.
 func (p *Pager) touch(sh *Shard) { sh.lastUse.Store(p.clock.Add(1)) }
+
+// noteRaw reconciles sh's encoded-heap charge with its CURRENT raw state:
+// charged while the encoded payload sits on the heap, zero once it drops
+// (true eviction to disk) or never materializes. Idempotent — callers
+// invoke it after any raw transition without tracking direction, and
+// racing transitions converge on the last reconciler's observation.
+func (p *Pager) noteRaw(sh *Shard) {
+	var cost int64
+	if rp := sh.raw.Load(); rp != nil {
+		cost = int64(len(*rp))
+	}
+	p.mu.Lock()
+	delta := cost - p.encHeap[sh]
+	if cost == 0 {
+		delete(p.encHeap, sh)
+	} else {
+		p.encHeap[sh] = cost
+	}
+	p.encUsed += delta
+	if m := p.metrics.Load(); m != nil && delta != 0 {
+		m.EncodedHeapBytes.Add(float64(delta))
+	}
+	p.mu.Unlock()
+}
+
+// diskRead records one backing-section read (page-in or save splice) and
+// its read+CRC-verify latency.
+func (p *Pager) diskRead(dur time.Duration) {
+	p.diskReads.Add(1)
+	if m := p.metrics.Load(); m != nil {
+		m.DiskReads.Inc()
+		m.DiskReadSeconds.ObserveDuration(dur)
+	}
+}
 
 // admit records sh as resident, charging its exact encoded size against
 // the budget, and evicts the coldest other shards until the budget holds
@@ -148,8 +197,14 @@ type PagerStats struct {
 	Budget        int64
 	ResidentBytes int64
 	Resident      int // tracked (resident) shard count
-	PageIns       uint64
-	Evictions     uint64
+	// EncodedHeapBytes is the encoded payload bytes currently on the Go
+	// heap (evicted heap-backed shards; zero when every evicted shard
+	// pages from disk).
+	EncodedHeapBytes int64
+	PageIns          uint64
+	Evictions        uint64
+	// DiskReads counts backing-section reads from the snapshot file.
+	DiskReads uint64
 }
 
 // Stats snapshots the pager's counters and accounting.
@@ -158,10 +213,12 @@ func (p *Pager) Stats() PagerStats {
 		Budget:    p.budget,
 		PageIns:   p.pageIns.Load(),
 		Evictions: p.evictions.Load(),
+		DiskReads: p.diskReads.Load(),
 	}
 	p.mu.Lock()
 	st.ResidentBytes = p.used
 	st.Resident = len(p.tracked)
+	st.EncodedHeapBytes = p.encUsed
 	p.mu.Unlock()
 	return st
 }
@@ -178,6 +235,7 @@ func (ix *Index) AttachPager(p *Pager) {
 		sh.pager.Store(p)
 	}
 	for _, sh := range ix.shards {
+		p.noteRaw(sh) // pick up in-heap encoded payloads (paged loads)
 		if sh.data.Load() != nil {
 			p.admit(sh, false, 0)
 		}
@@ -190,10 +248,13 @@ func (ix *Index) AttachPager(p *Pager) {
 //
 //seda:nilgated
 type PagingMetrics struct {
-	PageIns       *obs.Counter
-	Evictions     *obs.Counter
-	ResidentBytes *obs.Gauge
-	PageInSeconds *obs.Histogram
+	PageIns          *obs.Counter
+	Evictions        *obs.Counter
+	ResidentBytes    *obs.Gauge
+	EncodedHeapBytes *obs.Gauge
+	PageInSeconds    *obs.Histogram
+	DiskReads        *obs.Counter
+	DiskReadSeconds  *obs.Histogram
 }
 
 // NewPagingMetrics registers the paging families on reg.
@@ -205,7 +266,13 @@ func NewPagingMetrics(reg *obs.Registry) *PagingMetrics {
 			"Decoded shards evicted back to their encoded payloads by the resident budget."),
 		ResidentBytes: reg.NewGauge("seda_paging_resident_bytes",
 			"Exact encoded bytes of shard payloads whose decoded form is resident, summed over paged engines."),
+		EncodedHeapBytes: reg.NewGauge("seda_paging_encoded_heap_bytes",
+			"Encoded shard payload bytes held on the Go heap (evicted heap-backed shards; disk-backed shards drop to zero)."),
 		PageInSeconds: reg.NewHistogram("seda_paging_pagein_seconds",
 			"Shard page-in (lazy block decode) latency in seconds.", nil),
+		DiskReads: reg.NewCounter("seda_paging_disk_reads_total",
+			"Shard sections re-read from the snapshot backing store on page-in or save."),
+		DiskReadSeconds: reg.NewHistogram("seda_paging_disk_read_seconds",
+			"Backing-section read plus CRC re-verify latency in seconds.", nil),
 	}
 }

@@ -45,7 +45,7 @@ func TestPhraseRepeatedTerm(t *testing.T) {
 		`<r><x>beta alpha beta alpha</x></r>`, // a b a starting at position 1
 	)
 	ix := Build(col)
-	ps := ix.PhrasePostings([]string{"alpha", "beta", "alpha"})
+	ps := mustPhrasePostings(t, ix, []string{"alpha", "beta", "alpha"})
 	if len(ps) != 2 {
 		t.Fatalf("got %d phrase postings, want 2: %+v", len(ps), ps)
 	}
@@ -84,7 +84,7 @@ func TestPhraseOverlappingStarts(t *testing.T) {
 	)
 	ix := Build(col)
 
-	ps := ix.PhrasePostings([]string{"alpha", "beta"})
+	ps := mustPhrasePostings(t, ix, []string{"alpha", "beta"})
 	if len(ps) != 2 {
 		t.Fatalf("got %d postings, want 2: %+v", len(ps), ps)
 	}
@@ -98,7 +98,7 @@ func TestPhraseOverlappingStarts(t *testing.T) {
 	// "alpha alpha beta": doc0 is exactly the phrase (start 0); in doc1
 	// only the start where both later words line up survives (start 1 —
 	// start 0 fails because position 2 holds alpha, not beta).
-	ps = ix.PhrasePostings([]string{"alpha", "alpha", "beta"})
+	ps = mustPhrasePostings(t, ix, []string{"alpha", "alpha", "beta"})
 	if len(ps) != 2 {
 		t.Fatalf("alpha alpha beta: got %d postings, want 2: %+v", len(ps), ps)
 	}
@@ -123,7 +123,7 @@ func TestPhraseTermAbsentFromShard(t *testing.T) {
 		if got := ix.NumShards(); got != shards {
 			t.Fatalf("NumShards = %d, want %d", got, shards)
 		}
-		ps := ix.PhrasePostings([]string{"united", "states"})
+		ps := mustPhrasePostings(t, ix, []string{"united", "states"})
 		if len(ps) != 1 || ps[0].Ref.Doc != 0 {
 			t.Errorf("shards=%d: phrase postings = %+v, want doc0 only", shards, ps)
 		}
@@ -139,8 +139,8 @@ func TestPhraseTermAbsentFromShard(t *testing.T) {
 	// And the sharded answers equal the single-shard ones byte for byte.
 	one := BuildSharded(col, 1, 1)
 	two := BuildSharded(col, 2, 1)
-	if !reflect.DeepEqual(one.PhrasePostings([]string{"united", "states"}),
-		two.PhrasePostings([]string{"united", "states"})) {
+	if !reflect.DeepEqual(mustPhrasePostings(t, one, []string{"united", "states"}),
+		mustPhrasePostings(t, two, []string{"united", "states"})) {
 		t.Error("PhrasePostings diverge between 1 and 2 shards")
 	}
 	m1, err1 := one.MatchTerm(mustPhraseTerm(t, "united states"))

@@ -38,14 +38,14 @@ func widePrefixFixture(tb testing.TB, terms, docs int) *store.Collection {
 // lookupPrefixNaive is the pre-shard implementation kept as the benchmark
 // baseline: append every matching term's postings and re-sort the whole
 // concatenation via normalizePostings.
-func lookupPrefixNaive(ix *Index, prefix string) []Posting {
+func lookupPrefixNaive(tb testing.TB, ix *Index, prefix string) []Posting {
 	lo := 0
 	for lo < len(ix.terms) && ix.terms[lo] < prefix {
 		lo++
 	}
 	var merged []Posting
 	for i := lo; i < len(ix.terms) && strings.HasPrefix(ix.terms[i], prefix); i++ {
-		merged = append(merged, ix.Lookup(ix.terms[i])...)
+		merged = append(merged, mustLookup(tb, ix, ix.terms[i])...)
 	}
 	return normalizePostings(merged)
 }
@@ -57,8 +57,8 @@ func TestLookupPrefixMatchesNaive(t *testing.T) {
 	for _, shards := range []int{1, 4} {
 		ix := BuildSharded(col, shards, 1)
 		for _, prefix := range []string{"item", "itema", "itemz", "filler", "nope"} {
-			got := ix.LookupPrefix(prefix)
-			want := lookupPrefixNaive(ix, prefix)
+			got := mustLookupPrefix(t, ix, prefix)
+			want := lookupPrefixNaive(t, ix, prefix)
 			if len(got) == 0 && len(want) == 0 {
 				continue
 			}
@@ -78,7 +78,7 @@ func BenchmarkLookupPrefixWide(b *testing.B) {
 	ix := Build(col)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if ps := ix.LookupPrefix("item"); len(ps) == 0 {
+		if ps := mustLookupPrefix(b, ix, "item"); len(ps) == 0 {
 			b.Fatal("no postings")
 		}
 	}
@@ -89,7 +89,7 @@ func BenchmarkLookupPrefixWideNaive(b *testing.B) {
 	ix := Build(col)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if ps := lookupPrefixNaive(ix, "item"); len(ps) == 0 {
+		if ps := lookupPrefixNaive(b, ix, "item"); len(ps) == 0 {
 			b.Fatal("no postings")
 		}
 	}

@@ -15,9 +15,12 @@ import (
 // and rejects malformed payloads at decode time — page-in afterwards is
 // infallible by construction.
 
-func encodeShardBytes(ix *Index, s int) []byte {
+func encodeShardBytes(tb testing.TB, ix *Index, s int) []byte {
+	tb.Helper()
 	var w snapcodec.Writer
-	ix.EncodeShard(&w, s)
+	if err := ix.EncodeShard(&w, s); err != nil {
+		tb.Fatalf("EncodeShard(%d): %v", s, err)
+	}
 	return w.Bytes()
 }
 
@@ -26,7 +29,7 @@ func TestShardCodecV3RoundTrip(t *testing.T) {
 	ix := BuildSharded(col, 2, 2)
 	for s := 0; s < ix.NumShards(); s++ {
 		orig := ix.shards[s]
-		data := encodeShardBytes(ix, s)
+		data := encodeShardBytes(t, ix, s)
 
 		resident, err := DecodeShard(snapcodec.NewReader(data), col)
 		if err != nil {
@@ -55,22 +58,26 @@ func TestShardCodecV3RoundTrip(t *testing.T) {
 			t.Fatalf("shard %d: paged summary state differs", s)
 		}
 		var cold snapcodec.Writer
-		paged.encodeInto(&cold)
+		if err := paged.encodeInto(&cold); err != nil {
+			t.Fatalf("shard %d: cold re-encode: %v", s, err)
+		}
 		if !bytes.Equal(cold.Bytes(), data) {
 			t.Errorf("shard %d: cold re-encode differs from stored payload", s)
 		}
 
 		// First touch materializes state identical to the original build.
 		for _, sh := range []*Shard{resident, paged} {
-			d := sh.hot()
-			if !reflect.DeepEqual(d.postings, orig.hot().postings) {
+			d := mustHot(t, sh)
+			if !reflect.DeepEqual(d.postings, mustHot(t, orig).postings) {
 				t.Errorf("shard %d: postings differ after decode", s)
 			}
-			if !reflect.DeepEqual(d.pathNodes, orig.hot().pathNodes) {
+			if !reflect.DeepEqual(d.pathNodes, mustHot(t, orig).pathNodes) {
 				t.Errorf("shard %d: path-node lists differ after decode", s)
 			}
 			var w snapcodec.Writer
-			sh.encodeInto(&w)
+			if err := sh.encodeInto(&w); err != nil {
+				t.Fatalf("shard %d: re-encode: %v", s, err)
+			}
 			if !bytes.Equal(w.Bytes(), data) {
 				t.Errorf("shard %d: hot re-encode differs from stored payload", s)
 			}
@@ -84,11 +91,13 @@ func TestShardCodecV3RoundTrip(t *testing.T) {
 			t.Fatalf("shard %d: shard still resident after eviction", s)
 		}
 		var evicted snapcodec.Writer
-		paged.encodeInto(&evicted)
+		if err := paged.encodeInto(&evicted); err != nil {
+			t.Fatalf("shard %d: evicted re-encode: %v", s, err)
+		}
 		if !bytes.Equal(evicted.Bytes(), data) {
 			t.Errorf("shard %d: evicted re-encode differs from stored payload", s)
 		}
-		if !reflect.DeepEqual(paged.hot().postings, orig.hot().postings) {
+		if !reflect.DeepEqual(mustHot(t, paged).postings, mustHot(t, orig).postings) {
 			t.Errorf("shard %d: postings differ after evict→page-in", s)
 		}
 	}
@@ -103,7 +112,9 @@ func TestShardCodecLegacyStillDecodes(t *testing.T) {
 	for s := 0; s < ix.NumShards(); s++ {
 		orig := ix.shards[s]
 		var w snapcodec.Writer
-		ix.EncodeShardLegacy(&w, s)
+		if err := ix.EncodeShardLegacy(&w, s); err != nil {
+			t.Fatalf("EncodeShardLegacy(%d): %v", s, err)
+		}
 		for _, decode := range []func(*snapcodec.Reader, *store.Collection) (*Shard, error){
 			DecodeShard, DecodeShardPaged,
 		} {
@@ -114,10 +125,10 @@ func TestShardCodecLegacyStillDecodes(t *testing.T) {
 			if sh.data.Load() == nil {
 				t.Fatalf("shard %d: legacy payload decoded cold", s)
 			}
-			if !reflect.DeepEqual(sh.hot().postings, orig.hot().postings) {
+			if !reflect.DeepEqual(mustHot(t, sh).postings, mustHot(t, orig).postings) {
 				t.Errorf("shard %d: legacy postings differ", s)
 			}
-			if !reflect.DeepEqual(sh.hot().pathNodes, orig.hot().pathNodes) {
+			if !reflect.DeepEqual(mustHot(t, sh).pathNodes, mustHot(t, orig).pathNodes) {
 				t.Errorf("shard %d: legacy path-node lists differ", s)
 			}
 			if !reflect.DeepEqual(sh.termDocFreq, orig.termDocFreq) {
@@ -133,7 +144,7 @@ func TestShardStatsExactBytes(t *testing.T) {
 	col, _ := buildFixture(t)
 	ix := BuildSharded(col, 2, 1)
 	for s, st := range ix.ShardStats() {
-		want := int64(len(encodeShardBytes(ix, s)))
+		want := int64(len(encodeShardBytes(t, ix, s)))
 		if st.Bytes != want {
 			t.Errorf("shard %d: Bytes = %d, want exact encoded size %d", s, st.Bytes, want)
 		}
@@ -152,7 +163,7 @@ func TestShardCodecHostileInputs(t *testing.T) {
 		t.Fatal(err)
 	}
 	ix := BuildSharded(col, 1, 1)
-	data := encodeShardBytes(ix, 0)
+	data := encodeShardBytes(t, ix, 0)
 
 	// Truncation sweep: every prefix errors from both decoders — the paged
 	// decoder validates the lazy block up front, so a truncated payload

@@ -206,6 +206,11 @@ type Registry struct {
 	// resident. Set it before serving.
 	ResidentBudget int64
 
+	// Backing selects the paging backstore for budgeted engines loaded
+	// from snapshots (see core.BackingMode; the zero value pages from the
+	// snapshot file, core.BackingMmap maps it). Set it before serving.
+	Backing core.BackingMode
+
 	// CompactThreshold triggers background compaction: when a delete or
 	// update leaves an entry's tombstone ratio (masked / total documents)
 	// at or above it, a per-entry compactor goroutine rewrites the engine
@@ -313,7 +318,7 @@ func (r *Registry) EnableSnapshots(dir string, parallelism int) ([]string, error
 			name:         name,
 			snapshotPath: filepath.Join(dir, f.Name()),
 			discovered:   true,
-			cfg:          core.Config{Parallelism: parallelism, ResidentBudget: r.ResidentBudget},
+			cfg:          core.Config{Parallelism: parallelism, ResidentBudget: r.ResidentBudget, Backing: r.Backing},
 		}
 		if fi, err := f.Info(); err == nil {
 			e.snapshotBytes.Store(fi.Size())
@@ -651,11 +656,19 @@ type PagingInfo struct {
 	// Budget is the configured resident budget in bytes; ResidentBytes
 	// the exact encoded size of the shards currently decoded, Resident
 	// their count.
-	Budget        int64  `json:"budget_bytes"`
-	ResidentBytes int64  `json:"resident_bytes"`
-	Resident      int    `json:"resident_shards"`
-	PageIns       uint64 `json:"page_ins"`
-	Evictions     uint64 `json:"evictions"`
+	Budget        int64 `json:"budget_bytes"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	Resident      int   `json:"resident_shards"`
+	// EncodedHeapBytes is the encoded payload bytes evicted shards still
+	// hold on the Go heap — zero when every evicted shard pages from the
+	// snapshot file (the honesty gauge behind
+	// seda_paging_encoded_heap_bytes).
+	EncodedHeapBytes int64  `json:"encoded_heap_bytes"`
+	PageIns          uint64 `json:"page_ins"`
+	Evictions        uint64 `json:"evictions"`
+	// DiskReads counts shard sections re-read from the snapshot backing
+	// store (page-ins and save splices).
+	DiskReads uint64 `json:"disk_reads"`
 }
 
 // ShardInfo is one index shard's footprint on the wire.
@@ -671,6 +684,10 @@ type ShardInfo struct {
 	// (always true without a resident budget; a paged shard flips as it
 	// is touched and evicted).
 	Resident bool `json:"resident"`
+	// Backing is the shard's residency tier when evicted: "heap" (encoded
+	// payload on the Go heap), "disk" (paged in from the snapshot file),
+	// or "mmap" (sliced from a mapping of it).
+	Backing string `json:"backing"`
 	// Fetches counts term-fetch tasks the top-k scatter has sent to this
 	// shard since it was built or loaded (runtime state, not persisted) —
 	// uneven numbers across shards reveal a skewed document partition.
@@ -723,16 +740,18 @@ func (r *Registry) List() []RegistryInfo {
 				info.Shards = append(info.Shards, ShardInfo{
 					Lo: st.Lo, Hi: st.Hi, Docs: st.Docs,
 					Terms: st.Terms, Postings: st.Postings, Bytes: st.Bytes,
-					Resident: st.Resident, Fetches: st.Fetches,
+					Resident: st.Resident, Backing: st.Backing, Fetches: st.Fetches,
 				})
 			}
 			if ps, ok := eng.PagerStats(); ok {
 				info.Paging = &PagingInfo{
-					Budget:        ps.Budget,
-					ResidentBytes: ps.ResidentBytes,
-					Resident:      ps.Resident,
-					PageIns:       ps.PageIns,
-					Evictions:     ps.Evictions,
+					Budget:           ps.Budget,
+					ResidentBytes:    ps.ResidentBytes,
+					Resident:         ps.Resident,
+					EncodedHeapBytes: ps.EncodedHeapBytes,
+					PageIns:          ps.PageIns,
+					Evictions:        ps.Evictions,
+					DiskReads:        ps.DiskReads,
 				}
 			}
 		}

@@ -1,6 +1,7 @@
 package snapcodec
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -30,6 +31,12 @@ var (
 
 // castagnoli is the CRC-32C table shared by writer and reader.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the container's CRC-32C (Castagnoli) of p — the same
+// sum WriteContainer stores and ReadContainer verifies. Disk-backed shard
+// residency re-verifies a section against its roster CRC on every
+// page-in, so the checksum function itself is part of the wire contract.
+func Checksum(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
 
 // --- Writer ---
 
@@ -270,9 +277,18 @@ func (r *Reader) Dewey() dewey.ID {
 // --- container ---
 
 // Section is one named, checksummed payload of a snapshot container.
+// ReadContainer and ScanSections additionally report where the payload
+// sits in the container stream (Offset/Size) and its stored CRC, so a
+// disk-backed loader can hand each index shard a backing ref and re-read
+// the section later with pread or mmap.
 type Section struct {
 	Name    string
-	Payload []byte
+	Payload []byte // nil for ScanSections (header-only scan)
+	// Offset is the payload's byte offset from the start of the
+	// container stream; Size its length; CRC the stored CRC-32C.
+	Offset int64
+	Size   int
+	CRC    uint32
 }
 
 // WriteContainer frames the sections and writes the whole container to w.
@@ -322,12 +338,13 @@ func ReadContainer(data []byte, maxVersion int) (version int, sections []Section
 		}
 		sum := binary.BigEndian.Uint32(r.buf[r.off:])
 		r.off += 4
+		off := int64(len(Magic) + r.off)
 		payload := r.buf[r.off : r.off+plen]
 		r.off += plen
 		if got := crc32.Checksum(payload, castagnoli); got != sum {
 			return 0, nil, fmt.Errorf("%w: section %q checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, name, sum, got)
 		}
-		sections = append(sections, Section{Name: name, Payload: payload})
+		sections = append(sections, Section{Name: name, Payload: payload, Offset: off, Size: plen, CRC: sum})
 	}
 	if err := r.Err(); err != nil {
 		return 0, nil, fmt.Errorf("reading container: %w", err)
@@ -336,4 +353,106 @@ func ReadContainer(data []byte, maxVersion int) (version int, sections []Section
 		return 0, nil, fmt.Errorf("%w: %d trailing bytes after last section", ErrCorrupt, r.Remaining())
 	}
 	return version, sections, nil
+}
+
+// ScanSections reads only the container framing from rd — magic, version,
+// and each section's name/length/CRC header, skipping every payload — and
+// returns the roster with Offset/Size/CRC filled and Payload nil. It is
+// the cheap path for re-binding disk-backed shard refs after a snapshot
+// save: the CRCs live in the headers, so no payload is read or verified
+// (page-in re-verifies against the stored CRC anyway).
+func ScanSections(rd io.Reader, maxVersion int) (version int, sections []Section, err error) {
+	br := bufio.NewReader(rd)
+	off := int64(0)
+	magic := make([]byte, len(Magic))
+	if err := scanFull(br, magic); err != nil || string(magic) != Magic {
+		return 0, nil, ErrNotSnapshot
+	}
+	off += int64(len(Magic))
+	readUvarint := func() (uint64, error) {
+		v, n, err := scanUvarint(br)
+		off += int64(n)
+		return v, err
+	}
+	v, err := readUvarint()
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated container version", ErrCorrupt)
+	}
+	version = int(v)
+	if version < 1 || version > maxVersion {
+		return 0, nil, fmt.Errorf("%w: have %d, support <= %d", ErrVersion, version, maxVersion)
+	}
+	count, err := readUvarint()
+	if err != nil || count > math.MaxInt32 {
+		return 0, nil, fmt.Errorf("%w: bad section count", ErrCorrupt)
+	}
+	for i := uint64(0); i < count; i++ {
+		nlen, err := readUvarint()
+		if err != nil || nlen > 1<<10 {
+			return 0, nil, fmt.Errorf("%w: bad section name length", ErrCorrupt)
+		}
+		name := make([]byte, nlen)
+		if err := scanFull(br, name); err != nil {
+			return 0, nil, fmt.Errorf("%w: truncated section name", ErrCorrupt)
+		}
+		off += int64(nlen)
+		plen, err := readUvarint()
+		if err != nil || plen > math.MaxInt32 {
+			return 0, nil, fmt.Errorf("%w: bad section %q payload length", ErrCorrupt, name)
+		}
+		var crcBuf [4]byte
+		if err := scanFull(br, crcBuf[:]); err != nil {
+			return 0, nil, fmt.Errorf("%w: truncated section %q checksum", ErrCorrupt, name)
+		}
+		off += 4
+		sections = append(sections, Section{
+			Name:   string(name),
+			Offset: off,
+			Size:   int(plen),
+			CRC:    binary.BigEndian.Uint32(crcBuf[:]),
+		})
+		if _, err := br.Discard(int(plen)); err != nil {
+			return 0, nil, fmt.Errorf("%w: section %q claims %d bytes past end", ErrCorrupt, name, plen)
+		}
+		off += int64(plen)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return 0, nil, fmt.Errorf("%w: trailing bytes after last section", ErrCorrupt)
+	}
+	return version, sections, nil
+}
+
+// scanFull fills buf from br one error-checked byte at a time — the
+// stream scanner's stand-in for the slice Reader's bounds checks (bufio
+// makes the per-byte reads cheap).
+func scanFull(br *bufio.Reader, buf []byte) error {
+	for i := range buf {
+		b, err := br.ReadByte()
+		if err != nil {
+			return err
+		}
+		buf[i] = b
+	}
+	return nil
+}
+
+// scanUvarint reads one unsigned varint from br, reporting the byte count
+// consumed (bufio has no counting reader, and the scan needs offsets).
+func scanUvarint(br *bufio.Reader) (v uint64, n int, err error) {
+	var shift uint
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, n, err
+		}
+		n++
+		if shift >= 64 {
+			return 0, n, fmt.Errorf("uvarint overflow")
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, n, nil
+		}
+		shift += 7
+	}
 }

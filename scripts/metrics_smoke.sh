@@ -22,8 +22,13 @@ trap cleanup EXIT INT TERM
 # -compact-threshold 0 disables the background compactor so the
 # lifecycle phase below observes the masked ratio deterministically and
 # drives the compaction itself (the threshold path is covered by
-# TestBackgroundCompaction in CI).
-"$WORK/sedad" -addr "$ADDR" -preload worldfactbook -scale 0.05 -slowlog 5s -compact-threshold 0 2>"$WORK/sedad.log" &
+# TestBackgroundCompaction in CI). -data plus a 1-byte resident budget
+# forces disk-backed paging: the engine persists after first build,
+# re-binds to its snapshot, and queries page shards in from the file —
+# so the seda_paging_disk_* families below must move. Four shards so
+# the pager always has a cold shard to evict (it never evicts the one
+# shard a query is standing on).
+"$WORK/sedad" -addr "$ADDR" -preload worldfactbook -scale 0.05 -shards 4 -slowlog 5s -compact-threshold 0 -data "$WORK/data" -resident-budget 1 2>"$WORK/sedad.log" &
 PID=$!
 
 ok=""
@@ -57,7 +62,18 @@ case "$RESP" in
 esac
 
 curl -fsS "$BASE/metrics" | "$WORK/promcheck" -require \
-	seda_topk_searches_total,seda_topk_search_duration_seconds,seda_http_requests_total,seda_http_request_duration_seconds,seda_topk_cache_hits_total,seda_topk_cache_misses_total,seda_engine_phase_seconds,seda_engine_ops_total,seda_sessions_active,seda_build_info,seda_uptime_seconds
+	seda_topk_searches_total,seda_topk_search_duration_seconds,seda_http_requests_total,seda_http_request_duration_seconds,seda_topk_cache_hits_total,seda_topk_cache_misses_total,seda_engine_phase_seconds,seda_engine_ops_total,seda_sessions_active,seda_build_info,seda_uptime_seconds,seda_paging_pageins_total,seda_paging_encoded_heap_bytes,seda_paging_disk_reads_total,seda_paging_disk_read_seconds
+
+# Disk-backed paging must actually have happened: the traced query above
+# ran against a snapshot-bound engine under a 1-byte budget, so at least
+# one shard section was re-read (and CRC-verified) from the snapshot
+# file.
+case "$(curl -fsS "$BASE/metrics")" in
+*'seda_paging_disk_reads_total 0'*)
+	echo "metrics-smoke: disk-backed engine served without a single disk read" >&2
+	exit 1
+	;;
+esac
 
 # Compaction under load: upload a small collection, delete a document (the
 # tombstone-ratio gauge must report the pressure), then compact while a
